@@ -1,0 +1,70 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Rule bases are expensive to build, so prepared :class:`FilterBench`
+templates are cached for the whole session, keyed by their full
+configuration; every benchmark round still runs on a pristine clone.
+
+Sizes here are scaled down from the paper's 10k/100k so the whole suite
+finishes in a couple of minutes; ``python -m repro.bench <figure>
+[--full]`` runs the complete sweeps (and checks the paper's qualitative
+claims).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import FilterBench
+from repro.workload.scenarios import WorkloadSpec
+
+
+@pytest.fixture(scope="session")
+def bench_factory():
+    cache: dict[tuple, FilterBench] = {}
+
+    def get(
+        rule_type: str,
+        rule_count: int,
+        match_fraction: float = 0.1,
+        use_rule_groups: bool = True,
+        deduplicate: bool = True,
+        join_evaluation: str = "scan",
+    ) -> FilterBench:
+        key = (
+            rule_type,
+            rule_count,
+            match_fraction,
+            use_rule_groups,
+            deduplicate,
+            join_evaluation,
+        )
+        if key not in cache:
+            bench = FilterBench(
+                WorkloadSpec(rule_type, rule_count, match_fraction),
+                use_rule_groups=use_rule_groups,
+                deduplicate=deduplicate,
+                join_evaluation=join_evaluation,
+            )
+            bench.prepare()
+            cache[key] = bench
+        return cache[key]
+
+    yield get
+    for bench in cache.values():
+        bench.close()
+
+
+def register_batch(bench: FilterBench, batch_size: int):
+    """One measured registration: fresh clone, one batch, teardown.
+
+    Returns a zero-argument callable for ``benchmark.pedantic`` setups.
+    """
+    db, engine = bench.fresh_engine()
+    documents = bench.spec.documents(batch_size)
+    resources = [resource for doc in documents for resource in doc]
+
+    def run():
+        engine.process_insertions(resources, collect="none")
+        return engine.result_count()
+
+    return run, db

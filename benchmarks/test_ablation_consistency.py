@@ -1,0 +1,81 @@
+"""Ablation — update-consistency strategies (paper, Section 3.5).
+
+Compares the cost of processing one document update under:
+
+- the paper's three-pass **filter** algorithm,
+- per-resource subscriber lists (**resource-list**): one filter pass for
+  new matches plus a *full rule evaluation* per subscription attached to
+  a changed cached resource,
+- **ttl**: one filter pass, no eviction bookkeeping at all.
+
+With many rules matching the updated resource, the resource-list
+strategy pays per-rule; the filter amortizes across all of them.
+"""
+
+import pytest
+
+from repro.mdv.consistency import FilterStrategy, ResourceListStrategy, TTLStrategy
+from repro.mdv.provider import MetadataProvider
+from repro.rdf.diff import diff_documents
+from repro.rdf.model import Document, URIRef
+from repro.rdf.schema import objectglobe_schema
+
+RULES_PER_RESOURCE = 40
+
+STRATEGIES = {
+    "filter": FilterStrategy,
+    "resource-list": ResourceListStrategy,
+    "ttl": TTLStrategy,
+}
+
+
+def make_doc(memory):
+    doc = Document("doc0.rdf")
+    provider = doc.new_resource("host", "CycleProvider")
+    provider.add("serverHost", "a.uni-passau.de")
+    provider.add("serverInformation", URIRef("doc0.rdf#info"))
+    info = doc.new_resource("info", "ServerInformation")
+    info.add("memory", memory)
+    info.add("cpu", 600)
+    return doc
+
+
+def build(strategy_name):
+    schema = objectglobe_schema()
+    mdp = MetadataProvider(schema)
+    mdp.connect_subscriber("lmr", lambda batch: None)
+    for index in range(RULES_PER_RESOURCE):
+        mdp.subscribe(
+            "lmr",
+            f"search CycleProvider c register c "
+            f"where c.serverInformation.memory > {index}",
+        )
+    strategy = STRATEGIES[strategy_name](mdp)
+    doc = make_doc(memory=RULES_PER_RESOURCE + 1)  # matches every rule
+    strategy.process_diff(diff_documents(None, doc))
+    return strategy, doc
+
+
+@pytest.mark.parametrize("strategy_name", list(STRATEGIES))
+def test_ablation_update_consistency(benchmark, strategy_name):
+    states = []
+
+    def setup():
+        strategy, doc = build(strategy_name)
+        updated = doc.copy()
+        updated.get("doc0.rdf#info").set("memory", RULES_PER_RESOURCE // 2)
+        diff = diff_documents(doc, updated)
+        states.append(strategy)
+        return (strategy, diff), {}
+
+    def process(strategy, diff):
+        return strategy.process_diff(diff)
+
+    benchmark.pedantic(process, setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["strategy"] = strategy_name
+    benchmark.extra_info["ablation"] = "consistency"
+    # The resource-list strategy paid one full evaluation per rule.
+    if strategy_name == "resource-list":
+        assert states[-1].cost.full_rule_evaluations >= RULES_PER_RESOURCE
+    if strategy_name == "ttl":
+        assert states[-1].cost.full_rule_evaluations == 0

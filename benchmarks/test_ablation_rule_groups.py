@@ -1,0 +1,36 @@
+"""Ablation — rule groups on vs. off (paper, Section 3.3.3).
+
+Rule groups exist "to avoid individual evaluation of such join rules":
+member rules sharing a where part are evaluated in one pass.  Disabling
+them issues one set of join statements per dependent join rule instead
+of per group.  On the PATH workload all join rules share a single group,
+so the grouped variant runs O(1) statement sets per iteration while the
+ungrouped one runs O(batch) of them.
+"""
+
+import pytest
+
+from conftest import register_batch
+
+RULE_COUNT = 2_000
+BATCH = 50
+
+
+@pytest.mark.parametrize("use_rule_groups", [True, False], ids=["grouped", "ungrouped"])
+def test_ablation_rule_groups(benchmark, bench_factory, use_rule_groups):
+    bench = bench_factory("PATH", RULE_COUNT, use_rule_groups=use_rule_groups)
+    databases = []
+
+    def setup():
+        run, db = register_batch(bench, BATCH)
+        databases.append(db)
+        return (run,), {}
+
+    result = benchmark.pedantic(
+        lambda run: run(), setup=setup, rounds=3, iterations=1
+    )
+    assert result >= BATCH
+    benchmark.extra_info["use_rule_groups"] = use_rule_groups
+    benchmark.extra_info["ablation"] = "rule-groups"
+    for db in databases:
+        db.close()

@@ -1,0 +1,34 @@
+"""Figure 11 — OID rules: cost vs. batch size, rule base size irrelevant.
+
+The paper's claim: "For simple OID rules the rule base size does not
+influence the runtime of the algorithm as the curves for 10,000 and
+100,000 are almost identical."  OID rules resolve through the
+``(class, property, value)`` equality index of ``filter_rules_eq``.
+"""
+
+import pytest
+
+from conftest import register_batch
+
+
+@pytest.mark.parametrize("rule_count", [1_000, 10_000])
+@pytest.mark.parametrize("batch_size", [1, 10, 100])
+def test_fig11_oid_registration(benchmark, bench_factory, rule_count, batch_size):
+    bench = bench_factory("OID", rule_count)
+    databases = []
+
+    def setup():
+        run, db = register_batch(bench, batch_size)
+        databases.append(db)
+        return (run,), {}
+
+    result = benchmark.pedantic(
+        lambda run: run(), setup=setup, rounds=3, iterations=1
+    )
+    # Every document matched exactly its own OID rule.
+    assert result == batch_size
+    benchmark.extra_info["batch_size"] = batch_size
+    benchmark.extra_info["rule_count"] = rule_count
+    benchmark.extra_info["figure"] = "11"
+    for db in databases:
+        db.close()

@@ -1,0 +1,34 @@
+"""Figure 12 — PATH rules: decomposition + join evaluation in play.
+
+The paper: PATH registration cost amortizes over the batch and — unlike
+OID — *does* depend on the rule base size, because the combined rule
+group evaluation touches the group's member rules once per batch.
+"""
+
+import pytest
+
+from conftest import register_batch
+
+
+@pytest.mark.parametrize("rule_count", [1_000, 5_000])
+@pytest.mark.parametrize("batch_size", [1, 10, 100])
+def test_fig12_path_registration(benchmark, bench_factory, rule_count, batch_size):
+    bench = bench_factory("PATH", rule_count)
+    databases = []
+
+    def setup():
+        run, db = register_batch(bench, batch_size)
+        databases.append(db)
+        return (run,), {}
+
+    result = benchmark.pedantic(
+        lambda run: run(), setup=setup, rounds=3, iterations=1
+    )
+    # Hits: per document — class atom (host), memory atom (info),
+    # identity/reference joins up to the end rule.
+    assert result >= batch_size
+    benchmark.extra_info["batch_size"] = batch_size
+    benchmark.extra_info["rule_count"] = rule_count
+    benchmark.extra_info["figure"] = "12"
+    for db in databases:
+        db.close()

@@ -1,0 +1,34 @@
+"""Figure 13 — COMP rules with 10% of the rule base matching.
+
+Range predicates scan every rule sharing ``(class, property)`` in the
+``FilterRulesOP`` table (constants stored as strings, reconverted at
+join time — paper §3.3.4), so cost grows with the rule base and the
+paper finds that "registering few documents in one batch is preferable".
+"""
+
+import pytest
+
+from conftest import register_batch
+
+
+@pytest.mark.parametrize("rule_count", [1_000, 5_000])
+@pytest.mark.parametrize("batch_size", [1, 10, 100])
+def test_fig13_comp_registration(benchmark, bench_factory, rule_count, batch_size):
+    bench = bench_factory("COMP", rule_count, match_fraction=0.1)
+    databases = []
+
+    def setup():
+        run, db = register_batch(bench, batch_size)
+        databases.append(db)
+        return (run,), {}
+
+    result = benchmark.pedantic(
+        lambda run: run(), setup=setup, rounds=3, iterations=1
+    )
+    # Every document triggers exactly 10% of the rule base.
+    assert result == batch_size * (rule_count // 10)
+    benchmark.extra_info["batch_size"] = batch_size
+    benchmark.extra_info["rule_count"] = rule_count
+    benchmark.extra_info["figure"] = "13"
+    for db in databases:
+        db.close()

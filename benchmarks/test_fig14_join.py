@@ -1,0 +1,33 @@
+"""Figure 14 — JOIN rules: the complete filter machinery.
+
+Each JOIN rule decomposes into three triggering rules, an identity join
+and a reference join (the paper's deepest benchmark shape); the measured
+cost covers triggering matches plus two iterations of rule-group
+evaluation.
+"""
+
+import pytest
+
+from conftest import register_batch
+
+
+@pytest.mark.parametrize("rule_count", [1_000, 5_000])
+@pytest.mark.parametrize("batch_size", [1, 10, 100])
+def test_fig14_join_registration(benchmark, bench_factory, rule_count, batch_size):
+    bench = bench_factory("JOIN", rule_count)
+    databases = []
+
+    def setup():
+        run, db = register_batch(bench, batch_size)
+        databases.append(db)
+        return (run,), {}
+
+    result = benchmark.pedantic(
+        lambda run: run(), setup=setup, rounds=3, iterations=1
+    )
+    assert result >= batch_size
+    benchmark.extra_info["batch_size"] = batch_size
+    benchmark.extra_info["rule_count"] = rule_count
+    benchmark.extra_info["figure"] = "14"
+    for db in databases:
+        db.close()

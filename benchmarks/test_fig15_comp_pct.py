@@ -1,0 +1,35 @@
+"""Figure 15 — COMP rules, varying triggered rule-base percentage.
+
+"Not surprisingly a higher rule percentage results in higher
+registration costs independent of the batch size."  The percentage
+controls how many ``ResultObjects`` rows each registered document
+produces.
+"""
+
+import pytest
+
+from conftest import register_batch
+
+RULE_COUNT = 2_000
+
+
+@pytest.mark.parametrize("match_pct", [1, 5, 10, 20])
+@pytest.mark.parametrize("batch_size", [10, 100])
+def test_fig15_comp_percentage(benchmark, bench_factory, match_pct, batch_size):
+    bench = bench_factory("COMP", RULE_COUNT, match_fraction=match_pct / 100)
+    databases = []
+
+    def setup():
+        run, db = register_batch(bench, batch_size)
+        databases.append(db)
+        return (run,), {}
+
+    result = benchmark.pedantic(
+        lambda run: run(), setup=setup, rounds=3, iterations=1
+    )
+    assert result == batch_size * (RULE_COUNT * match_pct // 100)
+    benchmark.extra_info["batch_size"] = batch_size
+    benchmark.extra_info["match_pct"] = match_pct
+    benchmark.extra_info["figure"] = "15"
+    for db in databases:
+        db.close()

@@ -1,0 +1,61 @@
+"""Beyond the paper: the cost of the three-pass update algorithm.
+
+The paper benchmarks insert-path registration only; updates run the
+filter three times (§3.5).  This bench quantifies the multiplier on the
+PATH workload — one document update versus one document insert, under
+the same rule base — and the dependence of update cost on the rule base
+size.
+"""
+
+import pytest
+
+from repro.rdf.diff import diff_documents
+
+
+@pytest.mark.parametrize("rule_count", [1_000, 5_000])
+def test_update_vs_insert(benchmark, bench_factory, rule_count):
+    bench = bench_factory("PATH", rule_count)
+    states = []
+
+    def setup():
+        db, engine = bench.fresh_engine()
+        doc = bench.spec.documents(1)[0]
+        engine.process_diff(diff_documents(None, doc))
+        updated = doc.copy()
+        info = updated.get(f"{doc.uri}#info")
+        info.set("memory", rule_count + 10)  # stops matching its rule
+        states.append(db)
+        return (engine, diff_documents(doc, updated)), {}
+
+    def update(engine, diff):
+        return engine.process_diff(diff)
+
+    outcome = benchmark.pedantic(update, setup=setup, rounds=3, iterations=1)
+    assert outcome.unmatched  # the old match was revoked
+    assert len(outcome.passes) == 3
+    benchmark.extra_info["rule_count"] = rule_count
+    benchmark.extra_info["op"] = "update"
+    for db in states:
+        db.close()
+
+
+@pytest.mark.parametrize("rule_count", [1_000, 5_000])
+def test_insert_baseline(benchmark, bench_factory, rule_count):
+    bench = bench_factory("PATH", rule_count)
+    states = []
+
+    def setup():
+        db, engine = bench.fresh_engine()
+        doc = bench.spec.documents(1)[0]
+        states.append(db)
+        return (engine, doc), {}
+
+    def insert(engine, doc):
+        return engine.process_diff(diff_documents(None, doc))
+
+    outcome = benchmark.pedantic(insert, setup=setup, rounds=3, iterations=1)
+    assert len(outcome.passes) == 1
+    benchmark.extra_info["rule_count"] = rule_count
+    benchmark.extra_info["op"] = "insert"
+    for db in states:
+        db.close()

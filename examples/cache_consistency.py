@@ -1,0 +1,106 @@
+"""Cache consistency walkthrough: updates, deletions, strong references.
+
+Reenacts Section 3.5 of the paper against a live LMR cache:
+
+1. a resource stops matching a rule — evicted, unless another rule
+   still matches it;
+2. a resource starts matching — inserted;
+3. a resource keeps matching but its (strongly referenced) content
+   changed — refreshed in place;
+4. deletion of a referenced resource — the referencing resource is
+   re-evaluated, strong-reference copies are garbage-collected.
+
+Run:  python examples/cache_consistency.py
+"""
+
+from repro import (
+    Document,
+    LocalMetadataRepository,
+    MetadataProvider,
+    URIRef,
+    objectglobe_schema,
+)
+
+
+def doc_with(index: int, host: str, memory: int) -> Document:
+    doc = Document(f"doc{index}.rdf")
+    provider = doc.new_resource("host", "CycleProvider")
+    provider.add("serverHost", host)
+    provider.add("serverInformation", URIRef(f"doc{index}.rdf#info"))
+    info = doc.new_resource("info", "ServerInformation")
+    info.add("memory", memory)
+    info.add("cpu", 600)
+    return doc
+
+
+def show(step: str, lmr: LocalMetadataRepository) -> None:
+    cached = {
+        str(uri): {
+            "rules": len(lmr.cache.get(uri).matched_subs),
+            "strong_refs": lmr.cache.get(uri).strong_refcount,
+        }
+        for uri in lmr.cache.uris()
+    }
+    print(f"{step}\n  cache = {cached}")
+
+
+def main() -> None:
+    schema = objectglobe_schema()
+    mdp = MetadataProvider(schema)
+    lmr = LocalMetadataRepository("lmr", mdp)
+
+    memory_rule = (
+        "search CycleProvider c register c "
+        "where c.serverInformation.memory > 64"
+    )
+    passau_rule = (
+        "search CycleProvider c register c "
+        "where c.serverHost contains 'passau'"
+    )
+    lmr.subscribe(memory_rule)
+    lmr.subscribe(passau_rule)
+
+    mdp.register_document(doc_with(1, "pirates.uni-passau.de", 92))
+    show("registered doc1 (passau, 92MB) — matches BOTH rules", lmr)
+    assert len(lmr.cache.get("doc1.rdf#host").matched_subs) == 2
+
+    # Case 1: stops matching ONE rule — must stay (other rule holds).
+    mdp.register_document(doc_with(1, "pirates.uni-passau.de", 16))
+    show("memory drops to 16 — memory rule unmatches, passau rule holds", lmr)
+    assert len(lmr.cache.get("doc1.rdf#host").matched_subs) == 1
+
+    # Case 3: still matching, content changed — refreshed in place.
+    mdp.register_document(doc_with(1, "pirates.uni-passau.de", 48))
+    cached_memory = lmr.cache.resource("doc1.rdf#info").get_one("memory")
+    show(f"memory now 48 — cache refreshed (sees {cached_memory})", lmr)
+    assert cached_memory.value == 48
+
+    # Stops matching the LAST rule — evicted, strong child collected.
+    mdp.register_document(doc_with(1, "relocated.tum.de", 48))
+    show("host moves to tum.de — evicted; strong child GC'd", lmr)
+    assert len(lmr.cache) == 0
+
+    # Case 2: starts matching.
+    mdp.register_document(doc_with(1, "back.uni-passau.de", 512))
+    show("host back in passau with 512MB — re-enters, both rules", lmr)
+
+    # Deletion of the referenced resource re-evaluates the referrer.
+    trimmed = doc_with(1, "back.uni-passau.de", 512)
+    trimmed.remove(URIRef("doc1.rdf#info"))
+    mdp.register_document(trimmed)
+    show("ServerInformation deleted — memory rule unmatches, copy dropped", lmr)
+    assert "doc1.rdf#info" not in lmr.cache
+    assert len(lmr.cache.get("doc1.rdf#host").matched_subs) == 1
+
+    # Unsubscribing drops the remaining coverage.
+    lmr.unsubscribe(passau_rule)
+    show("unsubscribed the passau rule", lmr)
+    assert len(lmr.cache) == 0
+
+    report = lmr.collect_garbage(cycles=True)
+    print(f"\nfinal GC pass: {report}")
+    print("cache consistency walkthrough OK")
+
+
+if __name__ == "__main__":
+    main()

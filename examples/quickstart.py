@@ -1,0 +1,78 @@
+"""Quickstart: the MDV system in ~60 lines.
+
+Sets up one Metadata Provider (MDP), one Local Metadata Repository (LMR)
+subscribed to cycle providers in the 'uni-passau.de' domain, registers a
+few RDF documents, and shows the cache staying consistent through an
+update and a deletion.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Document,
+    LocalMetadataRepository,
+    MetadataProvider,
+    URIRef,
+    objectglobe_schema,
+)
+
+
+def make_provider_document(index: int, host: str, memory: int) -> Document:
+    """A document shaped like the paper's Figure 1."""
+    doc = Document(f"doc{index}.rdf")
+    provider = doc.new_resource("host", "CycleProvider")
+    provider.add("serverHost", host)
+    provider.add("serverPort", 5000 + index)
+    provider.add("serverInformation", URIRef(f"doc{index}.rdf#info"))
+    info = doc.new_resource("info", "ServerInformation")
+    info.add("memory", memory)
+    info.add("cpu", 600)
+    return doc
+
+
+def main() -> None:
+    schema = objectglobe_schema()
+    mdp = MetadataProvider(schema, name="mdp-1")
+    lmr = LocalMetadataRepository("lmr-passau", mdp)
+
+    # Subscribe: cycle providers in the Passau domain with enough memory.
+    rule = (
+        "search CycleProvider c register c "
+        "where c.serverHost contains 'uni-passau.de' "
+        "and c.serverInformation.memory > 64"
+    )
+    lmr.subscribe(rule)
+    print(f"subscribed: {rule}\n")
+
+    # Register metadata at the MDP; notifications flow automatically.
+    mdp.register_document(make_provider_document(1, "pirates.uni-passau.de", 92))
+    mdp.register_document(make_provider_document(2, "db.tum.de", 256))
+    mdp.register_document(make_provider_document(3, "kat.uni-passau.de", 32))
+    print("after registering 3 documents:", lmr.stats())
+
+    # Queries are answered locally, from the cache.
+    results = lmr.query("search CycleProvider c")
+    print("local query results:", [str(r.uri) for r in results])
+    assert [str(r.uri) for r in results] == ["doc1.rdf#host"]
+
+    # An update can bring a resource into the cache...
+    mdp.register_document(make_provider_document(3, "kat.uni-passau.de", 512))
+    results = lmr.query("search CycleProvider c")
+    print("after doc3 memory upgrade:", [str(r.uri) for r in results])
+    assert len(results) == 2
+
+    # ... or evict it (and its strongly referenced ServerInformation).
+    mdp.register_document(make_provider_document(1, "pirates.uni-passau.de", 16))
+    results = lmr.query("search CycleProvider c")
+    print("after doc1 memory downgrade:", [str(r.uri) for r in results])
+    assert [str(r.uri) for r in results] == ["doc3.rdf#host"]
+
+    # Deletions propagate too.
+    mdp.delete_document("doc3.rdf")
+    print("after deleting doc3:", lmr.stats())
+    assert lmr.query("search CycleProvider c") == []
+    print("\nquickstart OK")
+
+
+if __name__ == "__main__":
+    main()

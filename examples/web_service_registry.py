@@ -1,0 +1,178 @@
+"""Web-service registry: MDV as a UDDI-style discovery substrate.
+
+The paper's conclusion names web services as the next target: "For the
+future we are going to focus on the support for web services and their
+dynamic composition … as well as the support for such standards as UDDI
+and WSDL for the description, administration, and discovery of web
+services."  MDV itself is schema-generic — this example defines a
+WSDL-flavoured schema (businesses publishing services with typed
+operations), registers a small registry, and drives dynamic service
+composition from an LMR cache:
+
+- named rules act as reusable service categories (Section 2.3's
+  "extension may be another subscription rule");
+- a composition engine's LMR subscribes to the categories it needs and
+  resolves a two-step pipeline locally;
+- batch registration amortizes the filter over a crawl-style import.
+
+Run:  python examples/web_service_registry.py
+"""
+
+from repro import (
+    Document,
+    LocalMetadataRepository,
+    MetadataProvider,
+    PropertyDef,
+    PropertyKind,
+    RefStrength,
+    Schema,
+    URIRef,
+)
+
+
+def web_service_schema() -> Schema:
+    """Businesses → services → operations, WSDL/UDDI flavoured."""
+    schema = Schema()
+    schema.define_class(
+        "Business",
+        [
+            PropertyDef("name", PropertyKind.STRING),
+            PropertyDef("country", PropertyKind.STRING),
+        ],
+    )
+    schema.define_class(
+        "Operation",
+        [
+            PropertyDef("inputType", PropertyKind.STRING),
+            PropertyDef("outputType", PropertyKind.STRING),
+            PropertyDef("latencyMs", PropertyKind.INTEGER),
+        ],
+    )
+    schema.define_class(
+        "WebService",
+        [
+            PropertyDef("endpoint", PropertyKind.STRING),
+            PropertyDef("category", PropertyKind.STRING),
+            PropertyDef("costPerCall", PropertyKind.INTEGER),
+            PropertyDef(
+                "publishedBy",
+                PropertyKind.REFERENCE,
+                target_class="Business",
+            ),
+            PropertyDef(
+                "operation",
+                PropertyKind.REFERENCE,
+                target_class="Operation",
+                strength=RefStrength.STRONG,
+                multivalued=True,
+            ),
+        ],
+    )
+    schema.freeze_check()
+    return schema
+
+
+def service_document(
+    index: int,
+    business: str,
+    category: str,
+    input_type: str,
+    output_type: str,
+    cost: int,
+    latency: int,
+) -> Document:
+    doc = Document(f"svc{index}.rdf")
+    company = doc.new_resource("biz", "Business")
+    company.add("name", business)
+    company.add("country", "DE" if index % 2 == 0 else "US")
+    service = doc.new_resource("svc", "WebService")
+    service.add("endpoint", f"https://{business.lower()}.example/{category}")
+    service.add("category", category)
+    service.add("costPerCall", cost)
+    service.add("publishedBy", URIRef(f"svc{index}.rdf#biz"))
+    service.add("operation", URIRef(f"svc{index}.rdf#op"))
+    operation = doc.new_resource("op", "Operation")
+    operation.add("inputType", input_type)
+    operation.add("outputType", output_type)
+    operation.add("latencyMs", latency)
+    return doc
+
+
+def main() -> None:
+    schema = web_service_schema()
+    registry = MetadataProvider(schema, name="uddi-mdp")
+
+    # Named rules as service categories (rule-as-extension feature).
+    registry.register_named_rule(
+        "GeocoderServices",
+        "search WebService s register s where s.category = 'geocoding'",
+    )
+    registry.register_named_rule(
+        "FastGeocoders",
+        "search GeocoderServices s register s "
+        "where s.operation?.latencyMs < 100",
+    )
+
+    # The composition engine caches fast geocoders plus routing services.
+    composer = LocalMetadataRepository("composer-lmr", registry)
+    composer.subscribe("search FastGeocoders s register s")
+    composer.subscribe(
+        "search WebService s register s where s.category = 'routing' "
+        "and s.costPerCall <= 3"
+    )
+
+    # A crawl imports the registry in one batch (one filter execution).
+    catalogue = [
+        service_document(0, "GeoCorp", "geocoding", "Address", "LatLon", 1, 40),
+        service_document(1, "MapMonster", "geocoding", "Address", "LatLon", 2, 250),
+        service_document(2, "RouteRus", "routing", "LatLon", "Route", 3, 120),
+        service_document(3, "PathPro", "routing", "LatLon", "Route", 9, 60),
+        service_document(4, "AdStats", "analytics", "Route", "Report", 1, 30),
+    ]
+    registry.register_documents(catalogue)
+    print("registry size:", registry.document_count(), "documents")
+    print("composer cache:", composer.stats(), "\n")
+
+    # Dynamic composition: Address -> LatLon -> Route, cache-local.
+    geocoders = composer.query(
+        "search WebService s where s.operation?.inputType = 'Address' "
+        "and s.operation?.outputType = 'LatLon'"
+    )
+    routers = composer.query(
+        "search WebService s where s.operation?.inputType = 'LatLon' "
+        "and s.operation?.outputType = 'Route'"
+    )
+    print("pipeline step 1 (geocoding):", [str(g.get_one("endpoint")) for g in geocoders])
+    print("pipeline step 2 (routing):  ", [str(r.get_one("endpoint")) for r in routers])
+    assert len(geocoders) == 1  # only the FAST geocoder was subscribed
+    assert len(routers) == 1    # only the affordable router
+
+    plan = (geocoders[0], routers[0])
+    print(
+        "\ncomposed plan:",
+        " -> ".join(str(step.get_one("endpoint")) for step in plan),
+    )
+
+    # A price hike pushes the router out of the composer's cache.
+    repriced = service_document(2, "RouteRus", "routing", "LatLon", "Route", 30, 120)
+    registry.register_document(repriced)
+    routers = composer.query(
+        "search WebService s where s.category = 'routing'"
+    )
+    print("\nafter RouteRus price hike, cached routers:", len(routers))
+    assert routers == []
+
+    # And a new cheap router becomes available instantly.
+    registry.register_document(
+        service_document(5, "BudgetRoutes", "routing", "LatLon", "Route", 1, 200)
+    )
+    routers = composer.query("search WebService s where s.category = 'routing'")
+    assert [str(r.get_one("endpoint")) for r in routers] == [
+        "https://budgetroutes.example/routing"
+    ]
+    print("replacement router discovered:", str(routers[0].get_one("endpoint")))
+    print("\nweb service registry OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The reproduction environment has no ``wheel`` package, so PEP 517
+editable installs (which build a wheel) fail.  This shim enables the
+legacy ``pip install -e . --no-build-isolation --no-use-pep517`` path and
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

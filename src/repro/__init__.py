@@ -1,0 +1,68 @@
+"""MDV — a publish & subscribe architecture for distributed metadata management.
+
+A from-scratch Python reproduction of Keidl, Kreutz, Kemper, Kossmann:
+*A Publish & Subscribe Architecture for Distributed Metadata Management*
+(ICDE 2002).  See README.md for a tour and DESIGN.md for the paper-to-
+module mapping.
+
+Quickstart::
+
+    from repro import MetadataProvider, LocalMetadataRepository, objectglobe_schema
+
+    schema = objectglobe_schema()
+    mdp = MetadataProvider(schema)
+    lmr = LocalMetadataRepository("lmr-passau", mdp)
+    lmr.subscribe(
+        "search CycleProvider c register c "
+        "where c.serverHost contains 'uni-passau.de'"
+    )
+    # ... register documents at the MDP; the LMR cache stays consistent.
+"""
+
+from repro.errors import MDVError
+from repro.mdv import (
+    Backbone,
+    LocalMetadataRepository,
+    MDVClient,
+    MetadataProvider,
+)
+from repro.net import NetworkBus
+from repro.rdf import (
+    Document,
+    Literal,
+    PropertyDef,
+    PropertyKind,
+    RefStrength,
+    Resource,
+    Schema,
+    URIRef,
+    objectglobe_schema,
+    parse_document,
+    to_rdfxml,
+)
+from repro.rules import parse_query, parse_rule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MDVError",
+    "Backbone",
+    "LocalMetadataRepository",
+    "MDVClient",
+    "MetadataProvider",
+    "NetworkBus",
+    "Document",
+    "Literal",
+    "PropertyDef",
+    "PropertyKind",
+    "RefStrength",
+    "Resource",
+    "Schema",
+    "URIRef",
+    "objectglobe_schema",
+    "parse_document",
+    "to_rdfxml",
+    "parse_query",
+    "parse_rule",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Benchmark harness reproducing the paper's Section 4 evaluation."""
+
+from repro.bench.harness import (
+    DEFAULT_BATCH_SIZES,
+    FilterBench,
+    MeasurementPoint,
+    SweepResult,
+)
+from repro.bench.figures import (
+    FIGURES,
+    all_figures,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+)
+from repro.bench.reporting import FigureResult, render_claims, render_figure
+
+__all__ = [
+    "DEFAULT_BATCH_SIZES",
+    "FilterBench",
+    "MeasurementPoint",
+    "SweepResult",
+    "FIGURES",
+    "all_figures",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "FigureResult",
+    "render_claims",
+    "render_figure",
+]

@@ -1,0 +1,88 @@
+"""Command-line entry point: ``python -m repro.bench <figure> [--full]``.
+
+Examples::
+
+    python -m repro.bench fig11
+    python -m repro.bench all --full
+    python -m repro.bench fig15 --csv fig15.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.ablations import ABLATIONS
+from repro.bench.figures import FIGURES
+from repro.bench.reporting import render_chart, render_claims, render_figure
+
+
+def _write_csv(figure, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write("figure,series,batch_size,ms_per_document,hits\n")
+        for sweep in figure.series:
+            for point in sweep.points:
+                handle.write(
+                    f"{figure.figure_id},{sweep.label},{point.batch_size},"
+                    f"{point.ms_per_document:.4f},{point.hits}\n"
+                )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the evaluation figures of the MDV paper "
+        "(ICDE 2002).",
+    )
+    parser.add_argument(
+        "figure",
+        choices=[*FIGURES, "all", "ablations"],
+        help="which figure to reproduce, 'all' figures, or 'ablations'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's rule base sizes (slower; quick mode scales "
+        "them down)",
+    )
+    parser.add_argument("--csv", help="also write the points to a CSV file")
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render an ASCII chart of each figure",
+    )
+    args = parser.parse_args(argv)
+
+    if args.figure == "ablations":
+        failures = 0
+        for name, build in ABLATIONS.items():
+            started = time.perf_counter()
+            result = build()
+            elapsed = time.perf_counter() - started
+            print(result.render())
+            print(f"(wall time: {elapsed:.1f}s)\n")
+            if not result.all_claims_hold:
+                failures += 1
+        return 1 if failures else 0
+
+    names = list(FIGURES) if args.figure == "all" else [args.figure]
+    failures = 0
+    for name in names:
+        started = time.perf_counter()
+        figure = FIGURES[name](quick=not args.full)
+        elapsed = time.perf_counter() - started
+        print(render_figure(figure))
+        if args.chart:
+            print(render_chart(figure))
+        print(render_claims(figure))
+        print(f"(wall time: {elapsed:.1f}s)\n")
+        if args.csv:
+            _write_csv(figure, args.csv if len(names) == 1 else f"{name}.csv")
+        if not figure.all_claims_hold:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Plain-text rendering of benchmark results (the paper's figures)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.harness import SweepResult
+
+__all__ = ["FigureResult", "render_figure", "render_claims"]
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: curves plus checked qualitative claims."""
+
+    figure_id: str
+    title: str
+    series: list[SweepResult] = field(default_factory=list)
+    #: ``(claim text, holds?)`` — the paper's qualitative findings.
+    claims: list[tuple[str, bool]] = field(default_factory=list)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(holds for __, holds in self.claims)
+
+
+def render_figure(figure: FigureResult) -> str:
+    """An ASCII table: rows = batch sizes, columns = series (ms/doc)."""
+    lines = [f"== {figure.figure_id}: {figure.title} =="]
+    if not figure.series:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    batch_sizes = sorted(
+        {point.batch_size for sweep in figure.series for point in sweep.points}
+    )
+    header = ["batch"] + [sweep.label for sweep in figure.series]
+    widths = [max(7, len(h) + 2) for h in header]
+    lines.append("".join(h.rjust(w) for h, w in zip(header, widths)))
+    for batch_size in batch_sizes:
+        cells = [str(batch_size)]
+        for sweep in figure.series:
+            try:
+                cells.append(f"{sweep.cost_at(batch_size):.2f}")
+            except KeyError:
+                cells.append("-")
+        lines.append(
+            "".join(cell.rjust(w) for cell, w in zip(cells, widths))
+        )
+    lines.append("(values: average registration cost per document, ms)")
+    return "\n".join(lines)
+
+
+def render_claims(figure: FigureResult) -> str:
+    lines = [f"-- qualitative claims ({figure.figure_id}) --"]
+    for text, holds in figure.claims:
+        status = "HOLDS" if holds else "VIOLATED"
+        lines.append(f"  [{status:8s}] {text}")
+    return "\n".join(lines)
+
+
+def render_chart(figure: FigureResult, width: int = 60, height: int = 12) -> str:
+    """A rough ASCII line chart of the figure's curves.
+
+    The x axis is the batch-size *index* (batch sizes are log-spaced, so
+    plotting by index matches the paper's visual layout); the y axis is
+    ms per document.  One plot character per series: ``*``, ``o``, ``+``,
+    ``x``.
+    """
+    if not figure.series or not figure.series[0].points:
+        return "(no data)"
+    markers = "*o+x#@"
+    batch_sizes = sorted(
+        {p.batch_size for sweep in figure.series for p in sweep.points}
+    )
+    top = max(
+        p.ms_per_document for sweep in figure.series for p in sweep.points
+    )
+    if top <= 0:
+        return "(no data)"
+    grid = [[" "] * width for __ in range(height)]
+    for series_index, sweep in enumerate(figure.series):
+        marker = markers[series_index % len(markers)]
+        for point in sweep.points:
+            x_index = batch_sizes.index(point.batch_size)
+            column = (
+                0
+                if len(batch_sizes) == 1
+                else round(x_index * (width - 1) / (len(batch_sizes) - 1))
+            )
+            row = height - 1 - round(
+                point.ms_per_document / top * (height - 1)
+            )
+            grid[row][column] = marker
+    lines = [f"{figure.figure_id} — ms/document (y max {top:.2f})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        " batch: " + " ".join(str(b) for b in batch_sizes)
+    )
+    for series_index, sweep in enumerate(figure.series):
+        lines.append(
+            f" {markers[series_index % len(markers)]} = {sweep.label}"
+        )
+    return "\n".join(lines)

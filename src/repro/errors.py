@@ -1,0 +1,149 @@
+"""Exception hierarchy for the MDV reproduction.
+
+Every error raised by this library derives from :class:`MDVError` so that
+applications can catch library failures with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+
+The hierarchy mirrors the subsystems of the library:
+
+- :class:`SchemaError` and friends — RDF schema definition and validation.
+- :class:`ParseError` subclasses — RDF/XML documents and the rule/query
+  language.
+- :class:`RuleError` subclasses — rule normalization and decomposition.
+- :class:`StorageError` — the relational storage engine.
+- :class:`SubscriptionError`, :class:`PublishError` — the publish &
+  subscribe machinery.
+- :class:`RepositoryError` — LMR cache and client-facing operations.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MDVError",
+    "SchemaError",
+    "UnknownClassError",
+    "UnknownPropertyError",
+    "SchemaValidationError",
+    "ParseError",
+    "DocumentParseError",
+    "RuleSyntaxError",
+    "QuerySyntaxError",
+    "RuleError",
+    "NormalizationError",
+    "DecompositionError",
+    "StorageError",
+    "SubscriptionError",
+    "PublishError",
+    "RepositoryError",
+    "DocumentNotFoundError",
+    "DuplicateDocumentError",
+]
+
+
+class MDVError(Exception):
+    """Base class for all errors raised by the MDV library."""
+
+
+class SchemaError(MDVError):
+    """Base class for schema definition and lookup failures."""
+
+
+class UnknownClassError(SchemaError):
+    """A class name was referenced that is not defined in the schema."""
+
+    def __init__(self, class_name: str):
+        super().__init__(f"unknown class: {class_name!r}")
+        self.class_name = class_name
+
+
+class UnknownPropertyError(SchemaError):
+    """A property was referenced that its class does not define."""
+
+    def __init__(self, class_name: str, property_name: str):
+        super().__init__(
+            f"class {class_name!r} does not define property {property_name!r}"
+        )
+        self.class_name = class_name
+        self.property_name = property_name
+
+
+class SchemaValidationError(SchemaError):
+    """An RDF document does not conform to the schema it was checked against."""
+
+
+class ParseError(MDVError):
+    """Base class for all parsing failures (documents, rules, queries)."""
+
+
+class DocumentParseError(ParseError):
+    """An RDF/XML document could not be parsed."""
+
+
+class RuleSyntaxError(ParseError):
+    """A subscription rule could not be parsed.
+
+    Carries the character ``position`` at which parsing failed, when known.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class QuerySyntaxError(RuleSyntaxError):
+    """A metadata query could not be parsed.
+
+    The query language shares its grammar with the rule language, hence
+    this error is a refinement of :class:`RuleSyntaxError`.
+    """
+
+
+class RuleError(MDVError):
+    """Base class for semantic rule-processing failures."""
+
+
+class NormalizationError(RuleError):
+    """A rule could not be normalized (e.g. a path does not type-check)."""
+
+
+class DecompositionError(RuleError):
+    """A normalized rule could not be decomposed into atomic rules."""
+
+
+class StorageError(MDVError):
+    """A failure in the relational storage engine."""
+
+
+class SubscriptionError(MDVError):
+    """A subscription could not be registered or cancelled."""
+
+
+class PublishError(MDVError):
+    """A failure while publishing notifications to subscribers."""
+
+
+class RepositoryError(MDVError):
+    """A failure in a Local Metadata Repository or MDV client operation."""
+
+
+class DocumentNotFoundError(RepositoryError):
+    """The referenced RDF document is not registered."""
+
+    def __init__(self, document_uri: str):
+        super().__init__(f"document not registered: {document_uri!r}")
+        self.document_uri = document_uri
+
+
+class DuplicateDocumentError(RepositoryError):
+    """An RDF document with the same URI is already registered.
+
+    Raised only by APIs that explicitly forbid re-registration; the normal
+    :meth:`~repro.mdv.provider.MetadataProvider.register_document` path
+    treats re-registration as an update (paper, Section 2.2).
+    """
+
+    def __init__(self, document_uri: str):
+        super().__init__(f"document already registered: {document_uri!r}")
+        self.document_uri = document_uri

@@ -1,0 +1,27 @@
+"""The publish & subscribe filter algorithm (paper, Section 3).
+
+Submodules map to the paper's steps: document decomposition (§3.2),
+triggering-rule matching and join-rule evaluation (§3.4), and the
+orchestrating engine including the three-pass update/delete algorithm
+(§3.5).
+"""
+
+from repro.filter.decompose import document_atoms, resource_atoms, resources_atoms
+from repro.filter.engine import FilterEngine
+from repro.filter.joins import GroupSpec, initialize_join_rule, load_group
+from repro.filter.matcher import initialize_triggering_rule, match_triggering_rules
+from repro.filter.results import FilterRunResult, PublishOutcome
+
+__all__ = [
+    "FilterEngine",
+    "FilterRunResult",
+    "PublishOutcome",
+    "GroupSpec",
+    "document_atoms",
+    "resource_atoms",
+    "resources_atoms",
+    "match_triggering_rules",
+    "initialize_triggering_rule",
+    "initialize_join_rule",
+    "load_group",
+]

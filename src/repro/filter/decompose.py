@@ -1,0 +1,50 @@
+"""Decomposition of documents into atoms (paper, Section 3.2, Figure 4).
+
+Every registered RDF document is decomposed into its atoms — RDF
+statements — and the atoms are inserted into the ``FilterData`` table.
+Additionally, *"for each resource a tuple is inserted containing the URI
+reference and the class name (with property set to rdf#subject and value
+set to the resource's URI reference).  Thus, rules are able to register a
+single resource using its URI reference."*
+
+The same atom rows double as the input of a filter run (loaded into
+``filter_input``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.rdf.model import Document, Resource
+from repro.rdf.namespaces import RDF_SUBJECT
+from repro.storage.tables import AtomRow
+
+__all__ = ["resource_atoms", "document_atoms", "resources_atoms"]
+
+
+def resource_atoms(resource: Resource) -> list[AtomRow]:
+    """The ``FilterData`` rows of one resource.
+
+    The identity atom (``rdf#subject``) comes first, then one row per
+    property value, exactly the shape of the paper's Figure 4.
+    """
+    uri = str(resource.uri)
+    rows: list[AtomRow] = [(uri, resource.rdf_class, RDF_SUBJECT, uri)]
+    for statement in resource.statements():
+        rows.append(
+            (uri, resource.rdf_class, statement.predicate, statement.sql_value())
+        )
+    return rows
+
+
+def resources_atoms(resources: Iterable[Resource]) -> list[AtomRow]:
+    """The ``FilterData`` rows of several resources, in input order."""
+    rows: list[AtomRow] = []
+    for resource in resources:
+        rows.extend(resource_atoms(resource))
+    return rows
+
+
+def document_atoms(document: Document) -> list[AtomRow]:
+    """The ``FilterData`` rows of a whole document."""
+    return resources_atoms(document)

@@ -1,0 +1,324 @@
+"""The filter engine: matching documents and rules (paper, §3.4–3.5).
+
+:class:`FilterEngine` owns the execution of filter runs over one MDP
+store:
+
+- :meth:`run` — one execution of the filter: load input atoms, determine
+  affected triggering rules, then iterate join-rule (group) evaluation
+  until no dependent rules remain.  Termination is guaranteed because
+  the dependency graph is acyclic; the longest leaf-to-root path bounds
+  the iteration count (paper, Section 3.4).
+- :meth:`process_insertions` — registration of new resources: decompose
+  into atoms, store them, run the filter once.
+- :meth:`process_diff` — the paper's three-pass update/delete algorithm
+  (Section 3.5): old versions → *candidates*; candidates against the new
+  state → *wrong candidates*; new versions → new matches.  True
+  candidates (candidates minus wrong candidates) are reported as
+  unmatched so LMR caches can evict them.
+- :meth:`initialize_rules` — full evaluation of newly registered atomic
+  rules against pre-existing metadata, so a new subscription immediately
+  sees already-registered resources and later incremental runs find
+  correct materialized inputs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+
+from repro.rdf.diff import DocumentDiff
+from repro.rdf.model import Resource, URIRef
+from repro.rules.atoms import AtomNode, TriggeringAtom
+from repro.rules.registry import RuleRegistry
+from repro.filter.decompose import resources_atoms
+from repro.filter.joins import (
+    evaluate_groups_at,
+    initialize_join_rule,
+    load_group,
+)
+from repro.filter.matcher import initialize_triggering_rule, match_triggering_rules
+from repro.filter.results import FilterRunResult, PublishOutcome
+from repro.storage.engine import Database
+from repro.storage.tables import (
+    AtomRow,
+    FilterDataTable,
+    FilterInputTable,
+    MaterializedTable,
+)
+
+__all__ = ["FilterEngine"]
+
+#: Hard cap on join iterations; the dependency graph bounds real runs far
+#: below this, the cap only turns a hypothetical logic bug into an error.
+_MAX_ITERATIONS = 1000
+
+
+class FilterEngine:
+    """Executes the publish & subscribe filter over one MDP database.
+
+    ``use_rule_groups`` keeps the paper's grouped join evaluation
+    (Section 3.3.3); setting it to ``False`` evaluates every join rule
+    individually — an ablation knob used by the benchmark suite.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        registry: RuleRegistry,
+        use_rule_groups: bool = True,
+        join_evaluation: str = "scan",
+    ):
+        if join_evaluation not in ("scan", "probe"):
+            raise ValueError(
+                f"join_evaluation must be 'scan' or 'probe', got "
+                f"{join_evaluation!r}"
+            )
+        self._db = db
+        self._registry = registry
+        self._filter_data = FilterDataTable(db)
+        self._filter_input = FilterInputTable(db)
+        self._materialized = MaterializedTable(db)
+        self.use_rule_groups = use_rule_groups
+        #: "scan" = the paper's combined member evaluation; "probe" = the
+        #: delta-driven optimization (see repro.filter.joins).
+        self.join_evaluation = join_evaluation
+        #: Total filter runs executed (diagnostics).
+        self.runs_executed = 0
+
+    # ------------------------------------------------------------------
+    # One filter execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        input_atoms: Iterable[AtomRow] | None = None,
+        input_uris: Iterable[str] | None = None,
+        materialize: bool = True,
+        collect: str = "all",
+    ) -> FilterRunResult:
+        """Execute the filter once.
+
+        Input atoms come either from ``input_atoms`` directly or, with
+        ``input_uris``, from the current ``filter_data`` state of the
+        given resources (the shape pass 2 of the update algorithm needs).
+
+        ``collect`` controls which ``(rule, resource)`` pairs are read
+        back into Python: ``"all"`` (default), ``"end"`` (only rules that
+        are some subscription's end rule) or ``"none"``.
+        """
+        result = FilterRunResult()
+        with self._db.transaction():
+            self._filter_input.clear()
+            self._db.execute("DELETE FROM result_objects")
+            if input_atoms is not None:
+                self._filter_input.load(input_atoms)
+            if input_uris is not None:
+                self._db.executemany(
+                    "INSERT INTO filter_input "
+                    "SELECT uri_reference, class, property, value "
+                    "FROM filter_data WHERE uri_reference = ?",
+                    ((uri,) for uri in set(input_uris)),
+                )
+            started = time.perf_counter()
+            result.triggering_hits = match_triggering_rules(self._db)
+            result.triggering_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            iteration = 0
+            while iteration < _MAX_ITERATIONS:
+                inserted = evaluate_groups_at(
+                    self._db,
+                    iteration,
+                    iteration + 1,
+                    self.use_rule_groups,
+                    self.join_evaluation,
+                )
+                if inserted == 0:
+                    break
+                iteration += 1
+            result.iterations = iteration
+            result.join_seconds = time.perf_counter() - started
+            if materialize:
+                # The paper materializes "the results of atomic rules
+                # join rules depend on"; end rules are materialized too,
+                # since new subscriptions and the update algorithm read
+                # a rule's current matches from there.
+                self._db.execute(
+                    "INSERT OR IGNORE INTO materialized "
+                    "(rule_id, uri_reference) "
+                    "SELECT DISTINCT ro.rule_id, ro.uri_reference "
+                    "FROM result_objects ro "
+                    "WHERE EXISTS (SELECT 1 FROM rule_dependencies rd "
+                    "              WHERE rd.source_rule = ro.rule_id) "
+                    "   OR ro.rule_id IN (SELECT end_rule FROM subscriptions)"
+                )
+            result.pairs = self._collect(collect)
+        self.runs_executed += 1
+        return result
+
+    def _collect(self, mode: str) -> set[tuple[int, URIRef]]:
+        if mode == "none":
+            return set()
+        if mode == "end":
+            rows = self._db.query_all(
+                "SELECT DISTINCT ro.rule_id, ro.uri_reference "
+                "FROM result_objects ro WHERE ro.rule_id IN "
+                "(SELECT DISTINCT end_rule FROM subscriptions)"
+            )
+        else:
+            rows = self._db.query_all(
+                "SELECT DISTINCT rule_id, uri_reference FROM result_objects"
+            )
+        return {
+            (int(row["rule_id"]), URIRef(row["uri_reference"]))
+            for row in rows
+        }
+
+    # ------------------------------------------------------------------
+    # Insert path (initial registrations)
+    # ------------------------------------------------------------------
+    def process_insertions(
+        self, resources: Sequence[Resource], collect: str = "end"
+    ) -> PublishOutcome:
+        """Register brand-new resources and run the filter once.
+
+        ``collect="none"`` skips reading result pairs back into Python —
+        the benchmark harness uses it and counts hits with an aggregate
+        query instead, because the paper measures the filter up to the
+        production of ``ResultObjects``.
+        """
+        atoms = resources_atoms(resources)
+        outcome = PublishOutcome()
+        with self._db.transaction():
+            self._filter_data.insert_atoms(atoms)
+            run = self.run(input_atoms=atoms, materialize=True, collect=collect)
+        outcome.passes.append(run)
+        if collect != "none":
+            end_ids = self._registry.end_rule_ids()
+            outcome.matched = run.matches_of(end_ids)
+        return outcome
+
+    def result_count(self) -> int:
+        """Distinct ``(rule, resource)`` hits of the last run (SQL-side)."""
+        return int(
+            self._db.scalar(
+                "SELECT COUNT(*) FROM (SELECT DISTINCT rule_id, "
+                "uri_reference FROM result_objects)"
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Update/delete path (paper, Section 3.5)
+    # ------------------------------------------------------------------
+    def process_diff(self, diff: DocumentDiff) -> PublishOutcome:
+        """Apply a document diff and compute all notifications.
+
+        Implements the paper's three filter executions.  Pure insertions
+        (initial registrations) short-circuit to the single-pass path.
+        """
+        old_changed = diff.old_versions_of_changed()
+        if not old_changed:
+            return self.process_insertions(diff.inserted)
+
+        end_ids = self._registry.end_rule_ids()
+        outcome = PublishOutcome()
+        outcome.deleted = {resource.uri for resource in diff.deleted}
+        changed_uris = [str(r.uri) for r in old_changed]
+
+        with self._db.transaction():
+            # Pass 1 — old versions of updated and deleted resources.
+            # The database still holds the old state, so derivations are
+            # consistent with what previous runs materialized.
+            pass1 = self.run(
+                input_atoms=resources_atoms(old_changed),
+                materialize=False,
+                collect="all",
+            )
+            candidates = pass1.matches_of(end_ids)
+
+            # Every pass-1 derivation depended on the old state of the
+            # changed resources; drop it from the materialized results.
+            # Passes 2 and 3 re-derive whatever still holds.
+            self._materialized.delete_pairs(
+                (rule_id, str(uri)) for rule_id, uri in pass1.pairs
+            )
+
+            # Write the modified metadata into the database.
+            self._filter_data.delete_for(changed_uris)
+            new_resources = diff.new_versions_of_changed()
+            self._filter_data.insert_atoms(resources_atoms(new_resources))
+
+            # Pass 2 — the candidate resources, evaluated against the new
+            # database state.  Input covers *all* resources pass 1 derived
+            # (not only end-rule hits) so intermediate materializations
+            # are rebuilt too.
+            pass2 = self.run(
+                input_uris=[str(uri) for uri in pass1.all_uris()],
+                materialize=True,
+                collect="end",
+            )
+
+            # Pass 3 — the modified metadata itself (the one execution
+            # that would suffice without updates and deletions).
+            pass3 = self.run(
+                input_atoms=resources_atoms(new_resources),
+                materialize=True,
+                collect="end",
+            )
+
+        outcome.passes = [pass1, pass2, pass3]
+        final: dict[int, set[URIRef]] = {}
+        for run in (pass2, pass3):
+            for rule_id, uris in run.matches_of(end_ids).items():
+                final.setdefault(rule_id, set()).update(uris)
+        outcome.matched = final
+        for rule_id, uris in candidates.items():
+            stale = uris - final.get(rule_id, set())
+            if stale:
+                outcome.unmatched[rule_id] = stale
+        return outcome
+
+    def delete_resources(self, resources: Sequence[Resource]) -> PublishOutcome:
+        """Remove resources entirely (whole-document deletion)."""
+        diff = DocumentDiff(
+            document_uri=resources[0].uri.document_uri if resources else "",
+        )
+        diff.deleted.extend(resources)
+        return self.process_diff(diff)
+
+    # ------------------------------------------------------------------
+    # Rule initialization (new subscriptions over existing data)
+    # ------------------------------------------------------------------
+    def initialize_rules(
+        self, created: Sequence[tuple[int, AtomNode]]
+    ) -> int:
+        """Fully evaluate newly created atomic rules over existing data.
+
+        ``created`` must be in children-first order (as produced by
+        :meth:`~repro.rules.registry.RuleRegistry.ensure_atoms`) so a
+        join rule's inputs are always materialized before the join runs.
+        Returns the total number of materialized rows produced.
+        """
+        produced = 0
+        with self._db.transaction():
+            for rule_id, atom in created:
+                if isinstance(atom, TriggeringAtom):
+                    produced += initialize_triggering_rule(self._db, rule_id)
+                    continue
+                row = self._db.query_one(
+                    "SELECT left_rule, right_rule, group_id FROM atomic_rules "
+                    "WHERE rule_id = ?",
+                    (rule_id,),
+                )
+                assert row is not None
+                group = load_group(self._db, int(row["group_id"]))
+                produced += initialize_join_rule(
+                    self._db,
+                    rule_id,
+                    int(row["left_rule"]),
+                    int(row["right_rule"]),
+                    group,
+                )
+        return produced
+
+    def current_matches(self, end_rule_id: int) -> list[URIRef]:
+        """The resources currently matching an end rule (materialized)."""
+        return self._materialized.uris_for(end_rule_id)

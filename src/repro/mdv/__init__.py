@@ -1,0 +1,42 @@
+"""The MDV system tiers: providers (MDPs), repositories (LMRs), clients.
+
+See the paper's Figure 2: MDV clients query Local Metadata Repositories,
+which cache global metadata from the Metadata Provider backbone via the
+publish & subscribe mechanism.
+"""
+
+from repro.mdv.backbone import Backbone
+from repro.mdv.batching import BatchingRegistrar, BatchStats
+from repro.mdv.cache import CacheEntry, CacheStore
+from repro.mdv.stats import ProviderStatistics, collect_statistics
+from repro.mdv.client import MDVClient
+from repro.mdv.consistency import (
+    FilterStrategy,
+    ResourceListStrategy,
+    StrategyCost,
+    TTLStrategy,
+    expire_stale_entries,
+)
+from repro.mdv.gc import GarbageCollector, GcReport
+from repro.mdv.provider import MetadataProvider
+from repro.mdv.repository import LocalMetadataRepository
+
+__all__ = [
+    "Backbone",
+    "BatchingRegistrar",
+    "BatchStats",
+    "CacheEntry",
+    "CacheStore",
+    "ProviderStatistics",
+    "collect_statistics",
+    "MDVClient",
+    "FilterStrategy",
+    "ResourceListStrategy",
+    "StrategyCost",
+    "TTLStrategy",
+    "expire_stale_entries",
+    "GarbageCollector",
+    "GcReport",
+    "MetadataProvider",
+    "LocalMetadataRepository",
+]

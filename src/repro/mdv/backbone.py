@@ -1,0 +1,97 @@
+"""The MDV backbone: replicated Metadata Providers (paper, Section 2.2).
+
+"Metadata Providers (MDPs), referred to as (MDV) backbone, are
+distributed all over the Internet to provide a uniform access regarding
+network latency and metadata content.  MDPs accomplish the latter by
+sharing the same schema and consistently replicating metadata among each
+other.  Basically, the backbone is an extension of a distributed DBMS
+with a flat hierarchy, full synchronization, and replication."
+
+This module implements exactly that flat, fully synchronized topology: a
+document registered (or deleted) at any provider is synchronously
+replicated to every peer, each of which runs its own filter for its own
+subscribers.  More sophisticated partitioning schemes are explicitly out
+of the paper's scope (its footnote 1) and out of ours.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MDVError
+from repro.filter.results import PublishOutcome
+from repro.mdv.provider import MetadataProvider
+from repro.net.bus import NetworkBus
+from repro.rdf.model import Document
+from repro.rdf.schema import Schema
+
+__all__ = ["Backbone"]
+
+
+class Backbone:
+    """A flat set of fully synchronized MDPs."""
+
+    def __init__(self, schema: Schema, bus: NetworkBus | None = None):
+        self.schema = schema
+        self.bus = bus
+        self.providers: dict[str, MetadataProvider] = {}
+        self.replications = 0
+
+    def add_provider(self, name: str) -> MetadataProvider:
+        """Create and wire a new MDP into the backbone."""
+        if name in self.providers:
+            raise MDVError(f"provider {name!r} already exists")
+        provider = MetadataProvider(self.schema, name=name, bus=self.bus)
+        provider.set_replication_hook(
+            lambda uri, doc, origin=name: self._replicate(origin, uri, doc)
+        )
+        self.providers[name] = provider
+        return provider
+
+    def provider(self, name: str) -> MetadataProvider:
+        try:
+            return self.providers[name]
+        except KeyError:
+            raise MDVError(f"no provider named {name!r}") from None
+
+    def _replicate(
+        self, origin: str, document_uri: str, document: Document | None
+    ) -> None:
+        """Push a change from ``origin`` to every peer MDP."""
+        for name, peer in self.providers.items():
+            if name == origin:
+                continue
+            self.replications += 1
+            if self.bus is not None:
+                self.bus.send(
+                    origin, name, "replicate", (document_uri, document)
+                )
+            else:
+                peer.apply_replica(document_uri, document)
+
+    # ------------------------------------------------------------------
+    # Convenience entry points
+    # ------------------------------------------------------------------
+    def register_document(
+        self, document: Document, at: str | None = None
+    ) -> PublishOutcome:
+        """Register at one provider; replication fans out to the rest."""
+        name = at or next(iter(self.providers), None)
+        if name is None:
+            raise MDVError("backbone has no providers")
+        return self.provider(name).register_document(document)
+
+    def delete_document(self, document_uri: str, at: str | None = None):
+        name = at or next(iter(self.providers), None)
+        if name is None:
+            raise MDVError("backbone has no providers")
+        return self.provider(name).delete_document(document_uri)
+
+    def is_synchronized(self) -> bool:
+        """All providers hold the same document set (test helper)."""
+        snapshots = [
+            {
+                uri: {r.uri: r for r in doc}
+                for uri, doc in provider._documents.items()
+            }
+            for provider in self.providers.values()
+        ]
+        return all(snapshot == snapshots[0] for snapshot in snapshots[1:])

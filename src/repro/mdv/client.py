@@ -1,0 +1,81 @@
+"""MDV clients — the top tier (paper, Section 2.2).
+
+"Applications and users accessing the MDV system are referred to as MDV
+clients.  MDV clients can query metadata at an LMR using MDV's
+(declarative) query language."  Clients may also browse metadata
+directly at an MDP and select it for caching: "Their LMR will generate
+appropriate rules and update its set of subscription rules."
+"""
+
+from __future__ import annotations
+
+from repro.mdv.repository import LocalMetadataRepository
+from repro.net.bus import NetworkBus
+from repro.rdf.model import Document, Resource
+from repro.rules.ast import Constant
+from repro.rdf.model import Literal
+
+__all__ = ["MDVClient"]
+
+
+class MDVClient:
+    """A client attached to one LMR."""
+
+    def __init__(
+        self,
+        name: str,
+        repository: LocalMetadataRepository,
+        bus: NetworkBus | None = None,
+    ):
+        self.name = name
+        self.repository = repository
+        self.bus = bus
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, query_text: str) -> list[Resource]:
+        """Query the local repository (the normal, cheap path)."""
+        if self.bus is not None:
+            return self.bus.send(
+                self.name, self.repository.name, "query", query_text
+            )
+        return self.repository.query(query_text)
+
+    def browse(self, query_text: str) -> list[Resource]:
+        """Browse metadata directly at the MDP (crosses the "Internet")."""
+        provider = self.repository.provider
+        if self.bus is not None:
+            return self.bus.send(self.name, provider.name, "browse", query_text)
+        return provider.browse(query_text)
+
+    # ------------------------------------------------------------------
+    # Browsing with cache selection
+    # ------------------------------------------------------------------
+    def select_for_caching(self, resource: Resource) -> str:
+        """Select a browsed resource for caching (paper, Section 2.2).
+
+        The LMR "will generate appropriate rules and update its set of
+        subscription rules": a browsed resource turns into an OID-style
+        subscription on its URI reference, so the LMR receives the
+        resource and all future updates to it.  Returns the generated
+        rule text.
+        """
+        uri_constant = Constant(Literal(str(resource.uri)))
+        rule_text = (
+            f"search {resource.rdf_class} r register r "
+            f"where r = {uri_constant}"
+        )
+        self.repository.subscribe(rule_text)
+        return rule_text
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_document(self, document: Document):
+        """Register global metadata through the LMR."""
+        return self.repository.register_document(document)
+
+    def register_local_document(self, document: Document) -> int:
+        """Register metadata visible only at this client's LMR."""
+        return self.repository.register_local_document(document)

@@ -1,0 +1,488 @@
+"""The Metadata Provider (MDP) — the backbone tier (paper, Section 2.2).
+
+An MDP stores global metadata in a relational database, accepts document
+registrations/updates/deletions ("this is the only way to add, update,
+or delete metadata"), runs the publish & subscribe filter, and pushes
+notifications to the Local Metadata Repositories subscribed to it.
+
+Public surface:
+
+- :meth:`MetadataProvider.register_document` — register or re-register
+  (update) an RDF document; returns the :class:`PublishOutcome`.
+- :meth:`MetadataProvider.delete_document`.
+- :meth:`MetadataProvider.subscribe` / :meth:`unsubscribe` — manage an
+  LMR's subscription rules; subscribing immediately delivers the
+  currently matching resources.
+- :meth:`MetadataProvider.register_named_rule` — register a rule under a
+  name so later rules can use it as a search extension (Section 2.3).
+- :meth:`MetadataProvider.browse` — evaluate a query directly at the MDP
+  (the "real users can also browse metadata at an MDP" path), via the
+  SQL translation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.errors import (
+    DocumentNotFoundError,
+    SchemaValidationError,
+    SubscriptionError,
+)
+from repro.filter.engine import FilterEngine
+from repro.filter.results import PublishOutcome
+from repro.net.bus import NetworkBus
+from repro.pubsub.notifications import NotificationBatch
+from repro.pubsub.publisher import Publisher
+from repro.query.sql import run_query_sql
+from repro.rdf.diff import deletion_diff, diff_documents
+from repro.rdf.model import Document, Resource, URIRef
+from repro.rdf.parser import parse_document
+from repro.rdf.schema import Schema
+from repro.rdf.serializer import to_rdfxml
+from repro.rules.decompose import decompose_rule
+from repro.rules.normalize import normalize_rule
+from repro.rules.parser import parse_query, parse_rule
+from repro.rules.registry import RuleRegistry, Subscription
+from repro.storage.engine import Database
+from repro.storage.schema import create_all
+from repro.storage.tables import DocumentTable, ResourceTable
+
+__all__ = ["MetadataProvider"]
+
+
+def _merge_outcomes(into, outcome) -> None:
+    """Accumulate one publish outcome into another."""
+    for rule_id, uris in outcome.matched.items():
+        into.matched.setdefault(rule_id, set()).update(uris)
+    for rule_id, uris in outcome.unmatched.items():
+        into.unmatched.setdefault(rule_id, set()).update(uris)
+    into.deleted.update(outcome.deleted)
+    into.passes.extend(outcome.passes)
+
+#: Handler type for directly connected subscribers (no network bus).
+BatchHandler = Callable[[NotificationBatch], None]
+
+
+class MetadataProvider:
+    """One MDP node: storage, filter, subscriptions, publishing."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        name: str = "mdp",
+        db: Database | None = None,
+        bus: NetworkBus | None = None,
+        use_rule_groups: bool = True,
+        consistency: str = "filter",
+        join_evaluation: str = "scan",
+    ):
+        if consistency not in ("filter", "resource-list", "ttl"):
+            raise ValueError(
+                f"consistency must be 'filter', 'resource-list' or 'ttl', "
+                f"got {consistency!r}"
+            )
+        self.name = name
+        self.schema = schema
+        self.db = db or Database()
+        create_all(self.db)
+        self.registry = RuleRegistry(self.db)
+        self.engine = FilterEngine(
+            self.db, self.registry, use_rule_groups, join_evaluation
+        )
+        self.publisher = Publisher(schema, self.registry, self.resource)
+        #: Update-consistency strategy (paper §3.5 and its alternatives);
+        #: instantiated lazily to avoid a circular import.
+        self.consistency = consistency
+        self._strategy = None
+        self.bus = bus
+        self._documents: dict[str, Document] = {}
+        self._document_table = DocumentTable(self.db)
+        self._resource_table = ResourceTable(self.db)
+        self._direct_subscribers: dict[str, BatchHandler] = {}
+        #: Peers notified of document changes (backbone replication).
+        self._replication_hook: Callable[[str, Document | None], None] | None = None
+        if bus is not None:
+            bus.register(name, self._handle_message)
+        self._load_persisted_documents()
+
+    def _load_persisted_documents(self) -> None:
+        """Rebuild the in-memory document store from the database.
+
+        A provider opened on an existing (file-backed) database resumes
+        with its full state: documents, filter tables, rule catalogue
+        and subscriptions all live in SQLite; only the parsed
+        :class:`Document` objects need reconstruction.
+        """
+        for uri in self._document_table.uris():
+            xml = self._document_table.get_xml(uri)
+            if xml is None:  # pragma: no cover - table just listed it
+                continue
+            self._documents[uri] = parse_document(xml, uri, self.schema)
+
+    # ------------------------------------------------------------------
+    # Document administration (paper, Section 2.2)
+    # ------------------------------------------------------------------
+    def register_document(
+        self,
+        document: Document | str,
+        document_uri: str | None = None,
+        _replicated: bool = False,
+    ) -> PublishOutcome:
+        """Register a new document or re-register (update) an old one."""
+        if isinstance(document, str):
+            if document_uri is None:
+                raise ValueError("document_uri is required for XML input")
+            document = parse_document(document, document_uri, self.schema)
+        self.schema.validate_document(document)
+        self._check_uri_ownership(document)
+        old = self._documents.get(document.uri)
+        diff = diff_documents(old, document)
+        outcome = self._process_diff(diff)
+        self._store_document(document, diff.deleted)
+        self._republish_strong_parents(outcome, diff)
+        self._publish(outcome)
+        if not _replicated and self._replication_hook is not None:
+            self._replication_hook(document.uri, document)
+        return outcome
+
+    def _process_diff(self, diff) -> PublishOutcome:
+        """Route a diff through the configured consistency strategy."""
+        if self.consistency == "filter":
+            return self.engine.process_diff(diff)
+        if self._strategy is None:
+            from repro.mdv.consistency import (
+                ResourceListStrategy,
+                TTLStrategy,
+            )
+
+            strategy_class = (
+                ResourceListStrategy
+                if self.consistency == "resource-list"
+                else TTLStrategy
+            )
+            self._strategy = strategy_class(self)
+        return self._strategy.process_diff(diff)
+
+    def register_documents(
+        self, documents: Sequence[Document]
+    ) -> PublishOutcome:
+        """Register several documents with one filter execution.
+
+        The paper's evaluation exists "to decide if the filter should be
+        started either when a new document is registered or periodically,
+        to process several documents in one batch" — and finds batching
+        amortizes the per-run cost for most rule types.  This is the
+        batching entry point: brand-new documents share a single filter
+        run; re-registrations (updates) fall back to the per-document
+        three-pass algorithm.  Returns the merged outcome.
+        """
+        fresh: list[Document] = []
+        merged = PublishOutcome()
+        for document in documents:
+            self.schema.validate_document(document)
+            self._check_uri_ownership(document)
+            if document.uri in self._documents:
+                outcome = self.register_document(document)
+                _merge_outcomes(merged, outcome)
+            else:
+                fresh.append(document)
+        if fresh:
+            resources = [resource for doc in fresh for resource in doc]
+            outcome = self.engine.process_insertions(resources)
+            for document in fresh:
+                self._store_document(document, [])
+                if self._replication_hook is not None:
+                    self._replication_hook(document.uri, document)
+            _merge_outcomes(merged, outcome)
+            self._publish(outcome)
+        return merged
+
+    def delete_document(
+        self, document_uri: str, _replicated: bool = False
+    ) -> PublishOutcome:
+        """Remove a document with all its content."""
+        old = self._documents.get(document_uri)
+        if old is None:
+            raise DocumentNotFoundError(document_uri)
+        outcome = self._process_diff(deletion_diff(old))
+        del self._documents[document_uri]
+        self._document_table.delete(document_uri)
+        self._resource_table.delete_many(str(r.uri) for r in old)
+        self._publish(outcome)
+        if not _replicated and self._replication_hook is not None:
+            self._replication_hook(document_uri, None)
+        return outcome
+
+    def _check_uri_ownership(self, document: Document) -> None:
+        """A resource URI may not be claimed by two different documents."""
+        for resource in document:
+            owner = self._resource_table.document_of(str(resource.uri))
+            if owner is not None and owner != document.uri:
+                raise SchemaValidationError(
+                    f"resource <{resource.uri}> is already registered by "
+                    f"document {owner!r}"
+                )
+
+    def _store_document(self, document: Document, deleted: list[Resource]) -> None:
+        self._documents[document.uri] = document
+        with self.db.transaction():
+            self._document_table.upsert(document.uri, to_rdfxml(document))
+            self._resource_table.delete_many(str(r.uri) for r in deleted)
+            self._resource_table.insert_many(
+                (str(r.uri), r.rdf_class, document.uri) for r in document
+            )
+
+    # ------------------------------------------------------------------
+    # Schema exchange (the backbone "shares the same schema", §2.2)
+    # ------------------------------------------------------------------
+    def schema_document(self) -> str:
+        """The provider's schema as an RDF Schema document (§2.4).
+
+        LMRs and peer MDPs bootstrap from this document instead of
+        sharing Python objects — the wire format the paper implies.
+        """
+        from repro.rdf.schema_io import schema_to_rdfxml
+
+        return schema_to_rdfxml(self.schema)
+
+    # ------------------------------------------------------------------
+    # Content lookup
+    # ------------------------------------------------------------------
+    def resource(self, uri: URIRef | str) -> Resource | None:
+        """The current content of a resource, or ``None``."""
+        reference = URIRef(uri)
+        document = self._documents.get(reference.document_uri)
+        if document is None:
+            return None
+        return document.get(reference)
+
+    def document(self, uri: str) -> Document | None:
+        return self._documents.get(uri)
+
+    def document_count(self) -> int:
+        return len(self._documents)
+
+    def resource_count(self) -> int:
+        return self._resource_table.count()
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    def connect_subscriber(self, name: str, handler: BatchHandler) -> None:
+        """Attach a directly connected subscriber (no network bus)."""
+        self._direct_subscribers[name] = handler
+
+    def subscribe(self, subscriber: str, rule_text: str) -> list[Subscription]:
+        """Register a subscription rule for ``subscriber``.
+
+        Rules containing ``or`` are split into conjuncts (Section 2.3);
+        one subscription per conjunct is registered, all labelled with
+        the original rule text.  Current matches are delivered right
+        away.  Returns the registered subscriptions.
+        """
+        rule = parse_rule(rule_text)
+        conjuncts = normalize_rule(
+            rule, self.schema, self.registry.named_rule_types()
+        )
+        named_producers = self.registry.named_producers()
+        subscriptions: list[Subscription] = []
+        for index, normalized in enumerate(conjuncts):
+            decomposed = decompose_rule(normalized, self.schema, named_producers)
+            stored_text = (
+                rule_text if len(conjuncts) == 1 else f"{rule_text}#or{index}"
+            )
+            registration = self.registry.register_subscription(
+                subscriber, stored_text, decomposed
+            )
+            self.engine.initialize_rules(registration.created)
+            subscription = registration.subscription
+            subscriptions.append(subscription)
+            matches = self.engine.current_matches(subscription.end_rule)
+            if matches:
+                batch = self.publisher.initial_batch(
+                    subscriber, subscription.sub_id, stored_text, matches
+                )
+                self._deliver(batch)
+        return subscriptions
+
+    def unsubscribe(self, subscriber: str, rule_text: str) -> None:
+        """Remove every subscription registered under ``rule_text``."""
+        removed = False
+        for subscription in self.registry.subscriptions_of(subscriber):
+            base_text = subscription.rule_text.split("#or")[0]
+            if subscription.rule_text == rule_text or base_text == rule_text:
+                self.registry.unsubscribe(subscriber, subscription.rule_text)
+                removed = True
+        if not removed:
+            raise SubscriptionError(
+                f"subscriber {subscriber!r} has no subscription "
+                f"{rule_text!r}"
+            )
+
+    def register_named_rule(self, name: str, rule_text: str) -> None:
+        """Register a rule usable as a search extension by later rules."""
+        rule = parse_rule(rule_text)
+        conjuncts = normalize_rule(
+            rule, self.schema, self.registry.named_rule_types()
+        )
+        if len(conjuncts) != 1:
+            raise SubscriptionError(
+                "named rules must be or-free (they serve as extensions)"
+            )
+        decomposed = decompose_rule(
+            conjuncts[0], self.schema, self.registry.named_producers()
+        )
+        registration = self.registry.register_named_rule(
+            name, rule_text, decomposed
+        )
+        self.engine.initialize_rules(registration.created)
+
+    # ------------------------------------------------------------------
+    # Browsing (direct MDP queries)
+    # ------------------------------------------------------------------
+    def browse(self, query_text: str) -> list[Resource]:
+        """Evaluate a query at the MDP via the SQL translation.
+
+        Named-rule extensions are inlined first so their predicates
+        apply — the query paths have no atomic rules to carry them.
+        """
+        from repro.rules.inline import inline_named_query
+        from repro.rules.parser import parse_rule as _parse_rule
+
+        query = parse_query(query_text)
+        definitions = {
+            name: _parse_rule(text)
+            for name, text in self.registry.named_rule_definitions().items()
+        }
+        if definitions:
+            query = inline_named_query(query, definitions)
+        uris = run_query_sql(self.db, query, self.schema)
+        resources = []
+        for uri in uris:
+            content = self.resource(uri)
+            if content is not None:
+                resources.append(content)
+        return resources
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def _republish_strong_parents(self, outcome, diff) -> None:
+        """Re-publish matched resources whose strong closure changed.
+
+        When a resource is updated, LMRs holding it *through a strong
+        reference* must refresh their copy even though the referencing
+        resource's own match set is untouched (its content, and hence
+        its filter derivations, did not change).  The paper's filter
+        cannot see this case — the updated resource's atoms reach no
+        rule of the referencing resource — so the provider walks the
+        strong-reference edges backwards and re-sends every transitive
+        parent that currently matches a subscribed rule.
+        """
+        updated_uris = [str(new.uri) for __, new in diff.updated]
+        if not updated_uris:
+            return
+        strong_pairs: set[tuple[str, str]] = set()
+        for class_name in self.schema.class_names():
+            for prop in self.schema.strong_reference_properties(class_name):
+                strong_pairs.add((class_name, prop.name))
+        if not strong_pairs:
+            return
+        parents: set[str] = set()
+        frontier = list(updated_uris)
+        seen = set(frontier)
+        while frontier:
+            target = frontier.pop()
+            rows = self.db.query_all(
+                "SELECT DISTINCT uri_reference, class, property "
+                "FROM filter_data WHERE value = ?",
+                (target,),
+            )
+            for row in rows:
+                if (row["class"], row["property"]) not in strong_pairs:
+                    continue
+                parent = row["uri_reference"]
+                if parent in seen:
+                    continue
+                seen.add(parent)
+                parents.add(parent)
+                frontier.append(parent)
+        if not parents:
+            return
+        already = {
+            str(uri) for uris in outcome.matched.values() for uri in uris
+        }
+        for parent in sorted(parents - already):
+            rows = self.db.query_all(
+                "SELECT DISTINCT m.rule_id FROM materialized m "
+                "JOIN subscriptions s ON s.end_rule = m.rule_id "
+                "WHERE m.uri_reference = ?",
+                (parent,),
+            )
+            for row in rows:
+                outcome.add_matched(int(row["rule_id"]), URIRef(parent))
+
+    def _publish(self, outcome: PublishOutcome) -> None:
+        if not outcome.has_notifications:
+            return
+        for batch in self.publisher.batches_for(outcome):
+            self._deliver(batch)
+
+    def _deliver(self, batch: NotificationBatch) -> None:
+        if not batch.notifications:
+            return
+        handler = self._direct_subscribers.get(batch.subscriber)
+        if handler is not None:
+            handler(batch)
+            return
+        if self.bus is not None:
+            self.bus.send_one_way(
+                self.name, batch.subscriber, "notifications", batch
+            )
+
+    # ------------------------------------------------------------------
+    # Backbone integration
+    # ------------------------------------------------------------------
+    def set_replication_hook(
+        self, hook: Callable[[str, Document | None], None]
+    ) -> None:
+        """Called after local registration; the backbone uses this to
+        replicate the document to peer MDPs (``None`` = deletion)."""
+        self._replication_hook = hook
+
+    def apply_replica(self, document_uri: str, document: Document | None) -> None:
+        """Apply a replicated change originating at a peer MDP."""
+        if document is None:
+            if document_uri in self._documents:
+                self.delete_document(document_uri, _replicated=True)
+            return
+        self.register_document(document.copy(), _replicated=True)
+
+    # ------------------------------------------------------------------
+    # Bus endpoint
+    # ------------------------------------------------------------------
+    def _handle_message(self, message) -> object:
+        """Requests arriving over the simulated network."""
+        kind = message.kind
+        payload = message.payload
+        if kind == "register_document":
+            return self.register_document(payload)
+        if kind == "delete_document":
+            return self.delete_document(payload)
+        if kind == "subscribe":
+            subscriber, rule_text = payload
+            return self.subscribe(subscriber, rule_text)
+        if kind == "unsubscribe":
+            subscriber, rule_text = payload
+            return self.unsubscribe(subscriber, rule_text)
+        if kind == "browse":
+            return self.browse(payload)
+        if kind == "schema":
+            return self.schema_document()
+        if kind == "named_definitions":
+            return self.registry.named_rule_definitions()
+        if kind == "replicate":
+            document_uri, document = payload
+            return self.apply_replica(document_uri, document)
+        raise ValueError(f"unknown message kind {kind!r}")

@@ -1,0 +1,237 @@
+"""The Local Metadata Repository (LMR) — the caching middle tier.
+
+LMRs "do the actual metadata query processing.  For efficiency reasons,
+i.e., to avoid communication across the Internet, LMRs cache global
+metadata and use only locally available metadata for query processing"
+(paper, Section 2.2).
+
+An LMR:
+
+- subscribes to an MDP with rules describing the metadata its clients
+  need; the MDP delivers current matches immediately and keeps the cache
+  consistent through match/unmatch/delete notifications;
+- answers :meth:`query` calls entirely from its cache (plus local
+  metadata), never touching the network;
+- stores *local metadata* that "should not be accessible to the public
+  and therefore is not forwarded to the backbone";
+- forwards global registrations by its clients to the MDP;
+- runs a reference-counting garbage collector over strong-reference
+  copies (Section 2.4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import RepositoryError, SubscriptionError
+from repro.mdv.cache import CacheStore
+from repro.mdv.gc import GarbageCollector, GcReport
+from repro.mdv.provider import MetadataProvider
+from repro.net.bus import DEFAULT_LAN_LATENCY_MS, Message, NetworkBus
+from repro.pubsub.notifications import (
+    DeleteNotification,
+    MatchNotification,
+    NotificationBatch,
+    UnmatchNotification,
+)
+from repro.query.evaluator import evaluate_query
+from repro.rdf.model import Document, Resource, URIRef
+from repro.rdf.schema import Schema
+from repro.rules.parser import parse_query
+
+__all__ = ["LocalMetadataRepository"]
+
+
+class LocalMetadataRepository:
+    """One LMR node, connected to one MDP."""
+
+    def __init__(
+        self,
+        name: str,
+        provider: MetadataProvider,
+        schema: Schema | None = None,
+        bus: NetworkBus | None = None,
+    ):
+        self.name = name
+        self.provider = provider
+        self.schema = schema or provider.schema
+        self.bus = bus
+        self.cache = CacheStore(self.schema)
+        self.collector = GarbageCollector(self.schema)
+        self._local: dict[URIRef, Resource] = {}
+        self._subscriptions: dict[str, list[int]] = {}
+        #: Logical clock advanced per notification batch (TTL support).
+        self.clock = 0
+        self.notifications_received = 0
+        if bus is not None:
+            bus.register(name, self._handle_message)
+        else:
+            provider.connect_subscriber(name, self.apply_batch)
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+    def subscribe(self, rule_text: str) -> None:
+        """Register a subscription rule at the MDP.
+
+        Rules are produced "by users browsing and selecting metadata or
+        by administrators of LMRs" (Section 2.3); either way they arrive
+        here as rule text.
+        """
+        if rule_text in self._subscriptions:
+            raise SubscriptionError(
+                f"LMR {self.name!r} already subscribed: {rule_text!r}"
+            )
+        subscriptions = self._call_provider(
+            "subscribe", (self.name, rule_text)
+        )
+        self._subscriptions[rule_text] = [s.sub_id for s in subscriptions]
+
+    def unsubscribe(self, rule_text: str) -> None:
+        """Cancel a subscription and evict its no-longer-covered matches."""
+        sub_ids = self._subscriptions.pop(rule_text, None)
+        if sub_ids is None:
+            raise SubscriptionError(
+                f"LMR {self.name!r} is not subscribed: {rule_text!r}"
+            )
+        self._call_provider("unsubscribe", (self.name, rule_text))
+        for sub_id in sub_ids:
+            self.cache.drop_subscription(sub_id)
+
+    def subscriptions(self) -> list[str]:
+        return sorted(self._subscriptions)
+
+    # ------------------------------------------------------------------
+    # Notification handling
+    # ------------------------------------------------------------------
+    def apply_batch(self, batch: NotificationBatch) -> None:
+        """Apply one notification batch to the cache.
+
+        Within a batch, matches are applied before unmatches and
+        deletions so content refreshes never race against evictions of
+        the same publish event.
+        """
+        self.clock += 1
+        self.notifications_received += len(batch)
+        matches = [n for n in batch if isinstance(n, MatchNotification)]
+        unmatches = [n for n in batch if isinstance(n, UnmatchNotification)]
+        deletes = [n for n in batch if isinstance(n, DeleteNotification)]
+        for notification in matches:
+            self.cache.apply_match(
+                notification.sub_id, notification.payload, now=self.clock
+            )
+        for notification in unmatches:
+            self.cache.apply_unmatch(notification.sub_id, notification.uri)
+        for notification in deletes:
+            self.cache.apply_delete(notification.uri)
+
+    # ------------------------------------------------------------------
+    # Query processing (local only)
+    # ------------------------------------------------------------------
+    def query(self, query_text: str) -> list[Resource]:
+        """Evaluate a query against local data only.
+
+        Queries referencing *named rules* as extensions need the named
+        rules' definitions, which live at the MDP; they are fetched once
+        and cached, so only the first such query crosses the network.
+        """
+        query = parse_query(query_text)
+        unknown = [
+            ext.name
+            for ext in query.extensions
+            if not self.schema.has_class(ext.name)
+        ]
+        if unknown:
+            from repro.rules.inline import inline_named_query
+            from repro.rules.parser import parse_rule
+
+            definitions = {
+                name: parse_rule(text)
+                for name, text in self._named_definitions().items()
+            }
+            query = inline_named_query(query, definitions)
+        pool = {r.uri: r for r in self.cache.resources()}
+        pool.update(self._local)
+        return evaluate_query(query, pool, self.schema)
+
+    def _named_definitions(self) -> dict[str, str]:
+        if not hasattr(self, "_named_definition_cache"):
+            if self.bus is not None:
+                fetched = self.bus.send(
+                    self.name, self.provider.name, "named_definitions", None
+                )
+            else:
+                fetched = self.provider.registry.named_rule_definitions()
+            self._named_definition_cache = dict(fetched)
+        return self._named_definition_cache
+
+    # ------------------------------------------------------------------
+    # Metadata registration
+    # ------------------------------------------------------------------
+    def register_local_document(self, document: Document) -> int:
+        """Store local metadata; never forwarded to the backbone."""
+        self.schema.validate_document(document)
+        for resource in document:
+            self._local[resource.uri] = resource
+        return len(document)
+
+    def register_document(self, document: Document):
+        """Forward a global registration to the MDP."""
+        return self._call_provider("register_document", document)
+
+    def delete_document(self, document_uri: str):
+        return self._call_provider("delete_document", document_uri)
+
+    # ------------------------------------------------------------------
+    # Garbage collection and expiry
+    # ------------------------------------------------------------------
+    def collect_garbage(self, cycles: bool = False) -> GcReport:
+        if cycles:
+            return self.collector.collect_cycles(self.cache)
+        return self.collector.sweep(self.cache)
+
+    def expire(self, ttl: int) -> int:
+        """TTL expiry pass (for providers in ``consistency="ttl"`` mode).
+
+        Evicts cached entries not refreshed within ``ttl`` notification
+        batches; local metadata never expires.  Returns the number of
+        evictions.
+        """
+        from repro.mdv.consistency import expire_stale_entries
+
+        return expire_stale_entries(self.cache, now=self.clock, ttl=ttl)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _call_provider(self, kind: str, payload):
+        if self.bus is not None:
+            return self.bus.send(self.name, self.provider.name, kind, payload)
+        if kind == "subscribe":
+            return self.provider.subscribe(*payload)
+        if kind == "unsubscribe":
+            return self.provider.unsubscribe(*payload)
+        if kind == "register_document":
+            return self.provider.register_document(payload)
+        if kind == "delete_document":
+            return self.provider.delete_document(payload)
+        raise RepositoryError(f"unknown provider call {kind!r}")
+
+    def _handle_message(self, message: Message):
+        if message.kind == "notifications":
+            self.apply_batch(message.payload)
+            return None
+        if message.kind == "query":
+            return self.query(message.payload)
+        raise RepositoryError(f"unknown message kind {message.kind!r}")
+
+    def stats(self) -> dict[str, int]:
+        stats = self.cache.stats()
+        stats["local_resources"] = len(self._local)
+        stats["notifications"] = self.notifications_received
+        return stats
+
+    def configure_lan_latency(self) -> None:
+        """Mark the LMR↔client links as LAN-cheap on the bus, if any."""
+        if self.bus is not None:
+            self.bus.set_latency(
+                self.name, self.name, DEFAULT_LAN_LATENCY_MS
+            )

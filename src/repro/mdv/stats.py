@@ -1,0 +1,78 @@
+"""System statistics: one snapshot across a provider's subsystems.
+
+Operational visibility for the MDP: document/resource volume, the rule
+catalogue (atoms, groups, dependency-graph depth), filter activity and
+publishing counters.  Used by the examples and by operators embedding
+the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mdv.provider import MetadataProvider
+from repro.rules.graph import DependencyGraph
+
+__all__ = ["ProviderStatistics", "collect_statistics"]
+
+
+@dataclass(frozen=True)
+class ProviderStatistics:
+    """A point-in-time snapshot of one MDP."""
+
+    name: str
+    documents: int
+    resources: int
+    atoms: int
+    atomic_rules_triggering: int
+    atomic_rules_join: int
+    rule_groups: int
+    dependency_edges: int
+    max_dependency_depth: int
+    subscriptions: int
+    named_rules: int
+    materialized_rows: int
+    filter_runs: int
+    notifications_sent: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.documents} docs / {self.resources} "
+            f"resources / {self.atoms} atom rows; rules: "
+            f"{self.atomic_rules_triggering} triggering + "
+            f"{self.atomic_rules_join} join in {self.rule_groups} groups "
+            f"(depth {self.max_dependency_depth}); "
+            f"{self.subscriptions} subscriptions, "
+            f"{self.materialized_rows} materialized rows, "
+            f"{self.filter_runs} filter runs, "
+            f"{self.notifications_sent} notifications"
+        )
+
+
+def collect_statistics(provider: MetadataProvider) -> ProviderStatistics:
+    """Gather a consistent snapshot from one provider."""
+    db = provider.db
+    graph = DependencyGraph.load(db)
+    graph_stats = graph.stats()
+    subscriptions = int(
+        db.scalar(
+            "SELECT COUNT(*) FROM subscriptions "
+            "WHERE subscriber NOT LIKE '~named~%'"
+        )
+    )
+    return ProviderStatistics(
+        name=provider.name,
+        documents=provider.document_count(),
+        resources=provider.resource_count(),
+        atoms=db.count("filter_data"),
+        atomic_rules_triggering=graph_stats["triggering"],
+        atomic_rules_join=graph_stats["joins"],
+        rule_groups=graph_stats["groups"],
+        dependency_edges=graph_stats["edges"],
+        max_dependency_depth=graph_stats["max_depth"],
+        subscriptions=subscriptions,
+        named_rules=db.count("named_rules"),
+        materialized_rows=db.count("materialized"),
+        filter_runs=provider.engine.runs_executed,
+        notifications_sent=provider.publisher.notifications_sent,
+    )

@@ -1,0 +1,17 @@
+"""Simulated network substrate (see DESIGN.md, substitutions)."""
+
+from repro.net.bus import (
+    DEFAULT_LAN_LATENCY_MS,
+    DEFAULT_WAN_LATENCY_MS,
+    LinkStats,
+    Message,
+    NetworkBus,
+)
+
+__all__ = [
+    "DEFAULT_LAN_LATENCY_MS",
+    "DEFAULT_WAN_LATENCY_MS",
+    "LinkStats",
+    "Message",
+    "NetworkBus",
+]

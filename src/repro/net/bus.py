@@ -1,0 +1,140 @@
+"""A deterministic in-process network simulator.
+
+The paper's MDPs and LMRs are "distributed all over the Internet"; the
+evaluation (Section 4), however, benchmarks the filter on a single node.
+What the distributed tier needs from the network is delivery semantics
+plus cost accounting — both provided here without sockets:
+
+- endpoints register a handler under a name;
+- :meth:`NetworkBus.send` delivers synchronously and returns the
+  handler's response;
+- every message advances a simulated clock by the link's latency and
+  accumulates byte counts, so examples and tests can quantify the
+  benefit of answering queries at the LMR instead of crossing the
+  "Internet" to an MDP.
+
+Latency defaults model the paper's setting: LAN-local traffic is cheap,
+wide-area traffic is two orders of magnitude more expensive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import MDVError
+
+__all__ = ["Message", "LinkStats", "NetworkBus"]
+
+#: Default one-way latency for unconfigured links, in simulated ms.
+DEFAULT_WAN_LATENCY_MS = 80.0
+DEFAULT_LAN_LATENCY_MS = 0.5
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One message on the bus."""
+
+    source: str
+    destination: str
+    kind: str
+    payload: Any
+
+    def approximate_size(self) -> int:
+        payload_size = getattr(self.payload, "approximate_size", None)
+        if callable(payload_size):
+            return int(payload_size())
+        return len(str(self.payload))
+
+
+@dataclass
+class LinkStats:
+    """Accumulated traffic on one directed link."""
+
+    messages: int = 0
+    bytes: int = 0
+    latency_ms: float = 0.0
+
+
+class NetworkBus:
+    """Synchronous message delivery with latency and traffic accounting."""
+
+    def __init__(self, default_latency_ms: float = DEFAULT_WAN_LATENCY_MS):
+        self._handlers: dict[str, Callable[[Message], Any]] = {}
+        self._latency: dict[tuple[str, str], float] = {}
+        self.default_latency_ms = default_latency_ms
+        self.links: dict[tuple[str, str], LinkStats] = {}
+        #: Total simulated network time spent, in ms.
+        self.simulated_ms = 0.0
+        self.total_messages = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def register(self, name: str, handler: Callable[[Message], Any]) -> None:
+        """Attach an endpoint; re-registration replaces the handler."""
+        self._handlers[name] = handler
+
+    def unregister(self, name: str) -> None:
+        self._handlers.pop(name, None)
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._handlers)
+
+    def set_latency(self, source: str, destination: str, latency_ms: float,
+                    symmetric: bool = True) -> None:
+        """Configure per-link latency (e.g. LAN vs WAN links)."""
+        self._latency[(source, destination)] = latency_ms
+        if symmetric:
+            self._latency[(destination, source)] = latency_ms
+
+    def latency(self, source: str, destination: str) -> float:
+        return self._latency.get((source, destination), self.default_latency_ms)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def send(self, source: str, destination: str, kind: str, payload: Any) -> Any:
+        """Deliver a message; returns the destination handler's response.
+
+        The response trip is charged with the same link latency (a
+        request/response exchange costs two traversals).
+        """
+        handler = self._handlers.get(destination)
+        if handler is None:
+            raise MDVError(f"no endpoint named {destination!r} on the bus")
+        message = Message(source, destination, kind, payload)
+        link = self.links.setdefault((source, destination), LinkStats())
+        latency = self.latency(source, destination)
+        link.messages += 1
+        link.bytes += message.approximate_size()
+        link.latency_ms += latency
+        self.simulated_ms += latency
+        self.total_messages += 1
+        return handler(message)
+
+    def send_one_way(
+        self, source: str, destination: str, kind: str, payload: Any
+    ) -> None:
+        """Fire-and-forget variant (notifications)."""
+        self.send(source, destination, kind, payload)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats_summary(self) -> str:
+        lines = [
+            f"messages={self.total_messages} simulated_ms={self.simulated_ms:.1f}"
+        ]
+        for (source, destination), stats in sorted(self.links.items()):
+            lines.append(
+                f"  {source} -> {destination}: {stats.messages} msgs, "
+                f"{stats.bytes} bytes, {stats.latency_ms:.1f} ms"
+            )
+        return "\n".join(lines)
+
+    def reset_stats(self) -> None:
+        self.links.clear()
+        self.simulated_ms = 0.0
+        self.total_messages = 0

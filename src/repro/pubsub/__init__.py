@@ -1,0 +1,29 @@
+"""Publish & subscribe plumbing above the filter engine.
+
+Routes :class:`~repro.filter.results.PublishOutcome` objects to
+per-subscriber :class:`~repro.pubsub.notifications.NotificationBatch`
+objects, attaching strong-reference closures (paper, Section 2.4).
+"""
+
+from repro.pubsub.closure import strong_closure, strong_targets
+from repro.pubsub.notifications import (
+    DeleteNotification,
+    MatchNotification,
+    Notification,
+    NotificationBatch,
+    ResourcePayload,
+    UnmatchNotification,
+)
+from repro.pubsub.publisher import Publisher
+
+__all__ = [
+    "DeleteNotification",
+    "MatchNotification",
+    "Notification",
+    "NotificationBatch",
+    "Publisher",
+    "ResourcePayload",
+    "UnmatchNotification",
+    "strong_closure",
+    "strong_targets",
+]

@@ -1,0 +1,120 @@
+"""Notification message types flowing from MDPs to LMRs.
+
+The filter's outcome is translated into three kinds of notifications:
+
+- :class:`MatchNotification` — a resource (newly or still) matches a
+  subscription; carries the resource content plus the transitive closure
+  of *strongly referenced* resources, which "are always transmitted
+  together with the referencing resource" (paper, Section 2.4).
+- :class:`UnmatchNotification` — a resource no longer matches a
+  subscription (a *true candidate* of Section 3.5); the LMR evicts it
+  once no other subscribed rule matches it.
+- :class:`DeleteNotification` — the resource was removed from the store
+  entirely; broadcast so LMRs can drop strong-reference copies.
+
+Resource payloads are deep copies: the simulated network must not alias
+provider-side state into LMR caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rdf.model import Resource, URIRef
+
+__all__ = [
+    "ResourcePayload",
+    "MatchNotification",
+    "UnmatchNotification",
+    "DeleteNotification",
+    "Notification",
+    "NotificationBatch",
+]
+
+
+@dataclass
+class ResourcePayload:
+    """A resource's content plus its strong-reference closure.
+
+    ``strong_closure`` lists the resources reachable over strong
+    reference properties, each paired with nothing else — the receiving
+    cache reconstructs parent/child accounting from the resources'
+    reference properties and the schema.
+    """
+
+    resource: Resource
+    strong_closure: list[Resource] = field(default_factory=list)
+
+    def all_resources(self) -> list[Resource]:
+        return [self.resource, *self.strong_closure]
+
+    def approximate_size(self) -> int:
+        """A crude wire-size estimate used by the network simulator."""
+        total = 0
+        for resource in self.all_resources():
+            total += len(str(resource.uri)) + len(resource.rdf_class)
+            for name in resource.property_names():
+                for value in resource.get(name):
+                    total += len(name) + len(str(value))
+        return total
+
+
+@dataclass
+class MatchNotification:
+    """``resource`` matches the subscription ``sub_id``."""
+
+    sub_id: int
+    rule_text: str
+    payload: ResourcePayload
+
+    kind = "match"
+
+    @property
+    def uri(self) -> URIRef:
+        return self.payload.resource.uri
+
+
+@dataclass
+class UnmatchNotification:
+    """``uri`` no longer matches the subscription ``sub_id``."""
+
+    sub_id: int
+    rule_text: str
+    uri: URIRef
+
+    kind = "unmatch"
+
+
+@dataclass
+class DeleteNotification:
+    """``uri`` was deleted from the metadata store."""
+
+    uri: URIRef
+
+    kind = "delete"
+
+
+Notification = MatchNotification | UnmatchNotification | DeleteNotification
+
+
+@dataclass
+class NotificationBatch:
+    """All notifications one publish event produces for one subscriber."""
+
+    subscriber: str
+    notifications: list[Notification] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.notifications)
+
+    def __iter__(self):
+        return iter(self.notifications)
+
+    def approximate_size(self) -> int:
+        total = 0
+        for notification in self.notifications:
+            if isinstance(notification, MatchNotification):
+                total += notification.payload.approximate_size()
+            else:
+                total += len(str(notification.uri))
+        return total

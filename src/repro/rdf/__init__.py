@@ -1,0 +1,59 @@
+"""RDF substrate: data model, schema, parsing, serialization, diffing.
+
+MDV uses RDF as its data model and RDF Schema (augmented with strong/weak
+reference declarations) as its schema language (paper, Section 2).  This
+package is a from-scratch implementation of the subset the system needs;
+see DESIGN.md for the substitution rationale (``rdflib`` is not available
+in the reproduction environment).
+"""
+
+from repro.rdf.diff import DocumentDiff, deletion_diff, diff_documents
+from repro.rdf.model import (
+    Document,
+    Literal,
+    Resource,
+    Statement,
+    URIRef,
+    Value,
+    make_uri_reference,
+)
+from repro.rdf.namespaces import MDV_NS, RDF_NS, RDF_SUBJECT, RDFS_NS
+from repro.rdf.parser import parse_document
+from repro.rdf.schema import (
+    ClassDef,
+    PropertyDef,
+    PropertyKind,
+    RefStrength,
+    Schema,
+    objectglobe_schema,
+)
+from repro.rdf.schema_io import parse_schema, schema_to_rdfxml
+from repro.rdf.serializer import to_ntriples, to_rdfxml
+
+__all__ = [
+    "Document",
+    "DocumentDiff",
+    "Literal",
+    "Resource",
+    "Statement",
+    "URIRef",
+    "Value",
+    "make_uri_reference",
+    "parse_document",
+    "to_ntriples",
+    "to_rdfxml",
+    "parse_schema",
+    "schema_to_rdfxml",
+    "diff_documents",
+    "deletion_diff",
+    "ClassDef",
+    "PropertyDef",
+    "PropertyKind",
+    "RefStrength",
+    "Schema",
+    "objectglobe_schema",
+    "MDV_NS",
+    "RDF_NS",
+    "RDFS_NS",
+    "RDF_SUBJECT",
+]

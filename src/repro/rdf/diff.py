@@ -1,0 +1,111 @@
+"""Document diffing for updates and deletions.
+
+The paper (Section 3.5) defines update/delete semantics at document
+granularity: *"Updated and deleted resources can be determined by
+comparing the original RDF document with the updated, re-registered one.
+A resource is updated if it is contained in both documents, but at least
+one property is changed, added, or removed.  A resource is deleted if it
+was contained in the original document but it is no more in the updated
+one.  If a complete document is deleted all contained resources are
+deleted."*
+
+:func:`diff_documents` implements exactly this comparison and returns a
+:class:`DocumentDiff` the filter engine consumes to drive its three-pass
+update algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rdf.model import Document, Resource
+
+__all__ = ["DocumentDiff", "diff_documents", "deletion_diff"]
+
+
+@dataclass
+class DocumentDiff:
+    """The outcome of comparing two versions of one RDF document.
+
+    Attributes hold *resources* (not URIs) because the filter needs the
+    old property values of updated/deleted resources as input for its
+    first pass (Section 3.5).
+    """
+
+    document_uri: str
+    inserted: list[Resource] = field(default_factory=list)
+    updated: list[tuple[Resource, Resource]] = field(default_factory=list)
+    deleted: list[Resource] = field(default_factory=list)
+    unchanged: list[Resource] = field(default_factory=list)
+
+    @property
+    def is_initial_registration(self) -> bool:
+        """True when there was no previous version of the document."""
+        return not (self.updated or self.deleted or self.unchanged)
+
+    @property
+    def has_changes(self) -> bool:
+        return bool(self.inserted or self.updated or self.deleted)
+
+    def old_versions_of_changed(self) -> list[Resource]:
+        """Old versions of updated plus deleted resources.
+
+        This is the input of the filter's first pass: the resources whose
+        previous state may have matched rules that no longer hold.
+        """
+        return [old for old, __ in self.updated] + list(self.deleted)
+
+    def new_versions_of_changed(self) -> list[Resource]:
+        """New versions of updated plus inserted resources.
+
+        This is the input of the filter's third pass: the state that may
+        newly match rules.
+        """
+        return [new for __, new in self.updated] + list(self.inserted)
+
+    def summary(self) -> str:
+        return (
+            f"diff({self.document_uri}): +{len(self.inserted)} "
+            f"~{len(self.updated)} -{len(self.deleted)} "
+            f"={len(self.unchanged)}"
+        )
+
+
+def diff_documents(old: Document | None, new: Document) -> DocumentDiff:
+    """Compare two versions of a document.
+
+    ``old`` may be ``None`` for an initial registration, in which case
+    every resource of ``new`` is reported as inserted.
+    """
+    diff = DocumentDiff(new.uri)
+    if old is None:
+        diff.inserted.extend(new)
+        return diff
+    if old.uri != new.uri:
+        raise ValueError(
+            f"cannot diff documents with different URIs: "
+            f"{old.uri!r} vs {new.uri!r}"
+        )
+    for uri, new_resource in new.resources.items():
+        old_resource = old.resources.get(uri)
+        if old_resource is None:
+            diff.inserted.append(new_resource)
+        elif old_resource == new_resource:
+            diff.unchanged.append(new_resource)
+        else:
+            diff.updated.append((old_resource, new_resource))
+    for uri, old_resource in old.resources.items():
+        if uri not in new.resources:
+            diff.deleted.append(old_resource)
+    return diff
+
+
+def deletion_diff(old: Document) -> DocumentDiff:
+    """The diff describing complete removal of ``old``.
+
+    Equivalent to diffing against an empty re-registration: every
+    resource is deleted.
+    """
+    diff = DocumentDiff(old.uri)
+    diff.deleted.extend(old)
+    return diff

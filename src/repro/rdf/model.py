@@ -1,0 +1,310 @@
+"""The RDF data model used throughout the library.
+
+The paper's MDV system stores metadata as RDF documents: each document
+defines a set of *resources*, each resource is an instance of a schema
+class and carries *properties* whose values are either literals or
+references to other resources (paper, Section 2.1).  A resource is
+globally identified by its *URI reference* — the document URI combined
+with the resource's local ``rdf:ID``.
+
+This module provides the value types (:class:`URIRef`, :class:`Literal`),
+the triple type (:class:`Statement`) used by the filter's atom
+decomposition, and the container types (:class:`Resource`,
+:class:`Document`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+__all__ = [
+    "URIRef",
+    "Literal",
+    "Value",
+    "Statement",
+    "Resource",
+    "Document",
+    "make_uri_reference",
+]
+
+
+class URIRef(str):
+    """A URI reference identifying an RDF resource.
+
+    MDV constructs URI references by combining a resource's local
+    identifier (its ``rdf:ID``) with the globally unique URI of the RDF
+    document that defines it, separated by ``#`` (paper, Section 2.1).
+    ``URIRef`` is a :class:`str` subclass so it can be used directly as a
+    dictionary key, SQL parameter, and in set operations.
+    """
+
+    __slots__ = ()
+
+    @property
+    def document_uri(self) -> str:
+        """The URI of the document this reference points into.
+
+        URI references without a fragment are treated as document-level
+        references and returned unchanged.
+        """
+        head, separator, __ = self.rpartition("#")
+        return head if separator else str(self)
+
+    @property
+    def local_name(self) -> str:
+        """The local identifier (the part after ``#``), or ``''``."""
+        head, separator, tail = self.rpartition("#")
+        return tail if separator else ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"URIRef({str(self)!r})"
+
+
+def make_uri_reference(document_uri: str, local_id: str) -> URIRef:
+    """Combine a document URI and a local ``rdf:ID`` into a URI reference.
+
+    >>> make_uri_reference("doc.rdf", "host")
+    URIRef('doc.rdf#host')
+    """
+    return URIRef(f"{document_uri}#{local_id}")
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A literal RDF property value.
+
+    The underlying Python value may be a string, an integer or a float.
+    Following the paper's storage design (Section 3.3.4), literals are
+    stored in the database as strings and re-converted for numeric
+    comparisons; :meth:`sql_value` produces the canonical string form.
+    """
+
+    value: str | int | float
+
+    def __post_init__(self) -> None:
+        if isinstance(self.value, bool) or not isinstance(
+            self.value, (str, int, float)
+        ):
+            raise TypeError(
+                f"literal values must be str, int or float, got "
+                f"{type(self.value).__name__}"
+            )
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether this literal holds a number (int or float)."""
+        return isinstance(self.value, (int, float))
+
+    def sql_value(self) -> str:
+        """The canonical string stored in the ``FilterData`` table.
+
+        Following the paper's storage design, constants live as strings
+        and equality compares them textually; only the ordering
+        operators reconvert to numbers.  Integers keep their plain
+        decimal form and *integral floats render like integers*
+        (``64.0`` → ``"64"``) so int/float equality stays consistent.
+        """
+        if isinstance(self.value, float) and self.value.is_integer():
+            return str(int(self.value))
+        return str(self.value)
+
+    def __str__(self) -> str:
+        return self.sql_value()
+
+
+#: A property value: either a reference to another resource or a literal.
+Value = URIRef | Literal
+
+
+@dataclass(frozen=True, slots=True)
+class Statement:
+    """An RDF statement (triple): ``subject — predicate → value``.
+
+    Statements are the *atoms* the filter algorithm decomposes documents
+    into (paper, Section 3.2).  ``rdf_class`` carries the schema class of
+    the subject resource because the ``FilterData`` table keys triggering
+    lookups by ``(class, property)``.
+    """
+
+    subject: URIRef
+    rdf_class: str
+    predicate: str
+    value: Value
+
+    def sql_value(self) -> str:
+        """The value column as stored in ``FilterData``."""
+        return str(self.value)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.subject}> [{self.rdf_class}] {self.predicate} {self.value!r}"
+
+
+class Resource:
+    """An RDF resource: an instance of a schema class with properties.
+
+    Properties are multi-valued: RDF allows a property name to appear
+    several times on the same resource (the paper's ``?`` operator exists
+    for exactly this case).  Single-valued access is provided through
+    :meth:`get_one`.
+
+    Two resources compare equal when their URI, class and full property
+    map coincide — this is the equality used by the document differ to
+    detect updated resources (paper, Section 3.5).
+    """
+
+    __slots__ = ("uri", "rdf_class", "_properties")
+
+    def __init__(
+        self,
+        uri: URIRef | str,
+        rdf_class: str,
+        properties: Iterable[tuple[str, Value]] = (),
+    ):
+        self.uri = URIRef(uri)
+        self.rdf_class = rdf_class
+        self._properties: dict[str, list[Value]] = {}
+        for name, value in properties:
+            self.add(name, value)
+
+    def add(self, name: str, value: Value | str | int | float) -> None:
+        """Add a property value; plain Python scalars are wrapped as literals."""
+        if not isinstance(value, (URIRef, Literal)):
+            value = Literal(value)
+        self._properties.setdefault(name, []).append(value)
+
+    def set(self, name: str, value: Value | str | int | float) -> None:
+        """Replace all values of property ``name`` with a single value."""
+        self._properties.pop(name, None)
+        self.add(name, value)
+
+    def remove(self, name: str) -> None:
+        """Remove every value of property ``name`` (no-op when absent)."""
+        self._properties.pop(name, None)
+
+    def get(self, name: str) -> list[Value]:
+        """All values of property ``name`` (empty list when absent)."""
+        return list(self._properties.get(name, ()))
+
+    def get_one(self, name: str) -> Value | None:
+        """The single value of ``name``; ``None`` when absent.
+
+        Raises :class:`ValueError` when the property is multi-valued,
+        because silently picking one value would hide schema violations.
+        """
+        values = self._properties.get(name)
+        if not values:
+            return None
+        if len(values) > 1:
+            raise ValueError(
+                f"property {name!r} of <{self.uri}> has {len(values)} values"
+            )
+        return values[0]
+
+    def property_names(self) -> list[str]:
+        """The names of all properties present on this resource."""
+        return list(self._properties)
+
+    def references(self) -> Iterator[tuple[str, URIRef]]:
+        """Yield ``(property, target)`` for every resource-valued property."""
+        for name, values in self._properties.items():
+            for value in values:
+                if isinstance(value, URIRef):
+                    yield name, value
+
+    def statements(self) -> Iterator[Statement]:
+        """Decompose this resource into RDF statements (atoms).
+
+        The resource's own identity atom (``rdf#subject``) is *not*
+        included here; :func:`repro.filter.decompose.decompose_document`
+        adds it, following the paper's Section 3.2.
+        """
+        for name, values in self._properties.items():
+            for value in values:
+                yield Statement(self.uri, self.rdf_class, name, value)
+
+    def copy(self) -> Resource:
+        """A deep-enough copy (values are immutable, the map is copied)."""
+        duplicate = Resource(self.uri, self.rdf_class)
+        duplicate._properties = {
+            name: list(values) for name, values in self._properties.items()
+        }
+        return duplicate
+
+    def _signature(self) -> tuple:
+        return (
+            self.uri,
+            self.rdf_class,
+            {name: tuple(values) for name, values in self._properties.items()},
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Resource):
+            return NotImplemented
+        return self._signature() == other._signature()
+
+    def __hash__(self) -> int:
+        # Resources are mutable; hash by identity-stable URI only so they
+        # can live in sets keyed by their unique URI reference.
+        return hash(self.uri)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Resource({str(self.uri)!r}, {self.rdf_class!r})"
+
+
+@dataclass
+class Document:
+    """An RDF document: a URI plus the resources it defines.
+
+    Registration, update and deletion of metadata all happen at document
+    granularity in MDV (paper, Section 2.2): updating means re-registering
+    a modified version of the document, deleting means removing resources
+    from it or removing the whole document.
+    """
+
+    uri: str
+    resources: dict[URIRef, Resource] = field(default_factory=dict)
+
+    def add(self, resource: Resource) -> Resource:
+        """Add ``resource``; its URI must belong to this document."""
+        if resource.uri.document_uri != self.uri:
+            raise ValueError(
+                f"resource <{resource.uri}> does not belong to document "
+                f"{self.uri!r}"
+            )
+        self.resources[resource.uri] = resource
+        return resource
+
+    def new_resource(self, local_id: str, rdf_class: str) -> Resource:
+        """Create, add and return a resource with the given local id."""
+        resource = Resource(make_uri_reference(self.uri, local_id), rdf_class)
+        return self.add(resource)
+
+    def get(self, uri: URIRef | str) -> Resource | None:
+        """The resource with the given URI reference, or ``None``."""
+        return self.resources.get(URIRef(uri))
+
+    def remove(self, uri: URIRef | str) -> Resource | None:
+        """Remove and return the resource with the given URI, if present."""
+        return self.resources.pop(URIRef(uri), None)
+
+    def statements(self) -> Iterator[Statement]:
+        """All statements of all resources in this document."""
+        for resource in self.resources.values():
+            yield from resource.statements()
+
+    def copy(self) -> Document:
+        """A deep copy suitable for building an updated version."""
+        duplicate = Document(self.uri)
+        for uri, resource in self.resources.items():
+            duplicate.resources[uri] = resource.copy()
+        return duplicate
+
+    def __len__(self) -> int:
+        return len(self.resources)
+
+    def __iter__(self) -> Iterator[Resource]:
+        return iter(self.resources.values())
+
+    def __contains__(self, uri: object) -> bool:
+        return URIRef(str(uri)) in self.resources

@@ -1,0 +1,58 @@
+"""Namespace constants used by the RDF layer.
+
+MDV (the paper's system) uses RDF with the XML syntax and augments RDF
+Schema with properties for declaring *strong* and *weak* references
+(paper, Section 2.4).  This module centralizes the URI constants so the
+parser, serializer and filter agree on them.
+"""
+
+from __future__ import annotations
+
+#: The W3C RDF syntax namespace (as of the 1999 specification the paper cites).
+RDF_NS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+
+#: The W3C RDF Schema namespace.
+RDFS_NS = "http://www.w3.org/2000/01/rdf-schema#"
+
+#: Namespace for MDV's own schema vocabulary (strong/weak reference marks).
+MDV_NS = "http://mdv.db.fmi.uni-passau.de/schema#"
+
+#: The pseudo-property under which a resource's own URI reference is stored
+#: in the ``FilterData`` table.  The paper (Section 3.2) inserts, for every
+#: resource, a tuple with property ``rdf#subject`` and the resource's URI
+#: reference as value, so that OID-style rules (``where c = URI``) can be
+#: matched with the same join machinery as ordinary property predicates.
+RDF_SUBJECT = "rdf#subject"
+
+#: XML attribute names used by the RDF/XML subset parser.
+RDF_ID_ATTR = f"{{{RDF_NS}}}ID"
+RDF_ABOUT_ATTR = f"{{{RDF_NS}}}about"
+RDF_RESOURCE_ATTR = f"{{{RDF_NS}}}resource"
+
+#: The document element of an RDF/XML file.
+RDF_ROOT_TAG = f"{{{RDF_NS}}}RDF"
+
+
+def qualified(namespace: str, local: str) -> str:
+    """Return ``local`` qualified with ``namespace`` in ElementTree notation.
+
+    >>> qualified("http://example.org/ns#", "memory")
+    '{http://example.org/ns#}memory'
+    """
+    return f"{{{namespace}}}{local}"
+
+
+def split_qualified(tag: str) -> tuple[str, str]:
+    """Split an ElementTree-qualified tag into ``(namespace, local)``.
+
+    Tags without a namespace return an empty namespace component.
+
+    >>> split_qualified("{http://example.org/ns#}memory")
+    ('http://example.org/ns#', 'memory')
+    >>> split_qualified("memory")
+    ('', 'memory')
+    """
+    if tag.startswith("{"):
+        namespace, _, local = tag[1:].partition("}")
+        return namespace, local
+    return "", tag

@@ -1,0 +1,180 @@
+"""Parser for the RDF/XML subset used by the paper.
+
+The paper's Figure 1 shows the document shape MDV works with::
+
+    <rdf:RDF xmlns:rdf="..." xmlns="http://mdv...#">
+      <CycleProvider rdf:ID="host">
+        <serverHost>pirates.uni-passau.de</serverHost>
+        <serverPort>5874</serverPort>
+        <serverInformation>
+          <ServerInformation rdf:ID="info">
+            <memory>92</memory>
+            <cpu>600</cpu>
+          </ServerInformation>
+        </serverInformation>
+      </CycleProvider>
+    </rdf:RDF>
+
+Supported constructs:
+
+- top-level and nested resource elements (``<Class rdf:ID="...">``);
+  nesting is purely syntactic — RDF does not distinguish nested from
+  referenced resources (paper, Section 2.1), so a nested resource is
+  hoisted to the document and replaced by a reference;
+- ``rdf:about`` as an alternative to ``rdf:ID`` for absolute URIs;
+- property elements with text content (literals) or with an
+  ``rdf:resource`` attribute (references);
+- repeated property elements (set-valued properties).
+
+Literal values are typed using the schema when one is supplied;
+otherwise integer-looking text becomes an integer, float-looking text a
+float, everything else a string.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.errors import DocumentParseError
+from repro.rdf.model import Document, Literal, Resource, URIRef, make_uri_reference
+from repro.rdf.namespaces import (
+    RDF_ABOUT_ATTR,
+    RDF_ID_ATTR,
+    RDF_RESOURCE_ATTR,
+    RDF_ROOT_TAG,
+    split_qualified,
+)
+from repro.rdf.schema import PropertyKind, Schema
+
+__all__ = ["parse_document", "parse_literal_text"]
+
+
+def parse_literal_text(text: str, kind: PropertyKind | None = None) -> Literal:
+    """Convert property element text into a typed :class:`Literal`.
+
+    When the schema ``kind`` is known it wins; untyped values fall back
+    to "looks like a number" heuristics.
+
+    >>> parse_literal_text("92").value
+    92
+    >>> parse_literal_text("92", PropertyKind.STRING).value
+    '92'
+    """
+    text = text.strip()
+    if kind is PropertyKind.STRING:
+        return Literal(text)
+    if kind is PropertyKind.INTEGER:
+        try:
+            return Literal(int(text))
+        except ValueError:
+            raise DocumentParseError(
+                f"expected an integer literal, got {text!r}"
+            ) from None
+    if kind is PropertyKind.FLOAT:
+        try:
+            return Literal(float(text))
+        except ValueError:
+            raise DocumentParseError(
+                f"expected a numeric literal, got {text!r}"
+            ) from None
+    # Untyped: guess.
+    try:
+        return Literal(int(text))
+    except ValueError:
+        pass
+    try:
+        return Literal(float(text))
+    except ValueError:
+        pass
+    return Literal(text)
+
+
+def parse_document(
+    xml_text: str, document_uri: str, schema: Schema | None = None
+) -> Document:
+    """Parse RDF/XML text into a :class:`~repro.rdf.model.Document`.
+
+    ``document_uri`` is the globally unique URI associated with the
+    document; resource URI references are formed from it (Section 2.1).
+    When ``schema`` is given it is used to type literals and to decide
+    whether an element is a resource class or a property — without it the
+    parser relies on structure alone (elements with ``rdf:ID``/
+    ``rdf:about`` are resources).
+    """
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise DocumentParseError(f"malformed XML: {exc}") from exc
+    if root.tag != RDF_ROOT_TAG:
+        __, local = split_qualified(root.tag)
+        if local != "RDF":
+            raise DocumentParseError(
+                f"document element must be rdf:RDF, got {root.tag!r}"
+            )
+    document = Document(document_uri)
+    for element in root:
+        _parse_resource(element, document, schema)
+    return document
+
+
+def _resource_uri(element: ET.Element, document: Document) -> URIRef:
+    local_id = element.get(RDF_ID_ATTR)
+    if local_id is not None:
+        return make_uri_reference(document.uri, local_id)
+    about = element.get(RDF_ABOUT_ATTR)
+    if about is not None:
+        return URIRef(about)
+    raise DocumentParseError(
+        f"resource element {element.tag!r} lacks rdf:ID and rdf:about"
+    )
+
+
+def _parse_resource(
+    element: ET.Element, document: Document, schema: Schema | None
+) -> URIRef:
+    """Parse a resource element, add it to ``document``, return its URI."""
+    __, class_name = split_qualified(element.tag)
+    uri = _resource_uri(element, document)
+    resource = Resource(uri, class_name)
+    for child in element:
+        _parse_property(child, resource, document, schema)
+    document.resources[resource.uri] = resource
+    return resource.uri
+
+
+def _parse_property(
+    element: ET.Element,
+    resource: Resource,
+    document: Document,
+    schema: Schema | None,
+) -> None:
+    __, property_name = split_qualified(element.tag)
+
+    reference = element.get(RDF_RESOURCE_ATTR)
+    if reference is not None:
+        resource.add(property_name, URIRef(reference))
+        return
+
+    nested = list(element)
+    if nested:
+        # A nested resource definition: hoist it and keep a reference.
+        if len(nested) != 1:
+            raise DocumentParseError(
+                f"property {property_name!r} of <{resource.uri}> nests "
+                f"{len(nested)} elements; exactly one resource is allowed"
+            )
+        target_uri = _parse_resource(nested[0], document, schema)
+        resource.add(property_name, target_uri)
+        return
+
+    text = element.text or ""
+    kind: PropertyKind | None = None
+    if schema is not None and schema.has_property(
+        resource.rdf_class, property_name
+    ):
+        prop = schema.property_def(resource.rdf_class, property_name)
+        if prop.is_reference:
+            resource.add(property_name, URIRef(text.strip()))
+            return
+        kind = prop.kind
+    resource.add(property_name, parse_literal_text(text, kind))

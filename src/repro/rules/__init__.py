@@ -1,0 +1,66 @@
+"""The subscription rule system (paper, Sections 2.3 and 3.3).
+
+Pipeline: :func:`~repro.rules.parser.parse_rule` →
+:func:`~repro.rules.normalize.normalize_rule` →
+:func:`~repro.rules.decompose.decompose_rule` →
+:class:`~repro.rules.registry.RuleRegistry` (persistence + dedup into the
+global dependency graph).
+"""
+
+from repro.rules.ast import (
+    And,
+    Constant,
+    ExtensionRef,
+    Or,
+    PathExpr,
+    PathStep,
+    Predicate,
+    Query,
+    Rule,
+)
+from repro.rules.atoms import AtomNode, JoinAtom, TriggeringAtom, iter_atoms
+from repro.rules.decompose import DecomposedRule, decompose_rule
+from repro.rules.graph import DependencyGraph, GraphNode
+from repro.rules.normalize import (
+    ConstantPredicate,
+    JoinPredicate,
+    NormalizedRule,
+    normalize_rule,
+    to_dnf,
+)
+from repro.rules.parser import parse_query, parse_rule
+from repro.rules.registry import (
+    RegisteredSubscription,
+    RuleRegistry,
+    Subscription,
+)
+
+__all__ = [
+    "And",
+    "Constant",
+    "ExtensionRef",
+    "Or",
+    "PathExpr",
+    "PathStep",
+    "Predicate",
+    "Query",
+    "Rule",
+    "AtomNode",
+    "JoinAtom",
+    "TriggeringAtom",
+    "iter_atoms",
+    "DecomposedRule",
+    "decompose_rule",
+    "DependencyGraph",
+    "GraphNode",
+    "ConstantPredicate",
+    "JoinPredicate",
+    "NormalizedRule",
+    "normalize_rule",
+    "to_dnf",
+    "parse_query",
+    "parse_rule",
+    "RegisteredSubscription",
+    "RuleRegistry",
+    "Subscription",
+]

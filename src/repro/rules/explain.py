@@ -1,0 +1,69 @@
+"""Human-readable explanation of how a rule is processed.
+
+``explain_rule`` renders the whole §3.3 pipeline for one rule text —
+normalized conjuncts, the atomic-rule inventory with canonical keys and
+group signatures, and the dependency tree — the textual equivalent of
+the paper's Figures 5–7, useful for debugging subscriptions and in
+documentation.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.schema import Schema
+from repro.rules.atoms import JoinAtom, TriggeringAtom
+from repro.rules.decompose import DecomposedRule, decompose_rule
+from repro.rules.normalize import normalize_rule
+from repro.rules.parser import parse_rule
+
+__all__ = ["explain_rule", "explain_decomposition"]
+
+
+def explain_decomposition(decomposed: DecomposedRule) -> str:
+    """Render one decomposition: atoms, groups, tree, iteration bound."""
+    lines = ["atomic rules (children first):"]
+    for index, atom in enumerate(decomposed.atoms, start=1):
+        if isinstance(atom, TriggeringAtom):
+            if atom.is_class_only:
+                detail = f"class-only on {atom.rdf_class}"
+            else:
+                detail = (
+                    f"{atom.rdf_class}.{atom.prop} {atom.operator} "
+                    f"{atom.value}"
+                )
+            lines.append(f"  {index}. triggering  {detail}")
+        else:
+            assert isinstance(atom, JoinAtom)
+            lines.append(
+                f"  {index}. join        {atom.group_signature} "
+                f"(registers {atom.rdf_class})"
+            )
+    lines.append("dependency tree:")
+    for line in decomposed.render_tree().splitlines():
+        lines.append("  " + line)
+    lines.append(
+        f"max filter iterations: {decomposed.depth()} "
+        f"(the longest leaf-to-root path, paper §3.4)"
+    )
+    return "\n".join(lines)
+
+
+def explain_rule(
+    rule_text: str,
+    schema: Schema,
+    named_extension_types: dict[str, str] | None = None,
+) -> str:
+    """Explain parsing, normalization and decomposition of a rule."""
+    rule = parse_rule(rule_text)
+    conjuncts = normalize_rule(rule, schema, named_extension_types)
+    lines = [f"rule: {rule}"]
+    if len(conjuncts) > 1:
+        lines.append(
+            f"or-split into {len(conjuncts)} conjuncts (paper §2.3)"
+        )
+    for index, normalized in enumerate(conjuncts):
+        if len(conjuncts) > 1:
+            lines.append(f"--- conjunct {index + 1} ---")
+        lines.append(f"normalized: {normalized}")
+        decomposed = decompose_rule(normalized, schema)
+        lines.append(explain_decomposition(decomposed))
+    return "\n".join(lines)

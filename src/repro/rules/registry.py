@@ -1,0 +1,480 @@
+"""The persistent rule catalogue (paper, Sections 3.3.2–3.3.4).
+
+The registry owns the tables ``atomic_rules``, ``rule_dependencies``,
+``rule_groups``, the triggering index tables (``filter_rules_class`` and
+the per-operator ``filter_rules_*``), plus ``subscriptions`` /
+``subscription_rules`` / ``named_rules``.
+
+Persisting a decomposed rule *merges its dependency tree with the global
+dependency graph*: every atom is looked up by canonical rule text first
+("There are no duplicates" — Section 3.3.4) and only missing atoms are
+inserted, so equivalent rules and atomic rules shared between
+subscriptions are evaluated only once.  Join rules are attached to their
+rule group (Section 3.3.3) as they are created.
+
+Reference counting (one count per subscription or named rule using an
+atom) drives cleanup on unsubscription: atoms reaching zero references
+with no remaining dependents are removed together with their index rows
+and materialized results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SubscriptionError
+from repro.rules.atoms import AtomNode, JoinAtom, TriggeringAtom
+from repro.rules.decompose import DecomposedRule
+from repro.storage.engine import Database
+from repro.storage.schema import COMPARISON_TABLES, filter_rules_table
+
+__all__ = ["RuleRegistry", "RegisteredSubscription", "Subscription"]
+
+
+@dataclass(frozen=True, slots=True)
+class Subscription:
+    """One registered subscription of one subscriber."""
+
+    sub_id: int
+    subscriber: str
+    rule_text: str
+    end_rule: int
+
+
+@dataclass
+class RegisteredSubscription:
+    """Result of registering a subscription.
+
+    ``created`` lists the atoms that did not exist before, children
+    before parents — the filter engine must initialize their
+    materialized results against the already-registered metadata before
+    the atoms can take part in incremental evaluation.
+    """
+
+    subscription: Subscription
+    end_rule: int
+    all_rule_ids: list[int] = field(default_factory=list)
+    created: list[tuple[int, AtomNode]] = field(default_factory=list)
+
+    @property
+    def reused_existing_atoms(self) -> bool:
+        return len(self.created) < len(self.all_rule_ids)
+
+
+class RuleRegistry:
+    """Catalogue of atomic rules, dependencies, groups and subscriptions."""
+
+    def __init__(self, db: Database, deduplicate: bool = True):
+        self._db = db
+        #: Merge equal atomic rules across subscriptions (the paper's
+        #: design).  ``False`` disables the dependency-graph merge — an
+        #: ablation knob: every subscription gets private atoms.
+        self.deduplicate = deduplicate
+        self._salt_counter = 0
+        #: Cache of reconstructed atom nodes, keyed by rule id.
+        self._node_cache: dict[int, AtomNode] = {}
+
+    # ------------------------------------------------------------------
+    # Atom persistence (dependency-graph merge)
+    # ------------------------------------------------------------------
+    def ensure_atoms(
+        self, decomposed: DecomposedRule
+    ) -> tuple[int, list[int], list[tuple[int, AtomNode]]]:
+        """Persist all atoms of a decomposition, deduplicating by key.
+
+        Returns ``(end_rule_id, all_rule_ids, created)`` where ``created``
+        holds ``(rule_id, atom)`` for newly inserted atoms in
+        children-first order.
+        """
+        ids: dict[str, int] = {}
+        created: list[tuple[int, AtomNode]] = []
+        with self._db.transaction():
+            for atom in decomposed.atoms:
+                existing = (
+                    self._lookup(atom.key) if self.deduplicate else None
+                )
+                if existing is not None:
+                    ids[atom.key] = existing
+                    continue
+                rule_id = self._insert_atom(atom, ids)
+                ids[atom.key] = rule_id
+                created.append((rule_id, atom))
+                self._node_cache[rule_id] = atom
+        end_id = ids[decomposed.end.key]
+        all_ids = [ids[atom.key] for atom in decomposed.atoms]
+        return end_id, all_ids, created
+
+    def _lookup(self, key: str) -> int | None:
+        return self._db.scalar(
+            "SELECT rule_id FROM atomic_rules WHERE rule_text = ?", (key,)
+        )
+
+    def _stored_key(self, atom: AtomNode) -> str:
+        """The rule text persisted for ``atom``.
+
+        With deduplication disabled a unique salt keeps the UNIQUE
+        constraint satisfied while preventing any sharing.
+        """
+        if self.deduplicate:
+            return atom.key
+        self._salt_counter += 1
+        return f"{atom.key}~!{self._salt_counter}"
+
+    def _insert_atom(self, atom: AtomNode, ids: dict[str, int]) -> int:
+        if isinstance(atom, TriggeringAtom):
+            return self._insert_triggering(atom)
+        return self._insert_join(atom, ids)
+
+    def _insert_triggering(self, atom: TriggeringAtom) -> int:
+        cursor = self._db.execute(
+            "INSERT INTO atomic_rules (kind, rule_text, class) "
+            "VALUES ('triggering', ?, ?)",
+            (self._stored_key(atom), atom.rdf_class),
+        )
+        rule_id = int(cursor.lastrowid)
+        if atom.is_class_only:
+            self._db.executemany(
+                "INSERT INTO filter_rules_class (rule_id, class) VALUES (?, ?)",
+                ((rule_id, cls) for cls in atom.extension_classes),
+            )
+        else:
+            table = filter_rules_table(str(atom.operator))
+            self._db.executemany(
+                f"INSERT INTO {table} (rule_id, class, property, value, "
+                f"numeric) VALUES (?, ?, ?, ?, ?)",
+                (
+                    (rule_id, cls, atom.prop, atom.value, int(atom.numeric))
+                    for cls in atom.extension_classes
+                ),
+            )
+        return rule_id
+
+    def _insert_join(self, atom: JoinAtom, ids: dict[str, int]) -> int:
+        left_id = ids.get(atom.left.key) or self._require(atom.left.key)
+        right_id = ids.get(atom.right.key) or self._require(atom.right.key)
+        group_id = self._ensure_group(atom)
+        cursor = self._db.execute(
+            "INSERT INTO atomic_rules (kind, rule_text, class, left_rule, "
+            "right_rule, group_id) VALUES ('join', ?, ?, ?, ?, ?)",
+            (self._stored_key(atom), atom.rdf_class, left_id, right_id, group_id),
+        )
+        rule_id = int(cursor.lastrowid)
+        dependency_rows = [
+            (left_id, rule_id, "left", group_id),
+            (right_id, rule_id, "right", group_id),
+        ]
+        self._db.executemany(
+            "INSERT INTO rule_dependencies (source_rule, target_rule, side, "
+            "group_id) VALUES (?, ?, ?, ?)",
+            dependency_rows,
+        )
+        return rule_id
+
+    def _require(self, key: str) -> int:
+        rule_id = self._lookup(key)
+        if rule_id is None:
+            raise SubscriptionError(f"missing child atom for key {key!r}")
+        return rule_id
+
+    def _ensure_group(self, atom: JoinAtom) -> int:
+        signature = atom.group_signature
+        existing = self._db.scalar(
+            "SELECT group_id FROM rule_groups WHERE signature = ?",
+            (signature,),
+        )
+        if existing is not None:
+            return int(existing)
+        cursor = self._db.execute(
+            "INSERT INTO rule_groups (signature, left_class, right_class, "
+            "left_property, right_property, operator, register_side, "
+            "numeric_compare, self_join) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                signature,
+                atom.left_class,
+                atom.right_class,
+                atom.left_prop,
+                atom.right_prop,
+                atom.operator,
+                atom.register_side,
+                int(atom.numeric),
+                int(atom.self_join),
+            ),
+        )
+        return int(cursor.lastrowid)
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+    def register_subscription(
+        self, subscriber: str, rule_text: str, decomposed: DecomposedRule
+    ) -> RegisteredSubscription:
+        """Register a subscription and merge its atoms into the graph."""
+        end_id, all_ids, created = self.ensure_atoms(decomposed)
+        with self._db.transaction():
+            duplicate = self._db.query_one(
+                "SELECT sub_id FROM subscriptions WHERE subscriber = ? AND "
+                "rule_text = ?",
+                (subscriber, rule_text),
+            )
+            if duplicate is not None:
+                raise SubscriptionError(
+                    f"subscriber {subscriber!r} already registered this rule"
+                )
+            cursor = self._db.execute(
+                "INSERT INTO subscriptions (subscriber, rule_text, end_rule) "
+                "VALUES (?, ?, ?)",
+                (subscriber, rule_text, end_id),
+            )
+            sub_id = int(cursor.lastrowid)
+            unique_ids = sorted(set(all_ids))
+            self._db.executemany(
+                "INSERT INTO subscription_rules (sub_id, rule_id) "
+                "VALUES (?, ?)",
+                ((sub_id, rule_id) for rule_id in unique_ids),
+            )
+            self._db.executemany(
+                "UPDATE atomic_rules SET refcount = refcount + 1 "
+                "WHERE rule_id = ?",
+                ((rule_id,) for rule_id in unique_ids),
+            )
+        subscription = Subscription(sub_id, subscriber, rule_text, end_id)
+        return RegisteredSubscription(subscription, end_id, all_ids, created)
+
+    def unsubscribe(self, subscriber: str, rule_text: str) -> list[int]:
+        """Remove a subscription; returns the ids of atoms garbage-collected."""
+        row = self._db.query_one(
+            "SELECT sub_id FROM subscriptions WHERE subscriber = ? AND "
+            "rule_text = ?",
+            (subscriber, rule_text),
+        )
+        if row is None:
+            raise SubscriptionError(
+                f"subscriber {subscriber!r} has no subscription for this rule"
+            )
+        return self._remove_subscription(int(row["sub_id"]))
+
+    def _remove_subscription(self, sub_id: int) -> list[int]:
+        with self._db.transaction():
+            rule_rows = self._db.query_all(
+                "SELECT rule_id FROM subscription_rules WHERE sub_id = ?",
+                (sub_id,),
+            )
+            rule_ids = [int(r["rule_id"]) for r in rule_rows]
+            self._db.execute(
+                "DELETE FROM subscriptions WHERE sub_id = ?", (sub_id,)
+            )
+            self._db.execute(
+                "DELETE FROM subscription_rules WHERE sub_id = ?", (sub_id,)
+            )
+            self._db.executemany(
+                "UPDATE atomic_rules SET refcount = refcount - 1 "
+                "WHERE rule_id = ?",
+                ((rule_id,) for rule_id in rule_ids),
+            )
+            return self._collect_dead_atoms()
+
+    def _collect_dead_atoms(self) -> list[int]:
+        """Delete unreferenced atoms (zero refcount, no live dependents)."""
+        removed: list[int] = []
+        while True:
+            rows = self._db.query_all(
+                "SELECT rule_id FROM atomic_rules ar WHERE refcount <= 0 "
+                "AND NOT EXISTS (SELECT 1 FROM rule_dependencies rd "
+                "WHERE rd.source_rule = ar.rule_id)"
+            )
+            if not rows:
+                return removed
+            dead = [int(r["rule_id"]) for r in rows]
+            for rule_id in dead:
+                self._delete_atom(rule_id)
+            removed.extend(dead)
+
+    def _delete_atom(self, rule_id: int) -> None:
+        self._db.execute(
+            "DELETE FROM rule_dependencies WHERE target_rule = ?", (rule_id,)
+        )
+        self._db.execute(
+            "DELETE FROM filter_rules_class WHERE rule_id = ?", (rule_id,)
+        )
+        for table in COMPARISON_TABLES.values():
+            self._db.execute(f"DELETE FROM {table} WHERE rule_id = ?", (rule_id,))
+        self._db.execute(
+            "DELETE FROM materialized WHERE rule_id = ?", (rule_id,)
+        )
+        self._db.execute(
+            "DELETE FROM atomic_rules WHERE rule_id = ?", (rule_id,)
+        )
+        self._node_cache.pop(rule_id, None)
+
+    # ------------------------------------------------------------------
+    # Named rules (rule-as-extension support)
+    # ------------------------------------------------------------------
+    def register_named_rule(
+        self, name: str, rule_text: str, decomposed: DecomposedRule
+    ) -> RegisteredSubscription:
+        """Register a rule under a name usable as a search extension."""
+        if self.named_rule(name) is not None:
+            raise SubscriptionError(f"named rule {name!r} already exists")
+        registration = self.register_subscription(
+            f"~named~{name}", rule_text, decomposed
+        )
+        self._db.execute(
+            "INSERT INTO named_rules (name, rule_text, end_rule, class) "
+            "VALUES (?, ?, ?, ?)",
+            (name, rule_text, registration.end_rule, decomposed.rdf_class),
+        )
+        self._db.commit()
+        return registration
+
+    def named_rule(self, name: str) -> tuple[int, str] | None:
+        """``(end_rule_id, class)`` of a named rule, or ``None``."""
+        row = self._db.query_one(
+            "SELECT end_rule, class FROM named_rules WHERE name = ?", (name,)
+        )
+        if row is None:
+            return None
+        return int(row["end_rule"]), str(row["class"])
+
+    def named_rule_types(self) -> dict[str, str]:
+        """Extension name → registered class, for rule normalization."""
+        rows = self._db.query_all("SELECT name, class FROM named_rules")
+        return {row["name"]: row["class"] for row in rows}
+
+    def named_rule_definitions(self) -> dict[str, str]:
+        """Extension name → defining rule text, for query inlining."""
+        rows = self._db.query_all("SELECT name, rule_text FROM named_rules")
+        return {row["name"]: row["rule_text"] for row in rows}
+
+    def named_producers(self) -> dict[str, AtomNode]:
+        """Extension name → end atom node, for rule decomposition."""
+        rows = self._db.query_all("SELECT name, end_rule FROM named_rules")
+        return {
+            row["name"]: self.load_atom(int(row["end_rule"])) for row in rows
+        }
+
+    # ------------------------------------------------------------------
+    # Lookups used by the filter and the publisher
+    # ------------------------------------------------------------------
+    def end_rule_ids(self) -> set[int]:
+        rows = self._db.query_all("SELECT DISTINCT end_rule FROM subscriptions")
+        return {int(row["end_rule"]) for row in rows}
+
+    def subscriptions_for(self, end_rule_ids: set[int]) -> list[Subscription]:
+        if not end_rule_ids:
+            return []
+        placeholders = ",".join("?" * len(end_rule_ids))
+        rows = self._db.query_all(
+            f"SELECT sub_id, subscriber, rule_text, end_rule FROM "
+            f"subscriptions WHERE end_rule IN ({placeholders}) "
+            f"ORDER BY sub_id",
+            sorted(end_rule_ids),
+        )
+        return [
+            Subscription(
+                int(r["sub_id"]), r["subscriber"], r["rule_text"],
+                int(r["end_rule"]),
+            )
+            for r in rows
+        ]
+
+    def subscriptions_of(self, subscriber: str) -> list[Subscription]:
+        rows = self._db.query_all(
+            "SELECT sub_id, subscriber, rule_text, end_rule FROM "
+            "subscriptions WHERE subscriber = ? ORDER BY sub_id",
+            (subscriber,),
+        )
+        return [
+            Subscription(
+                int(r["sub_id"]), r["subscriber"], r["rule_text"],
+                int(r["end_rule"]),
+            )
+            for r in rows
+        ]
+
+    def atom_count(self) -> int:
+        return self._db.count("atomic_rules")
+
+    def triggering_count(self) -> int:
+        return self._db.count("atomic_rules", "kind = 'triggering'")
+
+    def join_count(self) -> int:
+        return self._db.count("atomic_rules", "kind = 'join'")
+
+    def group_count(self) -> int:
+        return self._db.count("rule_groups")
+
+    # ------------------------------------------------------------------
+    # Atom reconstruction
+    # ------------------------------------------------------------------
+    def load_atom(self, rule_id: int) -> AtomNode:
+        """Rebuild the :class:`AtomNode` tree for a stored atomic rule."""
+        cached = self._node_cache.get(rule_id)
+        if cached is not None:
+            return cached
+        row = self._db.query_one(
+            "SELECT kind, class, left_rule, right_rule, group_id "
+            "FROM atomic_rules WHERE rule_id = ?",
+            (rule_id,),
+        )
+        if row is None:
+            raise SubscriptionError(f"no atomic rule with id {rule_id}")
+        if row["kind"] == "triggering":
+            node = self._load_triggering(rule_id, str(row["class"]))
+        else:
+            node = self._load_join(row)
+        self._node_cache[rule_id] = node
+        return node
+
+    def _load_triggering(self, rule_id: int, rdf_class: str) -> TriggeringAtom:
+        class_rows = self._db.query_all(
+            "SELECT class FROM filter_rules_class WHERE rule_id = ? "
+            "ORDER BY class",
+            (rule_id,),
+        )
+        if class_rows:
+            return TriggeringAtom(
+                rdf_class=rdf_class,
+                extension_classes=tuple(r["class"] for r in class_rows),
+            )
+        for operator, table in COMPARISON_TABLES.items():
+            rows = self._db.query_all(
+                f"SELECT class, property, value, numeric FROM {table} "
+                f"WHERE rule_id = ? ORDER BY class",
+                (rule_id,),
+            )
+            if rows:
+                return TriggeringAtom(
+                    rdf_class=rdf_class,
+                    extension_classes=tuple(r["class"] for r in rows),
+                    prop=rows[0]["property"],
+                    operator=operator,
+                    value=rows[0]["value"],
+                    numeric=bool(rows[0]["numeric"]),
+                )
+        raise SubscriptionError(
+            f"triggering rule {rule_id} has no index rows"
+        )
+
+    def _load_join(self, row) -> JoinAtom:
+        group = self._db.query_one(
+            "SELECT * FROM rule_groups WHERE group_id = ?",
+            (row["group_id"],),
+        )
+        if group is None:
+            raise SubscriptionError(
+                f"join rule references missing group {row['group_id']}"
+            )
+        left = self.load_atom(int(row["left_rule"]))
+        right = self.load_atom(int(row["right_rule"]))
+        return JoinAtom(
+            left=left,
+            right=right,
+            left_class=group["left_class"],
+            right_class=group["right_class"],
+            left_prop=group["left_property"],
+            right_prop=group["right_property"],
+            operator=group["operator"],
+            register_side=group["register_side"],
+            numeric=bool(group["numeric_compare"]),
+            self_join=bool(group["self_join"]),
+        )

@@ -1,0 +1,162 @@
+"""Tokenizer for MDV's subscription rule language.
+
+The rule language (paper, Section 2.3) is SQL-like::
+
+    search Extension e register e where Predicates(e)
+
+with predicates of the form ``X o Y`` where ``X`` and ``Y`` are constants
+or path expressions and ``o`` is one of ``= != < <= > >= contains``.
+Keywords are matched case-insensitively.  String constants use single
+quotes (``'uni-passau.de'``), doubling the quote to escape it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import RuleSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS", "OPERATORS"]
+
+
+class TokenType(Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    DOT = "dot"
+    COMMA = "comma"
+    QUESTION = "question"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    END = "end"
+
+
+#: Reserved words of the rule/query language.
+KEYWORDS = frozenset({"search", "register", "where", "and", "or", "contains"})
+
+#: Comparison operators.  ``contains`` is tokenized as a keyword and
+#: promoted to an operator by the parser.
+OPERATORS = frozenset({"=", "!=", "<", "<=", ">", ">="})
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text == word
+
+    def __str__(self) -> str:  # pragma: no cover - error messages
+        if self.type is TokenType.END:
+            return "end of input"
+        return repr(self.text)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a rule or query string.
+
+    Returns the token list terminated by a single ``END`` token.  Raises
+    :class:`~repro.errors.RuleSyntaxError` on unterminated strings or
+    unexpected characters.
+    """
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "'":
+            tokens.append(_read_string(text, index))
+            index += len(tokens[-1].text) + 2 + tokens[-1].text.count("'")
+            continue
+        if char.isdigit() or (
+            char == "-" and index + 1 < length and text[index + 1].isdigit()
+        ):
+            token = _read_number(text, index)
+            tokens.append(token)
+            index = token.position + len(token.text)
+            continue
+        if char.isalpha() or char == "_":
+            token = _read_word(text, index)
+            tokens.append(token)
+            index = token.position + len(token.text)
+            continue
+        if char in "!<>=":
+            if char == "!" and text[index : index + 2] != "!=":
+                raise RuleSyntaxError("expected '!=' after '!'", index)
+            two = text[index : index + 2]
+            if two in ("!=", "<=", ">="):
+                tokens.append(Token(TokenType.OPERATOR, two, index))
+                index += 2
+            else:
+                tokens.append(Token(TokenType.OPERATOR, char, index))
+                index += 1
+            continue
+        simple = {
+            ".": TokenType.DOT,
+            ",": TokenType.COMMA,
+            "?": TokenType.QUESTION,
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+        }.get(char)
+        if simple is not None:
+            tokens.append(Token(simple, char, index))
+            index += 1
+            continue
+        raise RuleSyntaxError(f"unexpected character {char!r}", index)
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> Token:
+    """Read a single-quoted string constant starting at ``start``.
+
+    A doubled quote (``''``) inside the string denotes a literal quote.
+    The token's ``text`` holds the *unescaped* value.
+    """
+    parts: list[str] = []
+    index = start + 1
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "'":
+            if index + 1 < length and text[index + 1] == "'":
+                parts.append("'")
+                index += 2
+                continue
+            return Token(TokenType.STRING, "".join(parts), start)
+        parts.append(char)
+        index += 1
+    raise RuleSyntaxError("unterminated string constant", start)
+
+
+def _read_number(text: str, start: int) -> Token:
+    index = start
+    if text[index] == "-":
+        index += 1
+    while index < len(text) and text[index].isdigit():
+        index += 1
+    if index < len(text) and text[index] == "." and (
+        index + 1 < len(text) and text[index + 1].isdigit()
+    ):
+        index += 1
+        while index < len(text) and text[index].isdigit():
+            index += 1
+    return Token(TokenType.NUMBER, text[start:index], start)
+
+
+def _read_word(text: str, start: int) -> Token:
+    index = start
+    while index < len(text) and (text[index].isalnum() or text[index] == "_"):
+        index += 1
+    word = text[start:index]
+    if word.lower() in KEYWORDS:
+        return Token(TokenType.KEYWORD, word.lower(), start)
+    return Token(TokenType.IDENT, word, start)

@@ -1,0 +1,86 @@
+"""Synthetic benchmark documents (paper, Section 4).
+
+*"We registered RDF documents similar to the document of Figure 1, each
+containing two resources, one of class CycleProvider, one of class
+ServerInformation."*
+
+Every generated document ``doc{i}.rdf`` holds:
+
+- ``doc{i}.rdf#host`` — a ``CycleProvider`` with ``serverHost``,
+  ``serverPort``, ``synthValue`` and a strong ``serverInformation``
+  reference;
+- ``doc{i}.rdf#info`` — the referenced ``ServerInformation`` with
+  ``memory`` and ``cpu``.
+
+Field values are chosen per rule type so the matching contract of the
+paper holds: for OID/PATH/JOIN workloads document ``i`` is matched by
+exactly rule ``i`` and vice versa; for COMP workloads every document is
+matched by a fixed fraction of the rule base (see
+:mod:`repro.workload.rules`).
+"""
+
+from __future__ import annotations
+
+from repro.rdf.model import Document, URIRef
+
+__all__ = [
+    "benchmark_document",
+    "benchmark_batch",
+    "host_uri",
+    "info_uri",
+    "document_uri",
+]
+
+#: The serverHost of every benchmark document contains this needle so
+#: JOIN rules' ``contains`` predicate matches all documents (Figure 10).
+HOST_DOMAIN = "uni-passau.de"
+
+#: The fixed CPU value JOIN rules test for equality.
+JOIN_CPU = 600
+
+
+def document_uri(index: int) -> str:
+    return f"doc{index}.rdf"
+
+
+def host_uri(index: int) -> URIRef:
+    return URIRef(f"{document_uri(index)}#host")
+
+
+def info_uri(index: int) -> URIRef:
+    return URIRef(f"{document_uri(index)}#info")
+
+
+def benchmark_document(
+    index: int,
+    synth_value: int = 0,
+    memory: int | None = None,
+    cpu: int = JOIN_CPU,
+) -> Document:
+    """One Figure-1-shaped document.
+
+    ``memory`` defaults to ``index`` — the unique value PATH and JOIN
+    rules key on.  ``synth_value`` is the COMP workload knob.
+    """
+    doc = Document(document_uri(index))
+    host = doc.new_resource("host", "CycleProvider")
+    host.add("serverHost", f"host{index}.{HOST_DOMAIN}")
+    host.add("serverPort", 5000 + (index % 1000))
+    host.add("synthValue", synth_value)
+    host.add("serverInformation", info_uri(index))
+    info = doc.new_resource("info", "ServerInformation")
+    info.add("memory", index if memory is None else memory)
+    info.add("cpu", cpu)
+    return doc
+
+
+def benchmark_batch(
+    batch_size: int,
+    start_index: int = 0,
+    synth_value: int = 0,
+) -> list[Document]:
+    """A batch of consecutive benchmark documents."""
+    return [
+        benchmark_document(index, synth_value=synth_value)
+        for index in range(start_index, start_index + batch_size)
+    ]

@@ -1,0 +1,81 @@
+"""Workload assembly: rule bases + matching document batches.
+
+Combines the generators of :mod:`repro.workload.rules` and
+:mod:`repro.workload.documents` into the exact measurement setup of the
+paper's Section 4: *"In a single measurement, we first created a rule
+base consisting of rules of the same type.  Then, we registered a number
+of RDF documents and measured the overall runtime of the filter
+algorithm to process them."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rdf.model import Document
+from repro.workload.documents import benchmark_batch
+from repro.workload.rules import (
+    RULE_TYPES,
+    rules_of_type,
+    synth_value_for_fraction,
+)
+
+__all__ = ["WorkloadSpec"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark configuration.
+
+    ``match_fraction`` only matters for COMP workloads: the fraction of
+    the rule base every registered document triggers (the paper's
+    Figures 13 and 15 vary it between 1% and 20%).
+    """
+
+    rule_type: str
+    rule_count: int
+    match_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.rule_type not in RULE_TYPES:
+            raise ValueError(f"unknown rule type {self.rule_type!r}")
+        if self.rule_count <= 0:
+            raise ValueError("rule_count must be positive")
+
+    def rule_texts(self) -> list[str]:
+        """The full rule base."""
+        return rules_of_type(self.rule_type, self.rule_count)
+
+    def synth_value(self) -> int:
+        """The document synthValue triggering ``match_fraction`` of COMP
+        rules (0 for the one-to-one workloads)."""
+        if self.rule_type != "COMP":
+            return 0
+        return synth_value_for_fraction(self.rule_count, self.match_fraction)
+
+    def documents(self, batch_size: int, start_index: int = 0) -> list[Document]:
+        """A batch of documents honouring the matching contract.
+
+        For OID/PATH/JOIN workloads the document indices must stay below
+        ``rule_count`` so each document is matched by exactly one rule.
+        """
+        if self.rule_type != "COMP" and start_index + batch_size > self.rule_count:
+            raise ValueError(
+                f"documents {start_index}..{start_index + batch_size - 1} "
+                f"exceed the rule base of {self.rule_count} one-to-one rules"
+            )
+        return benchmark_batch(
+            batch_size, start_index=start_index, synth_value=self.synth_value()
+        )
+
+    def expected_matches_per_document(self) -> int:
+        """How many rules one registered document triggers."""
+        if self.rule_type == "COMP":
+            return self.synth_value()
+        return 1
+
+    def label(self) -> str:
+        if self.rule_type == "COMP":
+            percent = round(self.match_fraction * 100)
+            return f"{self.rule_type} n={self.rule_count} match={percent}%"
+        return f"{self.rule_type} n={self.rule_count}"

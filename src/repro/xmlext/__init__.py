@@ -1,0 +1,10 @@
+"""XML support — the paper's future-work direction (Section 6).
+
+Maps generic XML documents onto MDV's resource model so the unchanged
+publish & subscribe filter serves XML content; see
+:mod:`repro.xmlext.adapter`.
+"""
+
+from repro.xmlext.adapter import XmlCorpus, infer_schema, xml_to_document
+
+__all__ = ["XmlCorpus", "infer_schema", "xml_to_document"]

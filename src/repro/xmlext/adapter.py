@@ -1,0 +1,252 @@
+"""Generic XML over MDV — the paper's future-work direction.
+
+The paper notes its publish & subscribe algorithm "is also applicable
+to, e.g., XML and the XQuery language" (Section 1) and names XML
+support as future work (Section 6).  This module delivers the data-side
+half of that claim: arbitrary (schema-less) XML documents are mapped
+onto MDV's resource model so the unchanged filter machinery — rule
+decomposition, triggering indexes, rule groups — subscribes to and
+publishes XML content.
+
+Mapping (``xml_to_document``):
+
+- every element carrying an ``id`` attribute, plus the direct children
+  of the document element, becomes a **resource**; its class is the
+  element tag;
+- a child element with neither element children nor an ``id`` becomes a
+  **literal property** (one value per occurrence — repeated tags give
+  set-valued properties);
+- a nested resource is hoisted and replaced by a **reference property**
+  named after the enclosing tag;
+- ``ref="uri"`` attributes become reference properties; other XML
+  attributes become literal properties;
+- resources without an ``id`` get deterministic synthetic identifiers
+  (``tag-N`` in document order).
+
+``infer_schema`` scans a corpus and produces the matching
+:class:`~repro.rdf.schema.Schema`: property kinds are the widest type
+observed (INTEGER ⊂ FLOAT ⊂ STRING), multiplicity comes from repeated
+occurrences, nested-element references are **strong** (subtrees travel
+with their parent, preserving XML's containment on the wire) while
+``ref`` attributes are **weak**.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import DocumentParseError
+from repro.rdf.model import Document, Resource, URIRef, make_uri_reference
+from repro.rdf.parser import parse_literal_text
+from repro.rdf.schema import PropertyDef, PropertyKind, RefStrength, Schema
+
+__all__ = ["xml_to_document", "infer_schema", "XmlCorpus"]
+
+#: The attribute holding a resource's local identifier.
+ID_ATTR = "id"
+#: The attribute holding an explicit (weak) reference.
+REF_ATTR = "ref"
+
+
+def _parse_root(xml_text: str) -> ET.Element:
+    try:
+        return ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise DocumentParseError(f"malformed XML: {exc}") from exc
+
+
+def _is_resource(element: ET.Element, is_top_level: bool) -> bool:
+    if element.get(ID_ATTR) is not None:
+        return True
+    if is_top_level:
+        return True
+    return len(element) > 0
+
+
+class _Converter:
+    def __init__(self, document: Document):
+        self.document = document
+        self._synthetic_counter = 0
+        #: (class, property) pairs that came from ``ref`` attributes —
+        #: weak references by construction (no containment).
+        self.weak_pairs: set[tuple[str, str]] = set()
+
+    def _uri_for(self, element: ET.Element) -> URIRef:
+        local = element.get(ID_ATTR)
+        if local is None:
+            self._synthetic_counter += 1
+            local = f"{element.tag}-{self._synthetic_counter}"
+        return make_uri_reference(self.document.uri, local)
+
+    def convert_resource(self, element: ET.Element) -> URIRef:
+        uri = self._uri_for(element)
+        if uri in self.document.resources:
+            raise DocumentParseError(
+                f"duplicate resource identifier {uri.local_name!r}"
+            )
+        resource = Resource(uri, element.tag)
+        for name, value in element.attrib.items():
+            if name == ID_ATTR:
+                continue
+            if name == REF_ATTR:
+                resource.add(REF_ATTR, URIRef(value))
+                self.weak_pairs.add((element.tag, REF_ATTR))
+            else:
+                resource.add(name, parse_literal_text(value))
+        for child in element:
+            if _is_resource(child, is_top_level=False):
+                target = self.convert_resource(child)
+                resource.add(child.tag, target)
+            else:
+                text = (child.text or "").strip()
+                if child.get(REF_ATTR) is not None:
+                    resource.add(child.tag, URIRef(str(child.get(REF_ATTR))))
+                    self.weak_pairs.add((element.tag, child.tag))
+                else:
+                    resource.add(child.tag, parse_literal_text(text))
+        self.document.resources[uri] = resource
+        return uri
+
+
+def xml_to_document(xml_text: str, document_uri: str) -> Document:
+    """Map one generic XML document onto MDV resources."""
+    root = _parse_root(xml_text)
+    document = Document(document_uri)
+    converter = _Converter(document)
+    for child in root:
+        converter.convert_resource(child)
+    # Weakness metadata rides along for schema inference (a plain
+    # attribute: Document stays a generic container).
+    document.xml_weak_pairs = converter.weak_pairs  # type: ignore[attr-defined]
+    return document
+
+
+# ----------------------------------------------------------------------
+# Schema inference
+# ----------------------------------------------------------------------
+@dataclass
+class _PropertyObservation:
+    kinds: set[str] = field(default_factory=set)
+    targets: set[str] = field(default_factory=set)
+    multivalued: bool = False
+    nested: bool = False
+
+
+@dataclass
+class XmlCorpus:
+    """Accumulates observations over XML documents for schema inference."""
+
+    #: (class, property) → observation
+    observations: dict[tuple[str, str], _PropertyObservation] = field(
+        default_factory=dict
+    )
+    classes: set[str] = field(default_factory=set)
+
+    def observe_document(self, document: Document) -> None:
+        weak_pairs = getattr(document, "xml_weak_pairs", set())
+        for resource in document:
+            self.classes.add(resource.rdf_class)
+            for name in resource.property_names():
+                observation = self.observations.setdefault(
+                    (resource.rdf_class, name), _PropertyObservation()
+                )
+                values = resource.get(name)
+                if len(values) > 1:
+                    observation.multivalued = True
+                for value in values:
+                    if isinstance(value, URIRef):
+                        target = document.get(value)
+                        if target is not None:
+                            observation.targets.add(target.rdf_class)
+                            observation.nested = observation.nested or (
+                                (resource.rdf_class, name) not in weak_pairs
+                            )
+                        observation.kinds.add("reference")
+                    elif isinstance(value.value, int):
+                        observation.kinds.add("integer")
+                    elif isinstance(value.value, float):
+                        observation.kinds.add("float")
+                    else:
+                        observation.kinds.add("string")
+
+    def build_schema(self) -> Schema:
+        """The widest-type schema consistent with every observation."""
+        schema = Schema()
+        # Reference targets may be classes never seen as subjects.
+        referenced = {
+            target
+            for observation in self.observations.values()
+            for target in observation.targets
+        }
+        for class_name in sorted(self.classes | referenced):
+            properties = []
+            for (owner, name), observation in sorted(self.observations.items()):
+                if owner != class_name:
+                    continue
+                properties.append(self._property_def(name, observation))
+            schema.define_class(class_name, properties)
+        schema.freeze_check()
+        return schema
+
+    def _property_def(
+        self, name: str, observation: _PropertyObservation
+    ) -> PropertyDef:
+        if "reference" in observation.kinds:
+            if len(observation.kinds) > 1:
+                raise DocumentParseError(
+                    f"property {name!r} mixes references and literals"
+                )
+            target = self._single_target(name, observation)
+            strength = (
+                RefStrength.STRONG if observation.nested else RefStrength.WEAK
+            )
+            return PropertyDef(
+                name,
+                PropertyKind.REFERENCE,
+                target_class=target,
+                strength=strength,
+                multivalued=observation.multivalued,
+            )
+        if observation.kinds <= {"integer"}:
+            kind = PropertyKind.INTEGER
+        elif observation.kinds <= {"integer", "float"}:
+            kind = PropertyKind.FLOAT
+        else:
+            kind = PropertyKind.STRING
+        return PropertyDef(name, kind, multivalued=observation.multivalued)
+
+    def _single_target(
+        self, name: str, observation: _PropertyObservation
+    ) -> str:
+        if len(observation.targets) != 1:
+            raise DocumentParseError(
+                f"reference property {name!r} targets several classes: "
+                f"{sorted(observation.targets)}; MDV schemas need a single "
+                f"target class"
+            )
+        return next(iter(observation.targets))
+
+
+def infer_schema(
+    documents: Iterable[Document | str],
+    document_uris: Iterable[str] | None = None,
+) -> Schema:
+    """Infer an MDV schema from a corpus of XML (or converted) documents.
+
+    ``documents`` may contain XML strings (paired with ``document_uris``)
+    or already-converted :class:`Document` objects.
+    """
+    corpus = XmlCorpus()
+    uris = iter(document_uris or [])
+    for item in documents:
+        if isinstance(item, str):
+            uri = next(uris, None)
+            if uri is None:
+                raise ValueError(
+                    "XML string inputs require matching document_uris"
+                )
+            item = xml_to_document(item, uri)
+        corpus.observe_document(item)
+    return corpus.build_schema()

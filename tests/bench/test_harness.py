@@ -1,0 +1,96 @@
+"""Smoke tests for the benchmark harness (tiny sizes, correctness only)."""
+
+from repro.bench.harness import FilterBench, MeasurementPoint, SweepResult
+from repro.bench.reporting import FigureResult, render_claims, render_figure
+from repro.workload.scenarios import WorkloadSpec
+
+
+def test_measure_point_metrics():
+    bench = FilterBench(WorkloadSpec("OID", 50))
+    try:
+        point = bench.measure(batch_size=5, repeats=2)
+        assert point.documents_registered == 10
+        assert point.total_seconds > 0
+        assert point.ms_per_document > 0
+        # Each doc hits exactly its OID rule.
+        assert point.hits == 10
+    finally:
+        bench.close()
+
+
+def test_sweep_skips_oversized_batches():
+    bench = FilterBench(WorkloadSpec("PATH", 10))
+    try:
+        sweep = bench.sweep(batch_sizes=(2, 5, 50))
+        assert sweep.batch_sizes() == [2, 5]
+    finally:
+        bench.close()
+
+
+def test_comp_hits_match_fraction():
+    bench = FilterBench(WorkloadSpec("COMP", 40, match_fraction=0.25))
+    try:
+        point = bench.measure(batch_size=4, repeats=1)
+        # 25% of 40 rules = 10 hits per document, 4 documents.
+        assert point.hits == 40
+    finally:
+        bench.close()
+
+
+def test_join_workload_runs_full_filter():
+    bench = FilterBench(WorkloadSpec("JOIN", 10))
+    try:
+        point = bench.measure(batch_size=2, repeats=1)
+        assert point.iterations >= 2  # decomposed join rules evaluated
+    finally:
+        bench.close()
+
+
+def test_template_reuse_is_pristine():
+    bench = FilterBench(WorkloadSpec("OID", 20))
+    try:
+        first = bench.measure(batch_size=5, repeats=1)
+        second = bench.measure(batch_size=5, repeats=1)
+        assert first.hits == second.hits == 5
+    finally:
+        bench.close()
+
+
+def test_repeats_for_bounds():
+    bench = FilterBench(WorkloadSpec("OID", 10))
+    assert bench.repeats_for(1) == 10
+    assert bench.repeats_for(5) == 2
+    assert bench.repeats_for(10) == 1
+    comp = FilterBench(WorkloadSpec("COMP", 10))
+    assert comp.repeats_for(1) == 10
+
+
+def test_render_figure_and_claims():
+    spec = WorkloadSpec("OID", 10)
+    point = MeasurementPoint(
+        spec=spec, batch_size=1, repeats=1, total_seconds=0.01,
+        hits=1, iterations=0,
+    )
+    sweep = SweepResult(spec=spec, points=[point])
+    figure = FigureResult("Figure X", "test", series=[sweep])
+    figure.claims = [("always true", True), ("always false", False)]
+    table = render_figure(figure)
+    assert "Figure X" in table
+    assert "10.00" in table  # 0.01s / 1 doc = 10 ms
+    claims = render_claims(figure)
+    assert "HOLDS" in claims and "VIOLATED" in claims
+    assert not figure.all_claims_hold
+
+
+def test_ablation_knobs_accepted():
+    bench = FilterBench(
+        WorkloadSpec("PATH", 10),
+        use_rule_groups=False,
+        deduplicate=False,
+        join_evaluation="probe",
+    )
+    try:
+        point = bench.measure(batch_size=2, repeats=1)
+        assert point.hits >= 2
+    finally:
+        bench.close()

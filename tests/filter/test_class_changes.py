@@ -1,0 +1,93 @@
+"""Tests for resource class changes on re-registration.
+
+RDF does not forbid re-registering a resource under a different class;
+the filter must treat it as unmatching every old-class rule and
+matching the new-class rules — which falls out of the three-pass
+algorithm because old and new atoms carry different ``class`` columns.
+"""
+
+import pytest
+
+from repro.filter.engine import FilterEngine
+from repro.rdf.diff import diff_documents
+from repro.rdf.model import Document, URIRef
+from repro.rdf.schema import PropertyDef, PropertyKind, Schema
+from repro.rules.decompose import decompose_rule
+from repro.rules.normalize import normalize_rule
+from repro.rules.parser import parse_rule
+from repro.rules.registry import RuleRegistry
+from repro.storage.engine import Database
+from repro.storage.schema import create_all
+
+
+@pytest.fixture()
+def world():
+    schema = Schema()
+    schema.define_class(
+        "Provider", [PropertyDef("serverHost", PropertyKind.STRING)]
+    )
+    schema.define_class("CycleProvider", [], superclass="Provider")
+    schema.define_class("DataProvider", [], superclass="Provider")
+    schema.freeze_check()
+    db = Database()
+    create_all(db)
+    registry = RuleRegistry(db)
+    engine = FilterEngine(db, registry)
+
+    def register(text, subscriber="lmr"):
+        normalized = normalize_rule(parse_rule(text), schema)[0]
+        registration = registry.register_subscription(
+            subscriber, text, decompose_rule(normalized, schema)
+        )
+        engine.initialize_rules(registration.created)
+        return registration.end_rule
+
+    yield schema, engine, register
+    db.close()
+
+
+def doc_with_class(class_name):
+    doc = Document("d.rdf")
+    resource = doc.new_resource("x", class_name)
+    resource.add("serverHost", "h.de")
+    return doc
+
+
+def test_class_change_switches_class_rules(world):
+    __, engine, register = world
+    cycle_end = register("search CycleProvider c register c")
+    data_end = register("search DataProvider d register d", "lmr2")
+
+    old = doc_with_class("CycleProvider")
+    engine.process_diff(diff_documents(None, old))
+    new = doc_with_class("DataProvider")
+    outcome = engine.process_diff(diff_documents(old, new))
+    assert outcome.matched.get(data_end) == {URIRef("d.rdf#x")}
+    assert outcome.unmatched.get(cycle_end) == {URIRef("d.rdf#x")}
+
+
+def test_class_change_within_superclass_extension(world):
+    """A superclass rule keeps matching across a subclass change."""
+    __, engine, register = world
+    provider_end = register(
+        "search Provider p register p where p.serverHost contains 'de'"
+    )
+    old = doc_with_class("CycleProvider")
+    engine.process_diff(diff_documents(None, old))
+    new = doc_with_class("DataProvider")
+    outcome = engine.process_diff(diff_documents(old, new))
+    # Still matched (re-published as an update), never unmatched.
+    assert outcome.matched.get(provider_end) == {URIRef("d.rdf#x")}
+    assert provider_end not in outcome.unmatched
+    assert engine.current_matches(provider_end) == ["d.rdf#x"]
+
+
+def test_class_change_out_of_extension(world):
+    __, engine, register = world
+    cycle_end = register("search CycleProvider c register c")
+    old = doc_with_class("CycleProvider")
+    engine.process_diff(diff_documents(None, old))
+    new = doc_with_class("Provider")
+    outcome = engine.process_diff(diff_documents(old, new))
+    assert outcome.unmatched.get(cycle_end) == {URIRef("d.rdf#x")}
+    assert engine.current_matches(cycle_end) == []

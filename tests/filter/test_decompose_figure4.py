@@ -1,0 +1,62 @@
+"""Document decomposition must reproduce the paper's Figure 4 exactly."""
+
+from repro.filter.decompose import document_atoms, resource_atoms, resources_atoms
+from repro.rdf.model import Document, URIRef
+
+
+def test_figure4_table_contents(figure1):
+    """The FilterData rows for the Figure 1 document (paper, Figure 4)."""
+    rows = set(document_atoms(figure1))
+    assert rows == {
+        ("doc.rdf#host", "CycleProvider", "rdf#subject", "doc.rdf#host"),
+        ("doc.rdf#host", "CycleProvider", "serverHost", "pirates.uni-passau.de"),
+        ("doc.rdf#host", "CycleProvider", "serverPort", "5874"),
+        ("doc.rdf#host", "CycleProvider", "serverInformation", "doc.rdf#info"),
+        ("doc.rdf#info", "ServerInformation", "rdf#subject", "doc.rdf#info"),
+        ("doc.rdf#info", "ServerInformation", "memory", "92"),
+        ("doc.rdf#info", "ServerInformation", "cpu", "600"),
+    }
+
+
+def test_identity_atom_first(figure1):
+    host = figure1.get("doc.rdf#host")
+    rows = resource_atoms(host)
+    assert rows[0] == (
+        "doc.rdf#host",
+        "CycleProvider",
+        "rdf#subject",
+        "doc.rdf#host",
+    )
+
+
+def test_multivalued_property_one_row_per_value():
+    doc = Document("d.rdf")
+    resource = doc.new_resource("x", "Thing")
+    resource.add("tag", "a")
+    resource.add("tag", "b")
+    rows = resource_atoms(resource)
+    values = sorted(v for (__, __cls, prop, v) in rows if prop == "tag")
+    assert values == ["a", "b"]
+
+
+def test_reference_value_is_target_uri():
+    doc = Document("d.rdf")
+    resource = doc.new_resource("x", "Thing")
+    resource.add("ref", URIRef("other.rdf#y"))
+    rows = resource_atoms(resource)
+    assert ("d.rdf#x", "Thing", "ref", "other.rdf#y") in rows
+
+
+def test_resources_atoms_preserves_order(figure1):
+    resources = list(figure1)
+    rows = resources_atoms(resources)
+    assert rows == [
+        row for resource in resources for row in resource_atoms(resource)
+    ]
+
+
+def test_empty_resource_still_has_identity_atom():
+    doc = Document("d.rdf")
+    resource = doc.new_resource("bare", "Thing")
+    rows = resource_atoms(resource)
+    assert rows == [("d.rdf#bare", "Thing", "rdf#subject", "d.rdf#bare")]

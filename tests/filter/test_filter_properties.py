@@ -1,0 +1,199 @@
+"""Property-based tests: the filter versus an independent oracle.
+
+The filter's final materialized matches must equal evaluating each
+subscription rule as a *query* over the current global resource set.
+The in-memory query evaluator shares nothing with the filter beyond the
+normalizer (candidates + semi-joins + backtracking versus SQL over atom
+tables), so agreement over random documents, rules and update sequences
+is strong evidence of correctness — including the three-pass
+update/delete algorithm.
+"""
+
+from tests.conftest import prop_settings
+from hypothesis import given, settings, strategies as st
+
+from repro.filter.engine import FilterEngine
+from repro.query.evaluator import evaluate_query
+from repro.rdf.diff import deletion_diff, diff_documents
+from repro.rdf.model import Document, URIRef
+from repro.rdf.schema import objectglobe_schema
+from repro.rules.ast import Query
+from repro.rules.decompose import decompose_rule
+from repro.rules.normalize import normalize_rule
+from repro.rules.parser import parse_rule
+from repro.rules.registry import RuleRegistry
+from repro.storage.engine import Database
+from repro.storage.schema import create_all
+
+SCHEMA = objectglobe_schema()
+
+hosts = st.sampled_from(
+    ["a.uni-passau.de", "b.tum.de", "c.uni-passau.de", "d.fu.de"]
+)
+small_ints = st.integers(min_value=0, max_value=5)
+
+
+@st.composite
+def documents(draw, count=st.integers(min_value=1, max_value=5)):
+    """A list of Figure-1-shaped documents with cross/dangling references."""
+    doc_count = draw(count)
+    result = []
+    for index in range(doc_count):
+        doc = Document(f"doc{index}.rdf")
+        provider = doc.new_resource("host", "CycleProvider")
+        provider.add("serverHost", draw(hosts))
+        provider.add("synthValue", draw(small_ints))
+        # Reference this or an earlier/later info (possibly dangling).
+        target = draw(st.integers(min_value=0, max_value=doc_count))
+        provider.add("serverInformation", URIRef(f"doc{target}.rdf#info"))
+        info = doc.new_resource("info", "ServerInformation")
+        info.add("memory", draw(small_ints))
+        info.add("cpu", draw(small_ints))
+        result.append(doc)
+    return result
+
+
+comparison_ops = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+ordering_ops = st.sampled_from(["<", "<=", ">", ">="])
+
+
+@st.composite
+def rules(draw):
+    """A random subscription rule over the ObjectGlobe schema."""
+    kind = draw(st.sampled_from(["class", "comp", "contains", "path", "join", "or"]))
+    if kind == "class":
+        cls = draw(st.sampled_from(["CycleProvider", "ServerInformation"]))
+        return f"search {cls} x register x"
+    if kind == "comp":
+        op = draw(comparison_ops)
+        value = draw(small_ints)
+        return (
+            f"search CycleProvider c register c where c.synthValue {op} {value}"
+        )
+    if kind == "contains":
+        needle = draw(st.sampled_from(["passau", "tum", "de", "x"]))
+        return (
+            f"search CycleProvider c register c "
+            f"where c.serverHost contains '{needle}'"
+        )
+    if kind == "path":
+        prop = draw(st.sampled_from(["memory", "cpu"]))
+        op = draw(comparison_ops)
+        value = draw(small_ints)
+        return (
+            f"search CycleProvider c register c "
+            f"where c.serverInformation.{prop} {op} {value}"
+        )
+    if kind == "join":
+        op = draw(ordering_ops)
+        value_a = draw(small_ints)
+        value_b = draw(small_ints)
+        return (
+            f"search CycleProvider c register c "
+            f"where c.serverInformation.memory {op} {value_a} "
+            f"and c.serverInformation.cpu {op} {value_b} "
+            f"and c.synthValue >= 0"
+        )
+    needle = draw(st.sampled_from(["passau", "tum"]))
+    value = draw(small_ints)
+    return (
+        f"search CycleProvider c register c "
+        f"where c.serverHost contains '{needle}' or c.synthValue > {value}"
+    )
+
+
+def build_system(rule_texts):
+    db = Database()
+    create_all(db)
+    registry = RuleRegistry(db)
+    engine = FilterEngine(db, registry)
+    ends = []
+    for index, text in enumerate(rule_texts):
+        conjuncts = normalize_rule(parse_rule(text), SCHEMA)
+        for c_index, normalized in enumerate(conjuncts):
+            registration = registry.register_subscription(
+                f"lmr{index}",
+                f"{text}#or{c_index}" if len(conjuncts) > 1 else text,
+                decompose_rule(normalized, SCHEMA),
+            )
+            engine.initialize_rules(registration.created)
+            ends.append((text, registration.end_rule))
+    return db, engine, ends
+
+
+def oracle_matches(rule_text, resource_pool):
+    rule = parse_rule(rule_text)
+    query = Query(rule.extensions, rule.register, rule.where)
+    return {
+        resource.uri
+        for resource in evaluate_query(query, resource_pool, SCHEMA)
+    }
+
+
+def filter_matches(engine, ends):
+    merged = {}
+    for text, end_rule in ends:
+        merged.setdefault(text, set()).update(engine.current_matches(end_rule))
+    return merged
+
+
+@prop_settings(40)
+@given(docs=documents(), rule_texts=st.lists(rules(), min_size=1, max_size=4))
+def test_insert_matches_oracle(docs, rule_texts):
+    db, engine, ends = build_system(rule_texts)
+    try:
+        for doc in docs:
+            engine.process_diff(diff_documents(None, doc))
+        pool = {r.uri: r for doc in docs for r in doc}
+        actual = filter_matches(engine, ends)
+        for text in set(rule_texts):
+            assert actual[text] == oracle_matches(text, pool), text
+    finally:
+        db.close()
+
+
+@prop_settings(40)
+@given(
+    docs=documents(),
+    rule_texts=st.lists(rules(), min_size=1, max_size=3),
+    data=st.data(),
+)
+def test_update_sequences_match_oracle(docs, rule_texts, data):
+    """Random update/delete sequences preserve oracle agreement."""
+    db, engine, ends = build_system(rule_texts)
+    try:
+        current = {}
+        for doc in docs:
+            engine.process_diff(diff_documents(None, doc))
+            current[doc.uri] = doc
+        steps = data.draw(st.integers(min_value=1, max_value=4))
+        for __ in range(steps):
+            uri = data.draw(st.sampled_from(sorted(current)), label="victim")
+            action = data.draw(
+                st.sampled_from(["tweak_info", "tweak_host", "delete"]),
+                label="action",
+            )
+            doc = current[uri]
+            if action == "delete":
+                engine.process_diff(deletion_diff(doc))
+                del current[uri]
+                if not current:
+                    break
+                continue
+            updated = doc.copy()
+            if action == "tweak_info":
+                info = updated.get(f"{uri}#info")
+                info.set("memory", data.draw(small_ints, label="memory"))
+                info.set("cpu", data.draw(small_ints, label="cpu"))
+            else:
+                host = updated.get(f"{uri}#host")
+                host.set("serverHost", data.draw(hosts, label="host"))
+                host.set("synthValue", data.draw(small_ints, label="synth"))
+            engine.process_diff(diff_documents(doc, updated))
+            current[uri] = updated
+        pool = {r.uri: r for doc in current.values() for r in doc}
+        actual = filter_matches(engine, ends)
+        for text in set(rule_texts):
+            assert actual[text] == oracle_matches(text, pool), text
+    finally:
+        db.close()

@@ -1,0 +1,204 @@
+"""Property-based oracle tests over the *rich* schema.
+
+Extends the basic oracle suite with the shapes the ObjectGlobe schema
+cannot express: subclass extensions, multivalued (set-valued) reference
+properties, two-hop paths and class changes on update.
+"""
+
+from tests.conftest import prop_settings
+from hypothesis import given, settings, strategies as st
+
+from repro.filter.engine import FilterEngine
+from repro.query.evaluator import evaluate_query
+from repro.rdf.diff import diff_documents
+from repro.rdf.model import Document, URIRef
+from repro.rdf.schema import PropertyDef, PropertyKind, RefStrength, Schema
+from repro.rules.ast import Query
+from repro.rules.decompose import decompose_rule
+from repro.rules.normalize import normalize_rule
+from repro.rules.parser import parse_rule
+from repro.rules.registry import RuleRegistry
+from repro.storage.engine import Database
+from repro.storage.schema import create_all
+
+
+def build_schema() -> Schema:
+    schema = Schema()
+    schema.define_class(
+        "ServerInformation",
+        [
+            PropertyDef("memory", PropertyKind.INTEGER),
+            PropertyDef("cpu", PropertyKind.INTEGER),
+        ],
+    )
+    schema.define_class(
+        "Provider",
+        [
+            PropertyDef("serverHost", PropertyKind.STRING),
+            PropertyDef("tags", PropertyKind.STRING, multivalued=True),
+        ],
+    )
+    schema.define_class(
+        "CycleProvider",
+        [
+            PropertyDef(
+                "serverInformation",
+                PropertyKind.REFERENCE,
+                target_class="ServerInformation",
+                strength=RefStrength.STRONG,
+            ),
+            PropertyDef(
+                "mirrors",
+                PropertyKind.REFERENCE,
+                target_class="Provider",
+                multivalued=True,
+            ),
+        ],
+        superclass="Provider",
+    )
+    schema.define_class(
+        "DataProvider",
+        [
+            PropertyDef(
+                "host",
+                PropertyKind.REFERENCE,
+                target_class="CycleProvider",
+            ),
+        ],
+        superclass="Provider",
+    )
+    schema.freeze_check()
+    return schema
+
+
+SCHEMA = build_schema()
+
+RULES = [
+    "search Provider p register p where p.serverHost contains 'de'",
+    "search Provider p register p where p.tags? = 'fast'",
+    "search CycleProvider c register c "
+    "where c.serverInformation.memory > 2",
+    "search DataProvider d register d "
+    "where d.host.serverInformation.cpu >= 3",
+    "search CycleProvider c register c "
+    "where c.mirrors?.serverHost contains 'passau'",
+    "search DataProvider d register d",
+]
+
+hosts = st.sampled_from(["a.uni-passau.de", "b.tum.de", "c.org"])
+tags = st.lists(
+    st.sampled_from(["fast", "cheap", "slow"]), max_size=2, unique=True
+)
+small_ints = st.integers(min_value=0, max_value=5)
+
+
+@st.composite
+def worlds(draw):
+    """3-5 documents: cycle providers, data providers, cross references."""
+    count = draw(st.integers(min_value=2, max_value=4))
+    documents = []
+    for index in range(count):
+        doc = Document(f"doc{index}.rdf")
+        kind = draw(st.sampled_from(["cycle", "data"]))
+        if kind == "cycle":
+            provider = doc.new_resource("p", "CycleProvider")
+            provider.add("serverHost", draw(hosts))
+            for tag in draw(tags):
+                provider.add("tags", tag)
+            provider.add(
+                "serverInformation", URIRef(f"doc{index}.rdf#info")
+            )
+            for __ in range(draw(st.integers(min_value=0, max_value=2))):
+                target = draw(st.integers(min_value=0, max_value=count - 1))
+                provider.add("mirrors", URIRef(f"doc{target}.rdf#p"))
+            info = doc.new_resource("info", "ServerInformation")
+            info.add("memory", draw(small_ints))
+            info.add("cpu", draw(small_ints))
+        else:
+            provider = doc.new_resource("p", "DataProvider")
+            provider.add("serverHost", draw(hosts))
+            target = draw(st.integers(min_value=0, max_value=count - 1))
+            provider.add("host", URIRef(f"doc{target}.rdf#p"))
+        documents.append(doc)
+    return documents
+
+
+def build_system():
+    db = Database()
+    create_all(db)
+    registry = RuleRegistry(db)
+    engine = FilterEngine(db, registry)
+    ends = {}
+    for index, text in enumerate(RULES):
+        normalized = normalize_rule(parse_rule(text), SCHEMA)[0]
+        registration = registry.register_subscription(
+            f"lmr{index}", text, decompose_rule(normalized, SCHEMA)
+        )
+        engine.initialize_rules(registration.created)
+        ends[text] = registration.end_rule
+    return db, engine, ends
+
+
+def oracle(text, pool):
+    rule = parse_rule(text)
+    query = Query(rule.extensions, rule.register, rule.where)
+    return {r.uri for r in evaluate_query(query, pool, SCHEMA)}
+
+
+@prop_settings(30)
+@given(documents=worlds())
+def test_rich_insert_oracle(documents):
+    db, engine, ends = build_system()
+    try:
+        for doc in documents:
+            engine.process_diff(diff_documents(None, doc))
+        pool = {r.uri: r for doc in documents for r in doc}
+        for text, end in ends.items():
+            assert set(engine.current_matches(end)) == oracle(text, pool), text
+    finally:
+        db.close()
+
+
+@prop_settings(30)
+@given(documents=worlds(), data=st.data())
+def test_rich_update_oracle(documents, data):
+    db, engine, ends = build_system()
+    try:
+        current = {}
+        for doc in documents:
+            engine.process_diff(diff_documents(None, doc))
+            current[doc.uri] = doc
+        for __ in range(data.draw(st.integers(min_value=1, max_value=3))):
+            uri = data.draw(st.sampled_from(sorted(current)), label="victim")
+            doc = current[uri]
+            updated = doc.copy()
+            provider = updated.get(f"{uri}#p")
+            mutation = data.draw(
+                st.sampled_from(["host", "tags", "info", "class_flip"]),
+                label="mutation",
+            )
+            if mutation == "host":
+                provider.set("serverHost", data.draw(hosts, label="h"))
+            elif mutation == "tags":
+                provider.remove("tags")
+                for tag in data.draw(tags, label="t"):
+                    provider.add("tags", tag)
+            elif mutation == "info" and updated.get(f"{uri}#info"):
+                info = updated.get(f"{uri}#info")
+                info.set("memory", data.draw(small_ints, label="m"))
+                info.set("cpu", data.draw(small_ints, label="c"))
+            elif mutation == "class_flip" and provider.rdf_class == "DataProvider":
+                # Swap a DataProvider for a plain Provider (keeps only
+                # the superclass properties).
+                fresh = Document(uri)
+                replacement = fresh.new_resource("p", "Provider")
+                for value in provider.get("serverHost"):
+                    replacement.add("serverHost", value)
+                updated = fresh
+            engine.process_diff(diff_documents(doc, updated))
+            current[uri] = updated
+        pool = {r.uri: r for doc in current.values() for r in doc}
+        for text, end in ends.items():
+            assert set(engine.current_matches(end)) == oracle(text, pool), text
+    finally:
+        db.close()

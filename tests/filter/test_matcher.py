@@ -1,0 +1,210 @@
+"""Unit tests for triggering-rule matching, one operator at a time."""
+
+import pytest
+
+from repro.filter.decompose import resources_atoms
+from repro.filter.matcher import initialize_triggering_rule, match_triggering_rules
+from repro.rdf.model import Document
+from repro.storage.tables import FilterDataTable, FilterInputTable, ResultObjectsTable
+
+from tests.conftest import register_rule
+
+
+def server(memory=92, cpu=600, local="info", doc_uri="d.rdf"):
+    doc = Document(doc_uri)
+    resource = doc.new_resource(local, "ServerInformation")
+    resource.add("memory", memory)
+    resource.add("cpu", cpu)
+    return resource
+
+
+def provider(host="a.uni-passau.de", port=80, local="host", doc_uri="d.rdf"):
+    doc = Document(doc_uri)
+    resource = doc.new_resource(local, "CycleProvider")
+    resource.add("serverHost", host)
+    resource.add("serverPort", port)
+    return resource
+
+
+def run_matcher(db, resources):
+    atoms = resources_atoms(resources)
+    filter_input = FilterInputTable(db)
+    filter_input.clear()
+    filter_input.load(atoms)
+    ResultObjectsTable(db).clear()
+    match_triggering_rules(db)
+    return {uri for uri, __ in ResultObjectsTable(db).rows_at(0)}
+
+
+@pytest.mark.parametrize(
+    "operator,threshold,matching,failing",
+    [
+        ("=", 92, 92, 91),
+        ("!=", 92, 91, 92),
+        ("<", 92, 91, 92),
+        ("<=", 92, 92, 93),
+        (">", 92, 93, 92),
+        (">=", 92, 92, 91),
+    ],
+)
+def test_comparison_operators(
+    db, registry, engine, schema, operator, threshold, matching, failing
+):
+    register_rule(
+        engine,
+        registry,
+        schema,
+        f"search ServerInformation s register s where s.memory {operator} "
+        f"{threshold}",
+    )
+    hit = run_matcher(db, [server(memory=matching, doc_uri="hit.rdf")])
+    assert hit == {"hit.rdf#info"}
+    miss = run_matcher(db, [server(memory=failing, doc_uri="miss.rdf")])
+    assert miss == set()
+
+
+def test_contains_operator(db, registry, engine, schema):
+    register_rule(
+        engine,
+        registry,
+        schema,
+        "search CycleProvider c register c "
+        "where c.serverHost contains 'uni-passau'",
+    )
+    assert run_matcher(db, [provider(host="x.uni-passau.de")])
+    assert not run_matcher(db, [provider(host="x.tum.de", doc_uri="e.rdf")])
+
+
+def test_contains_is_substring_not_pattern(db, registry, engine, schema):
+    # % and _ must be literal characters, not LIKE wildcards.
+    register_rule(
+        engine,
+        registry,
+        schema,
+        "search CycleProvider c register c where c.serverHost contains 'a%b'",
+    )
+    assert not run_matcher(db, [provider(host="a-x-b")])
+    assert run_matcher(db, [provider(host="xa%by", doc_uri="e.rdf")])
+
+
+def test_class_only_rule_matches_every_instance(db, registry, engine, schema):
+    register_rule(
+        engine, registry, schema, "search ServerInformation s register s"
+    )
+    assert run_matcher(db, [server()])
+    assert not run_matcher(db, [provider(doc_uri="e.rdf")])
+
+
+def test_class_rule_matches_subclasses(db, rich_schema):
+    from repro.filter.engine import FilterEngine
+    from repro.rules.registry import RuleRegistry
+
+    registry = RuleRegistry(db)
+    engine = FilterEngine(db, registry)
+    register_rule(engine, registry, rich_schema, "search Provider p register p")
+    doc = Document("d.rdf")
+    cycle = doc.new_resource("c", "CycleProvider")
+    assert run_matcher(db, [cycle]) == {"d.rdf#c"}
+
+
+def test_oid_rule_matches_exact_uri(db, registry, engine, schema):
+    register_rule(
+        engine,
+        registry,
+        schema,
+        "search ServerInformation s register s where s = 'hit.rdf#info'",
+    )
+    assert run_matcher(db, [server(doc_uri="hit.rdf")]) == {"hit.rdf#info"}
+    assert not run_matcher(db, [server(doc_uri="miss.rdf")])
+
+
+def test_numeric_equality_matches_integral_float(db, registry, engine, schema):
+    # Canonical rendering: 92.0 is stored as "92".
+    register_rule(
+        engine,
+        registry,
+        schema,
+        "search ServerInformation s register s where s.memory = 92.0",
+    )
+    assert run_matcher(db, [server(memory=92)])
+
+
+def test_one_matching_atom_suffices(db, registry, engine, rich_schema):
+    """ANY semantics: a single matching value of a set-valued property."""
+    from repro.filter.engine import FilterEngine
+    from repro.rules.registry import RuleRegistry
+
+    registry = RuleRegistry(db)
+    engine = FilterEngine(db, registry)
+    register_rule(
+        engine,
+        registry,
+        rich_schema,
+        "search CycleProvider c register c where c.tags? = 'fast'",
+    )
+    doc = Document("d.rdf")
+    resource = doc.new_resource("c", "CycleProvider")
+    resource.add("tags", "slow")
+    resource.add("tags", "fast")
+    assert run_matcher(db, [resource]) == {"d.rdf#c"}
+
+
+def test_duplicate_hits_deduplicated(db, registry, engine, rich_schema):
+    """Two matching atoms of one resource yield one result row."""
+    from repro.filter.engine import FilterEngine
+    from repro.rules.registry import RuleRegistry
+
+    registry = RuleRegistry(db)
+    engine = FilterEngine(db, registry)
+    register_rule(
+        engine,
+        registry,
+        rich_schema,
+        "search CycleProvider c register c where c.tags? contains 'a'",
+    )
+    doc = Document("d.rdf")
+    resource = doc.new_resource("c", "CycleProvider")
+    resource.add("tags", "aa")
+    resource.add("tags", "ab")
+    atoms = resources_atoms([resource])
+    filter_input = FilterInputTable(db)
+    filter_input.clear()
+    filter_input.load(atoms)
+    ResultObjectsTable(db).clear()
+    inserted = match_triggering_rules(db)
+    assert inserted == 1
+
+
+def test_initialize_triggering_rule_scans_existing_data(
+    db, registry, engine, schema
+):
+    # Register data first, then the rule; initialization must find it.
+    resources = [server(memory=128, doc_uri="old.rdf")]
+    FilterDataTable(db).insert_atoms(resources_atoms(resources))
+    end_rule = register_rule(
+        engine,
+        registry,
+        schema,
+        "search ServerInformation s register s where s.memory > 64",
+    )
+    assert engine.current_matches(end_rule) == ["old.rdf#info"]
+
+
+def test_initialize_respects_rule_id_filter(db, registry, engine, schema):
+    FilterDataTable(db).insert_atoms(
+        resources_atoms([server(memory=128, doc_uri="old.rdf")])
+    )
+    low = register_rule(
+        engine,
+        registry,
+        schema,
+        "search ServerInformation s register s where s.memory > 64",
+    )
+    high = register_rule(
+        engine,
+        registry,
+        schema,
+        "search ServerInformation s register s where s.memory > 1000",
+    )
+    assert engine.current_matches(low) == ["old.rdf#info"]
+    assert engine.current_matches(high) == []

@@ -1,0 +1,85 @@
+"""End-to-end reproduction of the paper's worked example (Figures 7–9).
+
+Registers the Section 3.3.1 rule, then the Figure 1 document, and checks
+the exact iteration trace of Figure 9:
+
+- initial iteration: ``doc.rdf#info`` matches the two ServerInformation
+  triggering rules, ``doc.rdf#host`` matches the contains rule;
+- iteration 1: the identity join derives ``doc.rdf#info``;
+- iteration 2: the reference join derives ``doc.rdf#host`` — the result.
+"""
+
+from repro.filter.decompose import resources_atoms
+from repro.filter.matcher import match_triggering_rules
+from repro.filter.joins import evaluate_groups_at
+from repro.rdf.model import URIRef
+from repro.storage.tables import FilterDataTable, FilterInputTable, ResultObjectsTable
+
+from tests.conftest import PAPER_RULE, register_rule
+
+
+def test_figure9_iteration_trace(db, registry, engine, schema, figure1):
+    end_rule = register_rule(engine, registry, schema, PAPER_RULE)
+
+    resources = list(figure1)
+    atoms = resources_atoms(resources)
+    FilterDataTable(db).insert_atoms(atoms)
+    filter_input = FilterInputTable(db)
+    filter_input.clear()
+    filter_input.load(atoms)
+    results = ResultObjectsTable(db)
+    results.clear()
+
+    # Initial iteration: three triggering hits (Figure 9, left table).
+    hits = match_triggering_rules(db)
+    assert hits == 3
+    initial = results.rows_at(0)
+    by_uri = {}
+    for uri, rule_id in initial:
+        by_uri.setdefault(uri, set()).add(rule_id)
+    assert set(by_uri) == {"doc.rdf#host", "doc.rdf#info"}
+    assert len(by_uri["doc.rdf#info"]) == 2  # memory > 64 and cpu > 500
+    assert len(by_uri["doc.rdf#host"]) == 1  # serverHost contains …
+
+    # Iteration 1: the identity join rule derives doc.rdf#info.
+    inserted = evaluate_groups_at(db, 0, 1)
+    assert inserted == 1
+    assert results.rows_at(1) == [
+        ("doc.rdf#info", results.rows_at(1)[0][1])
+    ]
+    assert results.rows_at(1)[0][0] == "doc.rdf#info"
+
+    # Iteration 2: the end rule derives doc.rdf#host (Figure 9, right).
+    inserted = evaluate_groups_at(db, 1, 2)
+    assert inserted == 1
+    assert results.rows_at(2) == [("doc.rdf#host", end_rule)]
+
+    # Iteration 3: nothing more depends — the filter terminates.
+    assert evaluate_groups_at(db, 2, 3) == 0
+
+
+def test_engine_run_matches_trace(db, registry, engine, schema, figure1):
+    end_rule = register_rule(engine, registry, schema, PAPER_RULE)
+    outcome = engine.process_insertions(list(figure1))
+    assert outcome.matched == {end_rule: {URIRef("doc.rdf#host")}}
+    run = outcome.passes[0]
+    assert run.triggering_hits == 3
+    assert run.iterations == 2
+
+
+def test_non_matching_document_produces_nothing(db, registry, engine, schema, figure1):
+    # Lower the memory below the rule's threshold: no end match.
+    figure1.get("doc.rdf#info").set("memory", 32)
+    register_rule(engine, registry, schema, PAPER_RULE)
+    outcome = engine.process_insertions(list(figure1))
+    assert outcome.matched == {}
+
+
+def test_partial_match_stops_at_identity_join(db, registry, engine, schema, figure1):
+    # cpu below threshold: memory rule fires but the identity join fails.
+    figure1.get("doc.rdf#info").set("cpu", 100)
+    register_rule(engine, registry, schema, PAPER_RULE)
+    outcome = engine.process_insertions(list(figure1))
+    assert outcome.matched == {}
+    assert outcome.passes[0].triggering_hits == 2
+    assert outcome.passes[0].iterations == 0

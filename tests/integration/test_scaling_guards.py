@@ -1,0 +1,121 @@
+"""Relative performance guards for the algorithmic claims.
+
+Not wall-clock benchmarks (those live in ``benchmarks/``) — these check
+*relative* behaviour with wide tolerances so a regression that destroys
+the algorithm's complexity class fails the test suite on any machine:
+
+- OID matching must stay (near-)independent of the rule base size — the
+  core Figure 11 property, which an index regression would break;
+- batch registration must amortize: total time for one batch of N must
+  be far below N single-document registrations.
+"""
+
+import time
+
+from repro.bench.harness import FilterBench
+from repro.workload.scenarios import WorkloadSpec
+
+
+def _batch_seconds(bench: FilterBench, batch_size: int, repeats: int = 3):
+    best = float("inf")
+    for __ in range(repeats):
+        db, engine = bench.fresh_engine()
+        documents = bench.spec.documents(batch_size)
+        resources = [r for doc in documents for r in doc]
+        started = time.perf_counter()
+        engine.process_insertions(resources, collect="none")
+        best = min(best, time.perf_counter() - started)
+        db.close()
+    return best
+
+
+def test_oid_cost_independent_of_rule_base():
+    small = FilterBench(WorkloadSpec("OID", 200))
+    large = FilterBench(WorkloadSpec("OID", 4_000))
+    try:
+        cost_small = _batch_seconds(small, 50)
+        cost_large = _batch_seconds(large, 50)
+        # 20x the rules must cost well under 5x the time (it is ~1x when
+        # the equality index is healthy; 5x absorbs machine noise).
+        assert cost_large < cost_small * 5, (cost_small, cost_large)
+    finally:
+        small.close()
+        large.close()
+
+
+def test_batching_amortizes_fixed_costs():
+    bench = FilterBench(WorkloadSpec("OID", 500))
+    try:
+        singles = 0.0
+        db, engine = bench.fresh_engine()
+        for index in range(20):
+            documents = bench.spec.documents(1, start_index=index)
+            resources = [r for doc in documents for r in doc]
+            started = time.perf_counter()
+            engine.process_insertions(resources, collect="none")
+            singles += time.perf_counter() - started
+        db.close()
+        batched = _batch_seconds(bench, 20)
+        # One batch of 20 must beat 20 batches of 1 comfortably.
+        assert batched < singles * 0.8, (batched, singles)
+    finally:
+        bench.close()
+
+
+def test_probe_mode_beats_scan_on_large_groups():
+    scan = FilterBench(WorkloadSpec("PATH", 3_000), join_evaluation="scan")
+    probe = FilterBench(WorkloadSpec("PATH", 3_000), join_evaluation="probe")
+    try:
+        cost_scan = _batch_seconds(scan, 2)
+        cost_probe = _batch_seconds(probe, 2)
+        assert cost_probe < cost_scan, (cost_probe, cost_scan)
+    finally:
+        scan.close()
+        probe.close()
+
+
+def test_many_small_documents_equal_one_large_document():
+    """Paper §4: "From the filter's point of view, registering several
+    small documents and registering one large document is the same."
+
+    One document holding B provider/info pairs must produce the same
+    matches as B Figure-1 documents, at comparable filter cost.
+    """
+    from repro.rdf.model import Document, URIRef
+
+    batch = 40
+    small_bench = FilterBench(WorkloadSpec("PATH", 200))
+    try:
+        # Many small documents.
+        db_small, engine_small = small_bench.fresh_engine()
+        documents = small_bench.spec.documents(batch)
+        resources = [r for doc in documents for r in doc]
+        started = time.perf_counter()
+        engine_small.process_insertions(resources, collect="none")
+        small_seconds = time.perf_counter() - started
+        small_hits = engine_small.result_count()
+        db_small.close()
+
+        # One large document with the same resources.
+        db_large, engine_large = small_bench.fresh_engine()
+        mega = Document("mega.rdf")
+        for index in range(batch):
+            host = mega.new_resource(f"host{index}", "CycleProvider")
+            host.add("serverHost", f"host{index}.uni-passau.de")
+            host.add("synthValue", 0)
+            host.add("serverInformation", URIRef(f"mega.rdf#info{index}"))
+            info = mega.new_resource(f"info{index}", "ServerInformation")
+            info.add("memory", index)
+            info.add("cpu", 600)
+        started = time.perf_counter()
+        engine_large.process_insertions(list(mega), collect="none")
+        large_seconds = time.perf_counter() - started
+        large_hits = engine_large.result_count()
+        db_large.close()
+
+        assert large_hits == small_hits
+        # Same work, generous tolerance for timer noise.
+        assert large_seconds < small_seconds * 3
+        assert small_seconds < large_seconds * 3
+    finally:
+        small_bench.close()

@@ -1,0 +1,149 @@
+"""Stateful property test: the full MDP/LMR lifecycle.
+
+A hypothesis state machine drives one provider and one LMR through
+arbitrary interleavings of document registrations, updates, deletions,
+*and* subscription changes — the axis the other property tests keep
+fixed.  Subscribing must fill the cache from existing data; every
+mutation must keep the cache equal to the oracle; unsubscribing must
+evict exactly the no-longer-covered resources and garbage-collect the
+rule catalogue down to what remains referenced.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.mdv.provider import MetadataProvider
+from repro.mdv.repository import LocalMetadataRepository
+from repro.query.evaluator import evaluate_query
+from repro.rdf.model import Document, URIRef
+from repro.rdf.schema import objectglobe_schema
+from repro.rules.ast import Query
+from repro.rules.parser import parse_rule
+
+SCHEMA = objectglobe_schema()
+
+RULE_POOL = [
+    "search CycleProvider c register c "
+    "where c.serverHost contains 'passau'",
+    "search CycleProvider c register c "
+    "where c.serverInformation.memory > 64",
+    "search ServerInformation s register s where s.cpu >= 600",
+    "search CycleProvider c register c where c.synthValue = 2",
+    "search CycleProvider c register c "
+    "where c.serverHost contains 'de' and c.synthValue >= 1",
+]
+
+DOC_SLOTS = list(range(4))
+HOSTS = ["a.uni-passau.de", "b.tum.de", "c.org"]
+doc_slots = st.sampled_from(DOC_SLOTS)
+hosts = st.sampled_from(HOSTS)
+small_ints = st.integers(min_value=0, max_value=4)
+memories = st.sampled_from([16, 92, 256])
+cpus = st.sampled_from([400, 600, 900])
+rules = st.sampled_from(RULE_POOL)
+
+
+def make_doc(index, host, synth, memory, cpu):
+    doc = Document(f"doc{index}.rdf")
+    provider = doc.new_resource("host", "CycleProvider")
+    provider.add("serverHost", host)
+    provider.add("synthValue", synth)
+    provider.add("serverInformation", URIRef(f"doc{index}.rdf#info"))
+    info = doc.new_resource("info", "ServerInformation")
+    info.add("memory", memory)
+    info.add("cpu", cpu)
+    return doc
+
+
+class LifecycleMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.mdp = MetadataProvider(SCHEMA)
+        self.lmr = LocalMetadataRepository("lmr", self.mdp)
+        self.documents: dict[str, Document] = {}
+        self.active_rules: set[str] = set()
+
+    # -- operations -----------------------------------------------------
+    @rule(index=doc_slots, host=hosts, synth=small_ints,
+          memory=memories, cpu=cpus)
+    def register(self, index, host, synth, memory, cpu):
+        doc = make_doc(index, host, synth, memory, cpu)
+        self.mdp.register_document(doc)
+        self.documents[doc.uri] = doc
+
+    @rule(index=doc_slots)
+    def delete(self, index):
+        uri = f"doc{index}.rdf"
+        if uri in self.documents:
+            self.mdp.delete_document(uri)
+            del self.documents[uri]
+
+    @rule(text=rules)
+    def subscribe(self, text):
+        if text not in self.active_rules:
+            self.lmr.subscribe(text)
+            self.active_rules.add(text)
+
+    @rule(text=rules)
+    def unsubscribe(self, text):
+        if text in self.active_rules:
+            self.lmr.unsubscribe(text)
+            self.active_rules.discard(text)
+
+    # -- invariants -------------------------------------------------------
+    @invariant()
+    def cache_matches_oracle(self):
+        if not hasattr(self, "lmr"):
+            return
+        pool = {
+            r.uri: r for doc in self.documents.values() for r in doc
+        }
+        expected: set[URIRef] = set()
+        for text in self.active_rules:
+            parsed = parse_rule(text)
+            query = Query(parsed.extensions, parsed.register, parsed.where)
+            expected |= {
+                r.uri for r in evaluate_query(query, pool, SCHEMA)
+            }
+        matched = {
+            uri
+            for uri in self.lmr.cache.uris()
+            if self.lmr.cache.get(uri).matched_subs
+        }
+        assert matched == expected
+
+    @invariant()
+    def rule_catalogue_collected(self):
+        if not hasattr(self, "mdp"):
+            return
+        if not self.active_rules:
+            assert self.mdp.registry.atom_count() == 0
+
+    @invariant()
+    def cached_content_is_current(self):
+        if not hasattr(self, "lmr"):
+            return
+        for uri in self.lmr.cache.uris():
+            entry = self.lmr.cache.get(uri)
+            if entry.matched_subs:
+                assert entry.resource == self.mdp.resource(uri)
+
+    def teardown(self):
+        if hasattr(self, "mdp"):
+            self.mdp.db.close()
+
+
+from tests.conftest import SOAK_MULTIPLIER
+
+LifecycleMachine.TestCase.settings = settings(
+    max_examples=25 * SOAK_MULTIPLIER,
+    stateful_step_count=20,
+    deadline=None,
+)
+TestLifecycle = LifecycleMachine.TestCase

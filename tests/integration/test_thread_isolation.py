@@ -1,0 +1,69 @@
+"""Provider instances must be fully isolated (no hidden global state).
+
+Four independent MDP/LMR stacks run the same scenario concurrently, one
+per thread; every stack must produce exactly the single-threaded result.
+(Each thread creates its own SQLite connection — sharing one provider
+across threads is not supported, matching SQLite's threading model.)
+"""
+
+import threading
+
+from repro.mdv.provider import MetadataProvider
+from repro.mdv.repository import LocalMetadataRepository
+from repro.rdf.model import Document, URIRef
+from repro.rdf.schema import objectglobe_schema
+
+
+def scenario(thread_index: int, results: dict, errors: list) -> None:
+    try:
+        schema = objectglobe_schema()
+        mdp = MetadataProvider(schema, name=f"mdp-{thread_index}")
+        lmr = LocalMetadataRepository(f"lmr-{thread_index}", mdp)
+        lmr.subscribe(
+            "search CycleProvider c register c "
+            "where c.serverInformation.memory > 64"
+        )
+        for doc_index in range(6):
+            doc = Document(f"doc{doc_index}.rdf")
+            provider = doc.new_resource("host", "CycleProvider")
+            provider.add("serverHost", f"h{thread_index}-{doc_index}.de")
+            provider.add(
+                "serverInformation", URIRef(f"doc{doc_index}.rdf#info")
+            )
+            info = doc.new_resource("info", "ServerInformation")
+            # Vary matches per thread: memory depends on both indices.
+            info.add("memory", 32 + 16 * ((doc_index + thread_index) % 4))
+            info.add("cpu", 600)
+            mdp.register_document(doc)
+        results[thread_index] = sorted(
+            str(r.uri) for r in lmr.query("search CycleProvider c")
+        )
+        mdp.db.close()
+    except Exception as exc:  # noqa: BLE001 - report to the main thread
+        errors.append((thread_index, exc))
+
+
+def expected_for(thread_index: int) -> list:
+    matches = []
+    for doc_index in range(6):
+        memory = 32 + 16 * ((doc_index + thread_index) % 4)
+        if memory > 64:
+            matches.append(f"doc{doc_index}.rdf#host")
+    return sorted(matches)
+
+
+def test_parallel_stacks_are_isolated():
+    results: dict = {}
+    errors: list = []
+    threads = [
+        threading.Thread(target=scenario, args=(index, results, errors))
+        for index in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors, errors
+    assert set(results) == {0, 1, 2, 3}
+    for thread_index, matched in results.items():
+        assert matched == expected_for(thread_index), thread_index

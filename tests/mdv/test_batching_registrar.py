@@ -1,0 +1,130 @@
+"""Tests for the periodic batching registrar."""
+
+import pytest
+
+from repro.mdv.batching import BatchingRegistrar
+from repro.mdv.provider import MetadataProvider
+from repro.mdv.repository import LocalMetadataRepository
+from repro.rdf.model import Document, URIRef
+
+
+def make_doc(index, memory=92):
+    doc = Document(f"doc{index}.rdf")
+    provider = doc.new_resource("host", "CycleProvider")
+    provider.add("serverHost", "a.uni-passau.de")
+    provider.add("serverInformation", URIRef(f"doc{index}.rdf#info"))
+    info = doc.new_resource("info", "ServerInformation")
+    info.add("memory", memory)
+    info.add("cpu", 600)
+    return doc
+
+
+@pytest.fixture()
+def system(schema):
+    mdp = MetadataProvider(schema)
+    lmr = LocalMetadataRepository("lmr", mdp)
+    lmr.subscribe(
+        "search CycleProvider c register c "
+        "where c.serverHost contains 'passau'"
+    )
+    return mdp, lmr
+
+
+def test_flush_on_max_batch(system, schema):
+    mdp, lmr = system
+    registrar = BatchingRegistrar(mdp, max_batch=3, max_delay=100)
+    assert registrar.submit(make_doc(0)) is None
+    assert registrar.submit(make_doc(1)) is None
+    outcome = registrar.submit(make_doc(2))
+    assert outcome is not None
+    assert registrar.pending == 0
+    assert mdp.document_count() == 3
+    assert len(lmr.query("search CycleProvider c")) == 3
+    assert registrar.stats.flushes == 1
+    assert registrar.stats.flush_sizes == [3]
+
+
+def test_flush_on_staleness(system, schema):
+    mdp, __ = system
+    registrar = BatchingRegistrar(mdp, max_batch=100, max_delay=3)
+    registrar.submit(make_doc(0))
+    assert registrar.tick() is None
+    assert registrar.tick() is None
+    outcome = registrar.tick()  # third tick reaches max_delay
+    assert outcome is not None
+    assert mdp.document_count() == 1
+
+
+def test_tick_without_queue_is_noop(system, schema):
+    mdp, __ = system
+    registrar = BatchingRegistrar(mdp, max_delay=1)
+    assert registrar.tick() is None
+    assert registrar.stats.flushes == 0
+
+
+def test_resubmission_coalesces(system, schema):
+    mdp, lmr = system
+    registrar = BatchingRegistrar(mdp, max_batch=10)
+    registrar.submit(make_doc(0, memory=16))
+    registrar.submit(make_doc(0, memory=512))  # replaces the queued one
+    assert registrar.pending == 1
+    assert registrar.stats.coalesced == 1
+    registrar.flush()
+    assert (
+        mdp.resource("doc0.rdf#info").get_one("memory").value == 512
+    )
+    # Exactly one filter execution happened for the whole flush.
+    assert registrar.stats.flushes == 1
+
+
+def test_manual_flush(system, schema):
+    mdp, __ = system
+    registrar = BatchingRegistrar(mdp)
+    registrar.submit(make_doc(0))
+    registrar.submit(make_doc(1))
+    assert registrar.pending_uris() == ["doc0.rdf", "doc1.rdf"]
+    outcome = registrar.flush()
+    assert sum(len(v) for v in outcome.matched.values()) == 2
+    assert registrar.pending == 0
+
+
+def test_flush_mixing_update_and_insert(system, schema):
+    mdp, lmr = system
+    mdp.register_document(make_doc(0, memory=92))
+    registrar = BatchingRegistrar(mdp)
+    registrar.submit(make_doc(0, memory=128))  # update
+    registrar.submit(make_doc(1))              # insert
+    registrar.flush()
+    assert mdp.document_count() == 2
+    assert (
+        mdp.resource("doc0.rdf#info").get_one("memory").value == 128
+    )
+
+
+def test_invalid_document_rejected_at_submit(system, schema):
+    from repro.errors import SchemaValidationError
+
+    mdp, __ = system
+    registrar = BatchingRegistrar(mdp)
+    bad = Document("bad.rdf")
+    bad.new_resource("x", "Mystery")
+    with pytest.raises(SchemaValidationError):
+        registrar.submit(bad)
+    assert registrar.pending == 0
+
+
+def test_parameter_validation(system, schema):
+    mdp, __ = system
+    with pytest.raises(ValueError):
+        BatchingRegistrar(mdp, max_batch=0)
+    with pytest.raises(ValueError):
+        BatchingRegistrar(mdp, max_delay=0)
+
+
+def test_average_batch_size(system, schema):
+    mdp, __ = system
+    registrar = BatchingRegistrar(mdp, max_batch=2)
+    for index in range(4):
+        registrar.submit(make_doc(index))
+    assert registrar.stats.average_batch_size == 2.0
+    assert BatchingRegistrar(mdp).stats.average_batch_size == 0.0

@@ -1,0 +1,116 @@
+"""Property-based invariants for the LMR cache's reference counting.
+
+After an arbitrary sequence of match / unmatch / delete notifications,
+the strong reference counts on cache entries must equal a from-scratch
+recount over the entries' strong edges, and every entry must be
+retained for a reason (a matching rule, a positive refcount, or local
+registration).
+"""
+
+from tests.conftest import prop_settings
+from hypothesis import given, settings, strategies as st
+
+from repro.mdv.cache import CacheStore
+from repro.pubsub.closure import strong_targets
+from repro.pubsub.notifications import ResourcePayload
+from repro.rdf.model import Document, URIRef
+from repro.rdf.schema import objectglobe_schema
+
+SCHEMA = objectglobe_schema()
+DOC_COUNT = 4
+SUB_IDS = (1, 2)
+
+
+def build_payload(index: int, target: int, memory: int) -> ResourcePayload:
+    """A CycleProvider strongly referencing ``doc{target}``'s info."""
+    doc = Document(f"doc{index}.rdf")
+    host = doc.new_resource("host", "CycleProvider")
+    host.add("serverHost", f"h{index}.de")
+    host.add("serverInformation", URIRef(f"doc{target}.rdf#info"))
+    info_doc = Document(f"doc{target}.rdf")
+    info = info_doc.new_resource("info", "ServerInformation")
+    info.add("memory", memory)
+    info.add("cpu", 600)
+    return ResourcePayload(host, [info])
+
+
+@st.composite
+def notification_sequences(draw):
+    steps = []
+    for __ in range(draw(st.integers(min_value=1, max_value=12))):
+        kind = draw(st.sampled_from(["match", "unmatch", "delete"]))
+        index = draw(st.integers(min_value=0, max_value=DOC_COUNT - 1))
+        if kind == "match":
+            steps.append(
+                (
+                    "match",
+                    draw(st.sampled_from(SUB_IDS)),
+                    index,
+                    draw(st.integers(min_value=0, max_value=DOC_COUNT - 1)),
+                    draw(st.integers(min_value=1, max_value=512)),
+                )
+            )
+        elif kind == "unmatch":
+            steps.append(
+                ("unmatch", draw(st.sampled_from(SUB_IDS)), index)
+            )
+        else:
+            steps.append(("delete", index))
+    return steps
+
+
+def recount_strong_refs(cache: CacheStore) -> dict[URIRef, int]:
+    counts: dict[URIRef, int] = {uri: 0 for uri in cache.uris()}
+    for uri in cache.uris():
+        entry = cache.get(uri)
+        for target in strong_targets(entry.resource, SCHEMA):
+            if target in counts:
+                counts[target] += 1
+    return counts
+
+
+@prop_settings(80)
+@given(steps=notification_sequences())
+def test_refcounts_match_recount(steps):
+    cache = CacheStore(SCHEMA)
+    for step in steps:
+        if step[0] == "match":
+            __, sub_id, index, target, memory = step
+            cache.apply_match(sub_id, build_payload(index, target, memory))
+        elif step[0] == "unmatch":
+            __, sub_id, index = step
+            cache.apply_unmatch(sub_id, URIRef(f"doc{index}.rdf#host"))
+        else:
+            __, index = step
+            cache.apply_delete(URIRef(f"doc{index}.rdf#host"))
+
+    recounted = recount_strong_refs(cache)
+    for uri in cache.uris():
+        entry = cache.get(uri)
+        assert entry.strong_refcount == recounted[uri], uri
+        assert entry.retained, uri
+
+
+@prop_settings(80)
+@given(steps=notification_sequences())
+def test_unmatch_all_then_empty(steps):
+    """Revoking every match empties the cache (no leaks, no dangling)."""
+    cache = CacheStore(SCHEMA)
+    for step in steps:
+        if step[0] == "match":
+            __, sub_id, index, target, memory = step
+            cache.apply_match(sub_id, build_payload(index, target, memory))
+        elif step[0] == "unmatch":
+            __, sub_id, index = step
+            cache.apply_unmatch(sub_id, URIRef(f"doc{index}.rdf#host"))
+        else:
+            __, index = step
+            cache.apply_delete(URIRef(f"doc{index}.rdf#host"))
+    for uri in list(cache.uris()):
+        entry = cache.get(uri)
+        if entry is None:
+            continue
+        for sub_id in list(entry.matched_subs):
+            cache.apply_unmatch(sub_id, uri)
+    # The ObjectGlobe schema has no strong cycles, so nothing survives.
+    assert len(cache) == 0

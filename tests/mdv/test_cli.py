@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro.mdv`` command-line interface."""
+
+import pytest
+
+import repro.mdv.__main__ as cli
+
+
+def test_demo_runs_and_reports(capsys):
+    assert cli.main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "subscribing lmr-passau" in out
+    assert "provider statistics" in out
+    assert "network accounting" in out
+    # The upgrade brings kat into the cache: 3 providers in the end.
+    assert out.count("doc") > 4
+
+
+def test_explain_valid_rule(capsys):
+    assert (
+        cli.main(
+            [
+                "explain",
+                "search CycleProvider c register c "
+                "where c.serverInformation.memory > 64",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "normalized:" in out
+    assert "triggering" in out
+
+
+def test_explain_invalid_rule(capsys):
+    assert cli.main(["explain", "search Nonsense"]) == 1
+    err = capsys.readouterr().err
+    assert "error:" in err
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        cli.main([])

@@ -1,0 +1,164 @@
+"""Unit tests for MDV clients and the replicated MDP backbone."""
+
+import pytest
+
+from repro.errors import MDVError
+from repro.mdv.backbone import Backbone
+from repro.mdv.client import MDVClient
+from repro.mdv.provider import MetadataProvider
+from repro.mdv.repository import LocalMetadataRepository
+from repro.net.bus import NetworkBus
+from repro.rdf.model import Document, URIRef
+
+
+def make_doc(index, host="a.uni-passau.de", memory=92):
+    doc = Document(f"doc{index}.rdf")
+    provider = doc.new_resource("host", "CycleProvider")
+    provider.add("serverHost", host)
+    provider.add("serverInformation", URIRef(f"doc{index}.rdf#info"))
+    info = doc.new_resource("info", "ServerInformation")
+    info.add("memory", memory)
+    info.add("cpu", 600)
+    return doc
+
+
+class TestClient:
+    @pytest.fixture()
+    def stack(self, schema):
+        mdp = MetadataProvider(schema, name="mdp")
+        lmr = LocalMetadataRepository("lmr", mdp)
+        client = MDVClient("alice", lmr)
+        return mdp, lmr, client
+
+    def test_query_goes_to_lmr(self, stack):
+        mdp, lmr, client = stack
+        lmr.subscribe(
+            "search CycleProvider c register c "
+            "where c.serverHost contains 'passau'"
+        )
+        mdp.register_document(make_doc(1))
+        mdp.register_document(make_doc(2, host="x.tum.de"))
+        assert [str(r.uri) for r in client.query("search CycleProvider c")] == [
+            "doc1.rdf#host"
+        ]
+
+    def test_browse_goes_to_mdp(self, stack):
+        mdp, __, client = stack
+        mdp.register_document(make_doc(2, host="x.tum.de"))
+        results = client.browse(
+            "search CycleProvider c where c.serverHost contains 'tum'"
+        )
+        assert [str(r.uri) for r in results] == ["doc2.rdf#host"]
+
+    def test_select_for_caching_generates_oid_rule(self, stack):
+        mdp, lmr, client = stack
+        mdp.register_document(make_doc(1))
+        (browsed,) = client.browse(
+            "search CycleProvider c where c.serverHost contains 'passau'"
+        )
+        rule_text = client.select_for_caching(browsed)
+        assert "register r where r = 'doc1.rdf#host'" in rule_text
+        assert "doc1.rdf#host" in lmr.cache
+        # Updates to the selected resource keep flowing.
+        mdp.register_document(make_doc(1, memory=1024))
+        cached = lmr.cache.resource("doc1.rdf#info")
+        assert cached.get_one("memory").value == 1024
+
+    def test_register_through_client(self, stack):
+        mdp, lmr, client = stack
+        client.register_document(make_doc(5))
+        assert mdp.document_count() == 1
+        client.register_local_document(_local_doc())
+        assert mdp.document_count() == 1
+
+    def test_client_over_bus(self, schema):
+        bus = NetworkBus()
+        mdp = MetadataProvider(schema, name="mdp", bus=bus)
+        lmr = LocalMetadataRepository("lmr", mdp, bus=bus)
+        client = MDVClient("alice", lmr, bus=bus)
+        bus.set_latency("alice", "lmr", 0.5)  # LAN
+        mdp.register_document(make_doc(1))
+        client.query("search CycleProvider c")
+        client.browse("search CycleProvider c")
+        lan = bus.links[("alice", "lmr")]
+        wan = bus.links[("alice", "mdp")]
+        assert lan.latency_ms < wan.latency_ms
+
+
+def _local_doc():
+    doc = Document("local.rdf")
+    doc.new_resource("x", "ServerInformation").add("memory", 1)
+    return doc
+
+
+class TestBackbone:
+    def test_replication_synchronizes_all_providers(self, schema):
+        backbone = Backbone(schema)
+        europe = backbone.add_provider("mdp-eu")
+        america = backbone.add_provider("mdp-us")
+        backbone.register_document(make_doc(1), at="mdp-eu")
+        assert europe.document_count() == 1
+        assert america.document_count() == 1
+        assert backbone.is_synchronized()
+
+    def test_each_provider_serves_its_own_subscribers(self, schema):
+        backbone = Backbone(schema)
+        europe = backbone.add_provider("mdp-eu")
+        america = backbone.add_provider("mdp-us")
+        lmr_eu = LocalMetadataRepository("lmr-eu", europe)
+        lmr_us = LocalMetadataRepository("lmr-us", america)
+        lmr_eu.subscribe(
+            "search CycleProvider c register c "
+            "where c.serverHost contains 'passau'"
+        )
+        lmr_us.subscribe(
+            "search CycleProvider c register c "
+            "where c.serverHost contains 'tum'"
+        )
+        backbone.register_document(make_doc(1), at="mdp-us")
+        backbone.register_document(make_doc(2, host="x.tum.de"), at="mdp-eu")
+        assert "doc1.rdf#host" in lmr_eu.cache
+        assert "doc1.rdf#host" not in lmr_us.cache
+        assert "doc2.rdf#host" in lmr_us.cache
+
+    def test_deletion_replicates(self, schema):
+        backbone = Backbone(schema)
+        backbone.add_provider("a")
+        backbone.add_provider("b")
+        backbone.register_document(make_doc(1), at="a")
+        backbone.delete_document("doc1.rdf", at="b")
+        assert all(
+            p.document_count() == 0 for p in backbone.providers.values()
+        )
+        assert backbone.is_synchronized()
+
+    def test_update_replicates(self, schema):
+        backbone = Backbone(schema)
+        backbone.add_provider("a")
+        other = backbone.add_provider("b")
+        backbone.register_document(make_doc(1, memory=92), at="a")
+        backbone.register_document(make_doc(1, memory=256), at="b")
+        assert (
+            other.resource("doc1.rdf#info").get_one("memory").value == 256
+        )
+        assert backbone.is_synchronized()
+
+    def test_duplicate_provider_name_rejected(self, schema):
+        backbone = Backbone(schema)
+        backbone.add_provider("a")
+        with pytest.raises(MDVError):
+            backbone.add_provider("a")
+
+    def test_empty_backbone_rejected(self, schema):
+        backbone = Backbone(schema)
+        with pytest.raises(MDVError):
+            backbone.register_document(make_doc(1))
+
+    def test_replication_over_bus_accounted(self, schema):
+        bus = NetworkBus()
+        backbone = Backbone(schema, bus=bus)
+        backbone.add_provider("a")
+        backbone.add_provider("b")
+        backbone.register_document(make_doc(1), at="a")
+        assert ("a", "b") in bus.links
+        assert backbone.replications == 1

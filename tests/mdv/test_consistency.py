@@ -1,0 +1,152 @@
+"""Tests for the alternative consistency strategies (paper, §3.5 end)."""
+
+import pytest
+
+from repro.mdv.cache import CacheStore
+from repro.mdv.consistency import (
+    FilterStrategy,
+    ResourceListStrategy,
+    TTLStrategy,
+    expire_stale_entries,
+)
+from repro.mdv.provider import MetadataProvider
+from repro.pubsub.notifications import ResourcePayload
+from repro.rdf.diff import diff_documents
+from repro.rdf.model import Document, Resource, URIRef
+
+MEMORY_RULE = (
+    "search CycleProvider c register c "
+    "where c.serverInformation.memory > 64"
+)
+
+
+def make_doc(index, memory=92):
+    doc = Document(f"doc{index}.rdf")
+    provider = doc.new_resource("host", "CycleProvider")
+    provider.add("serverHost", "a.uni-passau.de")
+    provider.add("serverInformation", URIRef(f"doc{index}.rdf#info"))
+    info = doc.new_resource("info", "ServerInformation")
+    info.add("memory", memory)
+    info.add("cpu", 600)
+    return doc
+
+
+def build(schema, strategy_class):
+    mdp = MetadataProvider(schema, name="mdp")
+    mdp.connect_subscriber("lmr", lambda batch: None)
+    mdp.subscribe("lmr", MEMORY_RULE)
+    strategy = strategy_class(mdp)
+    return mdp, strategy
+
+
+class TestFilterStrategy:
+    def test_matches_and_unmatches(self, schema):
+        mdp, strategy = build(schema, FilterStrategy)
+        doc = make_doc(1)
+        outcome = strategy.process_diff(diff_documents(None, doc))
+        assert outcome.matched
+        updated = doc.copy()
+        updated.get("doc1.rdf#info").set("memory", 16)
+        outcome = strategy.process_diff(diff_documents(doc, updated))
+        assert outcome.unmatched
+        assert strategy.cost.filter_passes == 4  # 1 insert + 3 update
+        assert strategy.cost.full_rule_evaluations == 0
+
+
+class TestResourceListStrategy:
+    def test_insert_records_book(self, schema):
+        mdp, strategy = build(schema, ResourceListStrategy)
+        outcome = strategy.process_diff(diff_documents(None, make_doc(1)))
+        assert outcome.matched
+        assert URIRef("doc1.rdf#host") in strategy.book.by_resource
+
+    def test_update_uses_full_rule_evaluation(self, schema):
+        mdp, strategy = build(schema, ResourceListStrategy)
+        doc = make_doc(1)
+        strategy.process_diff(diff_documents(None, doc))
+        # Update the provider itself so the book lookup fires.
+        updated = doc.copy()
+        updated.get("doc1.rdf#host").set("serverHost", "b.tum.de")
+        outcome = strategy.process_diff(diff_documents(doc, updated))
+        assert strategy.cost.full_rule_evaluations >= 1
+        # The host still matches (rule keys on memory, not host).
+        assert not outcome.unmatched
+
+    def test_update_detects_unmatch(self, schema):
+        mdp, strategy = build(schema, ResourceListStrategy)
+        doc = make_doc(1)
+        strategy.process_diff(diff_documents(None, doc))
+        updated = doc.copy()
+        # Cache the host; now break the match via the host's own change:
+        # re-point the reference to a missing info.
+        updated.get("doc1.rdf#host").set(
+            "serverInformation", URIRef("gone.rdf#info")
+        )
+        outcome = strategy.process_diff(diff_documents(doc, updated))
+        assert URIRef("doc1.rdf#host") in set().union(
+            *outcome.unmatched.values()
+        )
+
+    def test_cost_grows_with_cached_rules(self, schema):
+        mdp = MetadataProvider(schema, name="mdp")
+        mdp.connect_subscriber("lmr", lambda batch: None)
+        for index in range(5):
+            mdp.subscribe(
+                "lmr",
+                f"search CycleProvider c register c "
+                f"where c.serverInformation.memory > {60 + index}",
+            )
+        strategy = ResourceListStrategy(mdp)
+        doc = make_doc(1)
+        strategy.process_diff(diff_documents(None, doc))
+        updated = doc.copy()
+        updated.get("doc1.rdf#host").set("serverHost", "x.de")
+        strategy.process_diff(diff_documents(doc, updated))
+        assert strategy.cost.full_rule_evaluations == 5
+
+
+class TestTTLStrategy:
+    def test_no_unmatch_notifications(self, schema):
+        mdp, strategy = build(schema, TTLStrategy)
+        doc = make_doc(1)
+        strategy.process_diff(diff_documents(None, doc))
+        updated = doc.copy()
+        updated.get("doc1.rdf#info").set("memory", 16)
+        outcome = strategy.process_diff(diff_documents(doc, updated))
+        assert outcome.unmatched == {}
+        assert strategy.cost.filter_passes == 2
+
+    def test_still_matching_resources_repullished(self, schema):
+        mdp, strategy = build(schema, TTLStrategy)
+        doc = make_doc(1)
+        strategy.process_diff(diff_documents(None, doc))
+        updated = doc.copy()
+        updated.get("doc1.rdf#info").set("memory", 128)
+        outcome = strategy.process_diff(diff_documents(doc, updated))
+        # Refresh arrives as a match; LMR entries renew their TTL.
+        assert outcome.matched
+
+
+class TestTTLExpiry:
+    def payload(self, schema, index=1, memory=92):
+        doc = make_doc(index, memory)
+        return ResourcePayload(doc.get(f"doc{index}.rdf#host").copy(), [])
+
+    def test_expiry_evicts_stale_entries(self, schema):
+        cache = CacheStore(schema)
+        cache.apply_match(1, self.payload(schema), now=0)
+        assert expire_stale_entries(cache, now=5, ttl=3) == 1
+        assert len(cache) == 0
+
+    def test_refresh_renews(self, schema):
+        cache = CacheStore(schema)
+        cache.apply_match(1, self.payload(schema), now=0)
+        cache.apply_match(1, self.payload(schema), now=4)
+        assert expire_stale_entries(cache, now=5, ttl=3) == 0
+        assert len(cache) == 1
+
+    def test_local_entries_never_expire(self, schema):
+        cache = CacheStore(schema)
+        resource = Resource("local.rdf#x", "ServerInformation")
+        cache.insert_local(resource, now=0)
+        assert expire_stale_entries(cache, now=100, ttl=1) == 0

@@ -1,0 +1,151 @@
+"""Integration scenario across all three tiers, over the simulated net.
+
+Plays out a small "electronic marketplace" story: two MDPs in a
+backbone, two LMRs with different interests, clients querying locally,
+documents being registered, updated and deleted at different providers —
+asserting at every step that each LMR's cache answers queries exactly as
+the global state would.
+"""
+
+import pytest
+
+from repro.mdv.backbone import Backbone
+from repro.mdv.client import MDVClient
+from repro.mdv.repository import LocalMetadataRepository
+from repro.net.bus import NetworkBus
+from repro.query.evaluator import evaluate_query
+from repro.rdf.model import Document, URIRef
+from repro.rules.ast import Query
+from repro.rules.parser import parse_query, parse_rule
+
+
+def make_doc(index, host, memory, cpu=600):
+    doc = Document(f"doc{index}.rdf")
+    provider = doc.new_resource("host", "CycleProvider")
+    provider.add("serverHost", host)
+    provider.add("serverInformation", URIRef(f"doc{index}.rdf#info"))
+    info = doc.new_resource("info", "ServerInformation")
+    info.add("memory", memory)
+    info.add("cpu", cpu)
+    return doc
+
+
+PASSAU = (
+    "search CycleProvider c register c "
+    "where c.serverHost contains 'uni-passau.de'"
+)
+BIG_MEMORY = (
+    "search CycleProvider c register c "
+    "where c.serverInformation.memory > 64"
+)
+
+
+@pytest.fixture()
+def world(schema):
+    bus = NetworkBus()
+    backbone = Backbone(schema, bus=bus)
+    mdp_eu = backbone.add_provider("mdp-eu")
+    mdp_us = backbone.add_provider("mdp-us")
+    lmr_eu = LocalMetadataRepository("lmr-eu", mdp_eu, bus=bus)
+    lmr_us = LocalMetadataRepository("lmr-us", mdp_us, bus=bus)
+    alice = MDVClient("alice", lmr_eu)
+    bob = MDVClient("bob", lmr_us)
+    lmr_eu.subscribe(PASSAU)
+    lmr_us.subscribe(BIG_MEMORY)
+    return bus, backbone, lmr_eu, lmr_us, alice, bob
+
+
+def oracle(documents, query_text, schema):
+    pool = {r.uri: r for doc in documents.values() for r in doc}
+    return {
+        str(r.uri)
+        for r in evaluate_query(parse_query(query_text), pool, schema)
+    }
+
+
+def check_cache_consistency(lmr, rule_texts, documents, schema):
+    """The LMR cache holds exactly the union of its rules' matches."""
+    expected = set()
+    for text in rule_texts:
+        rule = parse_rule(text)
+        query = Query(rule.extensions, rule.register, rule.where)
+        pool = {r.uri: r for doc in documents.values() for r in doc}
+        expected |= {
+            str(r.uri) for r in evaluate_query(query, pool, schema)
+        }
+    matched = {
+        str(uri)
+        for uri in lmr.cache.uris()
+        if lmr.cache.get(uri).matched_subs
+    }
+    assert matched == expected
+
+
+def test_marketplace_scenario(world, schema):
+    bus, backbone, lmr_eu, lmr_us, alice, bob = world
+    documents = {}
+
+    # Register three providers at different backbone nodes.
+    for index, host, memory, at in [
+        (1, "pirates.uni-passau.de", 92, "mdp-eu"),
+        (2, "db.tum.de", 256, "mdp-us"),
+        (3, "kat.uni-passau.de", 32, "mdp-us"),
+    ]:
+        doc = make_doc(index, host, memory)
+        backbone.register_document(doc, at=at)
+        documents[doc.uri] = doc
+    assert backbone.is_synchronized()
+
+    check_cache_consistency(lmr_eu, [PASSAU], documents, schema)
+    check_cache_consistency(lmr_us, [BIG_MEMORY], documents, schema)
+
+    # Local queries agree with the global oracle restricted to interests.
+    got = {str(r.uri) for r in alice.query("search CycleProvider c")}
+    assert got == {"doc1.rdf#host", "doc3.rdf#host"}
+    got = {str(r.uri) for r in bob.query("search CycleProvider c")}
+    assert got == {"doc1.rdf#host", "doc2.rdf#host"}
+
+    # Update: doc3 grows memory -> enters bob's cache via replication.
+    updated = make_doc(3, "kat.uni-passau.de", 512)
+    backbone.register_document(updated, at="mdp-eu")
+    documents["doc3.rdf"] = updated
+    check_cache_consistency(lmr_us, [BIG_MEMORY], documents, schema)
+    assert "doc3.rdf#host" in lmr_us.cache
+
+    # Update: doc1 loses memory -> leaves bob's cache, stays in alice's.
+    shrunk = make_doc(1, "pirates.uni-passau.de", 16)
+    backbone.register_document(shrunk, at="mdp-us")
+    documents["doc1.rdf"] = shrunk
+    check_cache_consistency(lmr_eu, [PASSAU], documents, schema)
+    check_cache_consistency(lmr_us, [BIG_MEMORY], documents, schema)
+    # Alice sees the refreshed content (strong child updated).
+    cached_info = lmr_eu.cache.resource("doc1.rdf#info")
+    assert cached_info.get_one("memory").value == 16
+
+    # Deletion: doc2 disappears everywhere.
+    backbone.delete_document("doc2.rdf", at="mdp-eu")
+    del documents["doc2.rdf"]
+    check_cache_consistency(lmr_us, [BIG_MEMORY], documents, schema)
+    assert "doc2.rdf#host" not in lmr_us.cache
+
+    # The whole exchange happened over the simulated network.
+    assert bus.total_messages > 5
+    assert bus.simulated_ms > 0
+
+    # Browsing at an MDP agrees with the oracle over the global state.
+    browsed = {
+        str(r.uri)
+        for r in alice.browse("search CycleProvider c")
+    }
+    assert browsed == oracle(documents, "search CycleProvider c", schema)
+
+
+def test_garbage_collection_in_scenario(world, schema):
+    __, backbone, lmr_eu, *__rest = world
+    doc = make_doc(1, "pirates.uni-passau.de", 92)
+    backbone.register_document(doc, at="mdp-eu")
+    assert "doc1.rdf#info" in lmr_eu.cache  # strong child
+    lmr_eu.unsubscribe(PASSAU)
+    assert len(lmr_eu.cache) == 0
+    report = lmr_eu.collect_garbage()
+    assert report.evicted == 0  # eager cascade already cleaned up

@@ -1,0 +1,93 @@
+"""Provider-level tests of the pluggable consistency strategies."""
+
+import pytest
+
+from repro.mdv.consistency import expire_stale_entries
+from repro.mdv.provider import MetadataProvider
+from repro.mdv.repository import LocalMetadataRepository
+from repro.rdf.model import Document, URIRef
+
+MEMORY_RULE = (
+    "search CycleProvider c register c "
+    "where c.serverInformation.memory > 64"
+)
+
+
+def make_doc(index, memory=92):
+    doc = Document(f"doc{index}.rdf")
+    provider = doc.new_resource("host", "CycleProvider")
+    provider.add("serverHost", "a.uni-passau.de")
+    provider.add("serverInformation", URIRef(f"doc{index}.rdf#info"))
+    info = doc.new_resource("info", "ServerInformation")
+    info.add("memory", memory)
+    info.add("cpu", 600)
+    return doc
+
+
+def test_invalid_mode_rejected(schema):
+    with pytest.raises(ValueError):
+        MetadataProvider(schema, consistency="eventual-ish")
+
+
+def test_resource_list_mode_full_cycle(schema):
+    mdp = MetadataProvider(schema, consistency="resource-list")
+    lmr = LocalMetadataRepository("lmr", mdp)
+    lmr.subscribe(MEMORY_RULE)
+    mdp.register_document(make_doc(1, memory=92))
+    assert "doc1.rdf#host" in lmr.cache
+    # Update below the threshold: precise eviction, like the filter.
+    mdp.register_document(make_doc(1, memory=16))
+    assert "doc1.rdf#host" not in lmr.cache
+    # And back in.
+    mdp.register_document(make_doc(1, memory=256))
+    assert "doc1.rdf#host" in lmr.cache
+
+
+def test_ttl_mode_keeps_stale_until_expiry(schema):
+    mdp = MetadataProvider(schema, consistency="ttl")
+    lmr = LocalMetadataRepository("lmr", mdp)
+    lmr.subscribe(MEMORY_RULE)
+    mdp.register_document(make_doc(1, memory=92))
+    assert "doc1.rdf#host" in lmr.cache
+
+    # The update stops the match, but TTL mode sends no unmatch:
+    # the cache serves stale data …
+    mdp.register_document(make_doc(1, memory=16))
+    assert "doc1.rdf#host" in lmr.cache
+
+    # … until the expiry pass reclaims entries that were not refreshed.
+    evicted = expire_stale_entries(lmr.cache, now=lmr.clock + 10, ttl=5)
+    assert evicted >= 1
+    assert "doc1.rdf#host" not in lmr.cache
+
+
+def test_ttl_mode_refresh_renews(schema):
+    mdp = MetadataProvider(schema, consistency="ttl")
+    lmr = LocalMetadataRepository("lmr", mdp)
+    lmr.subscribe(MEMORY_RULE)
+    mdp.register_document(make_doc(1, memory=92))
+    # A still-matching update re-publishes and renews the entry.
+    mdp.register_document(make_doc(1, memory=128))
+    refreshed_at = lmr.cache.get("doc1.rdf#host").refreshed_at
+    assert refreshed_at == lmr.clock
+    assert expire_stale_entries(lmr.cache, now=lmr.clock, ttl=5) == 0
+
+
+def test_ttl_mode_deletions_still_broadcast(schema):
+    mdp = MetadataProvider(schema, consistency="ttl")
+    lmr = LocalMetadataRepository("lmr", mdp)
+    lmr.subscribe(MEMORY_RULE)
+    mdp.register_document(make_doc(1))
+    mdp.delete_document("doc1.rdf")
+    assert "doc1.rdf#host" not in lmr.cache
+
+
+def test_lmr_expire_wrapper(schema):
+    mdp = MetadataProvider(schema, consistency="ttl")
+    lmr = LocalMetadataRepository("lmr", mdp)
+    lmr.subscribe(MEMORY_RULE)
+    mdp.register_document(make_doc(1, memory=92))
+    mdp.register_document(make_doc(1, memory=16))  # stale entry remains
+    lmr.clock += 10
+    assert lmr.expire(ttl=5) >= 1
+    assert "doc1.rdf#host" not in lmr.cache

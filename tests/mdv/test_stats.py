@@ -1,0 +1,59 @@
+"""Tests for the provider statistics snapshot."""
+
+from repro.mdv.provider import MetadataProvider
+from repro.mdv.repository import LocalMetadataRepository
+from repro.mdv.stats import collect_statistics
+from repro.rdf.model import Document, URIRef
+
+from tests.conftest import PAPER_RULE
+
+
+def make_doc(index):
+    doc = Document(f"doc{index}.rdf")
+    provider = doc.new_resource("host", "CycleProvider")
+    provider.add("serverHost", "a.uni-passau.de")
+    provider.add("serverInformation", URIRef(f"doc{index}.rdf#info"))
+    info = doc.new_resource("info", "ServerInformation")
+    info.add("memory", 92)
+    info.add("cpu", 600)
+    return doc
+
+
+def test_empty_provider(schema):
+    stats = collect_statistics(MetadataProvider(schema, name="empty"))
+    assert stats.documents == 0
+    assert stats.atoms == 0
+    assert stats.subscriptions == 0
+    assert "empty" in stats.summary()
+
+
+def test_populated_provider(schema):
+    mdp = MetadataProvider(schema, name="mdp-x")
+    lmr = LocalMetadataRepository("lmr", mdp)
+    lmr.subscribe(PAPER_RULE)
+    mdp.register_named_rule(
+        "AllProviders", "search CycleProvider c register c"
+    )
+    for index in range(3):
+        mdp.register_document(make_doc(index))
+
+    stats = collect_statistics(mdp)
+    assert stats.documents == 3
+    assert stats.resources == 6
+    assert stats.atoms == 3 * 6  # 2 identity atoms + 4 property atoms
+    assert stats.atomic_rules_triggering == 4  # 3 from PAPER_RULE + class
+    assert stats.atomic_rules_join == 2
+    assert stats.max_dependency_depth == 2
+    assert stats.subscriptions == 1  # named rule excluded
+    assert stats.named_rules == 1
+    assert stats.filter_runs == 3
+    assert stats.notifications_sent == 3
+    assert stats.materialized_rows > 0
+
+
+def test_summary_mentions_counts(schema):
+    mdp = MetadataProvider(schema, name="mdp-y")
+    mdp.register_document(make_doc(0))
+    summary = collect_statistics(mdp).summary()
+    assert "1 docs" in summary
+    assert "2 resources" in summary

@@ -1,0 +1,119 @@
+"""System-level property test: LMR caches track the global state.
+
+Random sequences of register/update/delete operations at the MDP, with
+two LMRs holding different rule sets.  Invariant, checked after every
+settled sequence: each LMR's *matched* cache entries are exactly the
+union of its rules evaluated (via the independent query oracle) over
+the provider's current documents — and cached content is identical to
+the provider's.
+"""
+
+from tests.conftest import prop_settings
+from hypothesis import given, settings, strategies as st
+
+from repro.mdv.provider import MetadataProvider
+from repro.mdv.repository import LocalMetadataRepository
+from repro.query.evaluator import evaluate_query
+from repro.rdf.model import Document, URIRef
+from repro.rdf.schema import objectglobe_schema
+from repro.rules.ast import Query
+from repro.rules.parser import parse_rule
+
+SCHEMA = objectglobe_schema()
+DOCS = 4
+
+RULESETS = {
+    "lmr-a": [
+        "search CycleProvider c register c "
+        "where c.serverHost contains 'passau'",
+        "search CycleProvider c register c "
+        "where c.serverInformation.memory > 3",
+    ],
+    "lmr-b": [
+        "search ServerInformation s register s where s.cpu >= 2",
+        "search CycleProvider c register c where c.synthValue != 1",
+    ],
+}
+
+hosts = st.sampled_from(["a.uni-passau.de", "b.tum.de", "c.de"])
+small_ints = st.integers(min_value=0, max_value=5)
+
+
+def make_doc(index, host, synth, memory, cpu):
+    doc = Document(f"doc{index}.rdf")
+    provider = doc.new_resource("host", "CycleProvider")
+    provider.add("serverHost", host)
+    provider.add("synthValue", synth)
+    provider.add("serverInformation", URIRef(f"doc{index}.rdf#info"))
+    info = doc.new_resource("info", "ServerInformation")
+    info.add("memory", memory)
+    info.add("cpu", cpu)
+    return doc
+
+
+@st.composite
+def operations(draw):
+    steps = []
+    for __ in range(draw(st.integers(min_value=1, max_value=10))):
+        kind = draw(st.sampled_from(["register", "register", "delete"]))
+        index = draw(st.integers(min_value=0, max_value=DOCS - 1))
+        if kind == "register":
+            steps.append(
+                (
+                    "register",
+                    index,
+                    draw(hosts),
+                    draw(small_ints),
+                    draw(small_ints),
+                    draw(small_ints),
+                )
+            )
+        else:
+            steps.append(("delete", index))
+    return steps
+
+
+@prop_settings(30)
+@given(steps=operations())
+def test_lmr_caches_track_global_state(steps):
+    mdp = MetadataProvider(SCHEMA)
+    lmrs = {}
+    for name, rules in RULESETS.items():
+        lmr = LocalMetadataRepository(name, mdp)
+        for rule in rules:
+            lmr.subscribe(rule)
+        lmrs[name] = lmr
+
+    current: dict[str, Document] = {}
+    for step in steps:
+        if step[0] == "register":
+            __, index, host, synth, memory, cpu = step
+            doc = make_doc(index, host, synth, memory, cpu)
+            mdp.register_document(doc)
+            current[doc.uri] = doc
+        else:
+            __, index = step
+            uri = f"doc{index}.rdf"
+            if uri in current:
+                mdp.delete_document(uri)
+                del current[uri]
+
+    pool = {r.uri: r for doc in current.values() for r in doc}
+    for name, rules in RULESETS.items():
+        lmr = lmrs[name]
+        expected: set[URIRef] = set()
+        for text in rules:
+            rule = parse_rule(text)
+            query = Query(rule.extensions, rule.register, rule.where)
+            expected |= {
+                r.uri for r in evaluate_query(query, pool, SCHEMA)
+            }
+        matched = {
+            uri
+            for uri in lmr.cache.uris()
+            if lmr.cache.get(uri).matched_subs
+        }
+        assert matched == expected, name
+        # Cached content equals provider content.
+        for uri in matched:
+            assert lmr.cache.resource(uri) == mdp.resource(uri), uri

@@ -1,0 +1,109 @@
+"""Unit tests for the simulated network bus."""
+
+import pytest
+
+from repro.errors import MDVError
+from repro.net.bus import Message, NetworkBus
+
+
+def test_send_delivers_and_returns_response():
+    bus = NetworkBus()
+    bus.register("echo", lambda message: ("echoed", message.payload))
+    assert bus.send("a", "echo", "ping", 42) == ("echoed", 42)
+
+
+def test_unknown_endpoint_raises():
+    bus = NetworkBus()
+    with pytest.raises(MDVError):
+        bus.send("a", "nobody", "ping", None)
+
+
+def test_message_metadata():
+    bus = NetworkBus()
+    seen = []
+    bus.register("sink", seen.append)
+    bus.send("src", "sink", "kind-x", {"k": 1})
+    (message,) = seen
+    assert message.source == "src"
+    assert message.destination == "sink"
+    assert message.kind == "kind-x"
+
+
+def test_latency_accounting_default():
+    bus = NetworkBus(default_latency_ms=10.0)
+    bus.register("b", lambda m: None)
+    bus.send("a", "b", "x", "payload")
+    bus.send("a", "b", "x", "payload")
+    assert bus.simulated_ms == 20.0
+    assert bus.total_messages == 2
+
+
+def test_per_link_latency_overrides_default():
+    bus = NetworkBus(default_latency_ms=100.0)
+    bus.register("lan-peer", lambda m: None)
+    bus.set_latency("a", "lan-peer", 0.5)
+    bus.send("a", "lan-peer", "x", "p")
+    assert bus.simulated_ms == 0.5
+    # Symmetric by default.
+    assert bus.latency("lan-peer", "a") == 0.5
+
+
+def test_asymmetric_latency():
+    bus = NetworkBus()
+    bus.set_latency("a", "b", 1.0, symmetric=False)
+    assert bus.latency("a", "b") == 1.0
+    assert bus.latency("b", "a") == bus.default_latency_ms
+
+
+def test_link_stats_accumulate():
+    bus = NetworkBus()
+    bus.register("b", lambda m: None)
+    bus.send("a", "b", "x", "12345")
+    bus.send("a", "b", "x", "12345")
+    stats = bus.links[("a", "b")]
+    assert stats.messages == 2
+    assert stats.bytes == 10
+
+
+def test_payload_size_hook():
+    class Sized:
+        def approximate_size(self):
+            return 1000
+
+    bus = NetworkBus()
+    bus.register("b", lambda m: None)
+    bus.send("a", "b", "x", Sized())
+    assert bus.links[("a", "b")].bytes == 1000
+
+
+def test_message_approximate_size_fallback():
+    message = Message("a", "b", "x", 12345)
+    assert message.approximate_size() == 5
+
+
+def test_endpoints_and_unregister():
+    bus = NetworkBus()
+    bus.register("b", lambda m: None)
+    bus.register("a", lambda m: None)
+    assert bus.endpoints() == ["a", "b"]
+    bus.unregister("a")
+    assert bus.endpoints() == ["b"]
+
+
+def test_reset_stats():
+    bus = NetworkBus()
+    bus.register("b", lambda m: None)
+    bus.send("a", "b", "x", "p")
+    bus.reset_stats()
+    assert bus.total_messages == 0
+    assert bus.links == {}
+    assert bus.simulated_ms == 0.0
+
+
+def test_stats_summary_mentions_links():
+    bus = NetworkBus()
+    bus.register("b", lambda m: None)
+    bus.send("a", "b", "x", "p")
+    summary = bus.stats_summary()
+    assert "a -> b" in summary
+    assert "messages=1" in summary

@@ -1,0 +1,109 @@
+"""Unit tests for strong-reference closure (paper, Section 2.4)."""
+
+from repro.pubsub.closure import strong_closure, strong_targets
+from repro.rdf.model import Document, URIRef
+from repro.rdf.schema import PropertyDef, PropertyKind, RefStrength, Schema
+
+
+def chain_schema() -> Schema:
+    """A → strong → B → strong → C, plus a weak edge A → D."""
+    schema = Schema()
+    schema.define_class("D", [])
+    schema.define_class("C", [])
+    schema.define_class(
+        "B",
+        [
+            PropertyDef(
+                "next", PropertyKind.REFERENCE, target_class="C",
+                strength=RefStrength.STRONG,
+            )
+        ],
+    )
+    schema.define_class(
+        "A",
+        [
+            PropertyDef(
+                "child", PropertyKind.REFERENCE, target_class="B",
+                strength=RefStrength.STRONG,
+            ),
+            PropertyDef("weak", PropertyKind.REFERENCE, target_class="D"),
+        ],
+    )
+    schema.define_class(
+        "Cyclic",
+        [
+            PropertyDef(
+                "peer", PropertyKind.REFERENCE, target_class="Cyclic",
+                strength=RefStrength.STRONG, multivalued=True,
+            )
+        ],
+    )
+    schema.freeze_check()
+    return schema
+
+
+def build_chain():
+    doc = Document("d.rdf")
+    a = doc.new_resource("a", "A")
+    a.add("child", URIRef("d.rdf#b"))
+    a.add("weak", URIRef("d.rdf#dd"))
+    b = doc.new_resource("b", "B")
+    b.add("next", URIRef("d.rdf#c"))
+    doc.new_resource("c", "C")
+    doc.new_resource("dd", "D")
+    return doc
+
+
+def test_strong_targets_direct_only():
+    schema = chain_schema()
+    doc = build_chain()
+    assert strong_targets(doc.get("d.rdf#a"), schema) == [URIRef("d.rdf#b")]
+    assert strong_targets(doc.get("d.rdf#c"), schema) == []
+
+
+def test_weak_references_never_followed():
+    schema = chain_schema()
+    doc = build_chain()
+    closure = strong_closure(doc.get("d.rdf#a"), schema, doc.get)
+    assert {str(r.uri) for r in closure} == {"d.rdf#b", "d.rdf#c"}
+
+
+def test_closure_is_transitive_and_excludes_start():
+    schema = chain_schema()
+    doc = build_chain()
+    closure = strong_closure(doc.get("d.rdf#a"), schema, doc.get)
+    assert all(r.uri != "d.rdf#a" for r in closure)
+    assert len(closure) == 2
+
+
+def test_dangling_reference_skipped():
+    schema = chain_schema()
+    doc = Document("d.rdf")
+    a = doc.new_resource("a", "A")
+    a.add("child", URIRef("gone.rdf#b"))
+    closure = strong_closure(doc.get("d.rdf#a"), schema, doc.get)
+    assert closure == []
+
+
+def test_cycles_terminate():
+    schema = chain_schema()
+    doc = Document("d.rdf")
+    x = doc.new_resource("x", "Cyclic")
+    y = doc.new_resource("y", "Cyclic")
+    x.add("peer", URIRef("d.rdf#y"))
+    y.add("peer", URIRef("d.rdf#x"))
+    closure = strong_closure(doc.get("d.rdf#x"), schema, doc.get)
+    assert {str(r.uri) for r in closure} == {"d.rdf#y"}
+
+
+def test_unknown_class_has_no_strong_targets():
+    schema = chain_schema()
+    doc = Document("d.rdf")
+    weird = doc.new_resource("w", "Mystery")
+    weird.add("child", URIRef("d.rdf#x"))
+    assert strong_targets(weird, schema) == []
+
+
+def test_objectglobe_server_information_travels(schema, figure1):
+    closure = strong_closure(figure1.get("doc.rdf#host"), schema, figure1.get)
+    assert [str(r.uri) for r in closure] == ["doc.rdf#info"]

@@ -1,0 +1,156 @@
+"""Unit tests for notification routing (the Publisher)."""
+
+from repro.filter.results import PublishOutcome
+from repro.pubsub.notifications import (
+    DeleteNotification,
+    MatchNotification,
+    NotificationBatch,
+    UnmatchNotification,
+)
+from repro.pubsub.publisher import Publisher
+from repro.rdf.model import Document, URIRef
+from repro.rules.decompose import decompose_rule
+from repro.rules.normalize import normalize_rule
+from repro.rules.parser import parse_rule
+
+
+def setup_world(schema, registry):
+    """Two subscribers on one rule, one subscriber on another."""
+    doc = Document("doc.rdf")
+    host = doc.new_resource("host", "CycleProvider")
+    host.add("serverHost", "pirates.uni-passau.de")
+    host.add("serverInformation", URIRef("doc.rdf#info"))
+    info = doc.new_resource("info", "ServerInformation")
+    info.add("memory", 92)
+
+    def register(subscriber, text):
+        normalized = normalize_rule(parse_rule(text), schema)[0]
+        return registry.register_subscription(
+            subscriber, text, decompose_rule(normalized, schema)
+        )
+
+    shared_rule = (
+        "search CycleProvider c register c "
+        "where c.serverHost contains 'passau'"
+    )
+    first = register("lmr-1", shared_rule)
+    second = register("lmr-2", shared_rule)
+    other = register(
+        "lmr-2", "search ServerInformation s register s where s.memory > 1"
+    )
+    publisher = Publisher(schema, registry, doc.get)
+    return doc, publisher, first, second, other
+
+
+def test_matches_fan_out_to_all_subscribers(schema, registry):
+    doc, publisher, first, __, __o = setup_world(schema, registry)
+    outcome = PublishOutcome()
+    outcome.add_matched(first.end_rule, URIRef("doc.rdf#host"))
+    batches = publisher.batches_for(outcome)
+    assert [b.subscriber for b in batches] == ["lmr-1", "lmr-2"]
+    for batch in batches:
+        (notification,) = batch.notifications
+        assert isinstance(notification, MatchNotification)
+        assert notification.uri == "doc.rdf#host"
+
+
+def test_payload_contains_strong_closure(schema, registry):
+    doc, publisher, first, __, __o = setup_world(schema, registry)
+    outcome = PublishOutcome()
+    outcome.add_matched(first.end_rule, URIRef("doc.rdf#host"))
+    (batch, __b2) = publisher.batches_for(outcome)
+    payload = batch.notifications[0].payload
+    assert [str(r.uri) for r in payload.strong_closure] == ["doc.rdf#info"]
+
+
+def test_payload_is_a_copy(schema, registry):
+    doc, publisher, first, __, __o = setup_world(schema, registry)
+    outcome = PublishOutcome()
+    outcome.add_matched(first.end_rule, URIRef("doc.rdf#host"))
+    (batch, __b2) = publisher.batches_for(outcome)
+    payload = batch.notifications[0].payload
+    payload.resource.set("serverHost", "mutated")
+    assert doc.get("doc.rdf#host").get_one("serverHost").value != "mutated"
+
+
+def test_unmatch_routing(schema, registry):
+    __, publisher, first, __s, other = setup_world(schema, registry)
+    outcome = PublishOutcome()
+    outcome.add_unmatched(other.end_rule, URIRef("doc.rdf#info"))
+    (batch,) = publisher.batches_for(outcome)
+    assert batch.subscriber == "lmr-2"
+    (notification,) = batch.notifications
+    assert isinstance(notification, UnmatchNotification)
+    assert notification.uri == "doc.rdf#info"
+
+
+def test_deletions_broadcast_to_every_subscriber(schema, registry):
+    __, publisher, *__rest = setup_world(schema, registry)
+    outcome = PublishOutcome()
+    outcome.deleted.add(URIRef("doc.rdf#info"))
+    batches = publisher.batches_for(outcome)
+    assert {b.subscriber for b in batches} == {"lmr-1", "lmr-2"}
+    for batch in batches:
+        assert any(
+            isinstance(n, DeleteNotification) for n in batch.notifications
+        )
+
+
+def test_missing_resource_content_skipped(schema, registry):
+    __, publisher, first, __s, __o = setup_world(schema, registry)
+    outcome = PublishOutcome()
+    outcome.add_matched(first.end_rule, URIRef("gone.rdf#x"))
+    assert publisher.batches_for(outcome) == []
+
+
+def test_named_rule_pseudo_subscriber_excluded(schema, registry):
+    rule_text = "search CycleProvider c register c"
+    normalized = normalize_rule(parse_rule(rule_text), schema)[0]
+    registration = registry.register_named_rule(
+        "AllProviders", rule_text, decompose_rule(normalized, schema)
+    )
+    doc = Document("doc.rdf")
+    doc.new_resource("host", "CycleProvider")
+    publisher = Publisher(schema, registry, doc.get)
+    outcome = PublishOutcome()
+    outcome.add_matched(registration.end_rule, URIRef("doc.rdf#host"))
+    assert publisher.batches_for(outcome) == []
+
+
+def test_initial_batch(schema, registry):
+    doc, publisher, first, __, __o = setup_world(schema, registry)
+    subscription = first.subscription
+    batch = publisher.initial_batch(
+        "lmr-1",
+        subscription.sub_id,
+        subscription.rule_text,
+        [URIRef("doc.rdf#host")],
+    )
+    assert isinstance(batch, NotificationBatch)
+    assert len(batch) == 1
+    assert batch.notifications[0].sub_id == subscription.sub_id
+
+
+def test_payload_cache_reuses_closure_computation(schema, registry):
+    doc, publisher, first, second, __ = setup_world(schema, registry)
+    outcome = PublishOutcome()
+    outcome.add_matched(first.end_rule, URIRef("doc.rdf#host"))
+    batches = publisher.batches_for(outcome)
+    payloads = [b.notifications[0].payload for b in batches]
+    assert payloads[0] is payloads[1]
+
+
+def test_notification_counter(schema, registry):
+    __, publisher, first, __s, __o = setup_world(schema, registry)
+    outcome = PublishOutcome()
+    outcome.add_matched(first.end_rule, URIRef("doc.rdf#host"))
+    publisher.batches_for(outcome)
+    assert publisher.notifications_sent == 2
+
+
+def test_batch_size_estimates(schema, registry):
+    doc, publisher, first, __, __o = setup_world(schema, registry)
+    outcome = PublishOutcome()
+    outcome.add_matched(first.end_rule, URIRef("doc.rdf#host"))
+    (batch, __b) = publisher.batches_for(outcome)
+    assert batch.approximate_size() > 0

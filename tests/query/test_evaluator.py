@@ -1,0 +1,212 @@
+"""Unit tests for the in-memory query evaluator (the LMR query path)."""
+
+import pytest
+
+from repro.errors import NormalizationError
+from repro.query.evaluator import compare_values, evaluate_query
+from repro.rdf.model import Document, URIRef
+from repro.rules.parser import parse_query
+
+
+@pytest.fixture()
+def pool(schema):
+    """Four provider/info pairs with varied values."""
+    resources = {}
+    specs = [
+        (0, "a.uni-passau.de", 92, 600, 1),
+        (1, "b.tum.de", 128, 400, 2),
+        (2, "c.uni-passau.de", 32, 700, 3),
+        (3, "d.fu.de", 100, 501, 4),
+    ]
+    for index, host, memory, cpu, synth in specs:
+        doc = Document(f"doc{index}.rdf")
+        provider = doc.new_resource("host", "CycleProvider")
+        provider.add("serverHost", host)
+        provider.add("synthValue", synth)
+        provider.add("serverInformation", URIRef(f"doc{index}.rdf#info"))
+        info = doc.new_resource("info", "ServerInformation")
+        info.add("memory", memory)
+        info.add("cpu", cpu)
+        resources.update(doc.resources)
+    return resources
+
+
+def uris(results):
+    return [str(r.uri) for r in results]
+
+
+class TestCompareValues:
+    def test_string_equality(self):
+        assert compare_values("a", "=", "a", False)
+        assert not compare_values("a", "=", "b", False)
+        assert compare_values("a", "!=", "b", False)
+
+    def test_contains(self):
+        assert compare_values("uni-passau.de", "contains", "passau", False)
+        assert not compare_values("tum.de", "contains", "passau", False)
+
+    def test_numeric_ordering(self):
+        assert compare_values("10", "<", "20", True)
+        assert compare_values("20", ">=", "20", True)
+        assert not compare_values("20", "<", "10", True)
+
+    def test_numeric_with_garbage(self):
+        assert not compare_values("abc", "<", "10", True)
+
+    def test_string_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            compare_values("a", "<", "b", False)
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            compare_values("1", "~", "1", True)
+
+
+class TestQueries:
+    def test_class_query(self, schema, pool):
+        results = evaluate_query(
+            parse_query("search ServerInformation s"), pool, schema
+        )
+        assert len(results) == 4
+
+    def test_constant_filter(self, schema, pool):
+        results = evaluate_query(
+            parse_query(
+                "search CycleProvider c where c.serverHost contains 'passau'"
+            ),
+            pool,
+            schema,
+        )
+        assert uris(results) == ["doc0.rdf#host", "doc2.rdf#host"]
+
+    def test_path_query(self, schema, pool):
+        results = evaluate_query(
+            parse_query(
+                "search CycleProvider c "
+                "where c.serverInformation.memory > 64"
+            ),
+            pool,
+            schema,
+        )
+        assert uris(results) == [
+            "doc0.rdf#host",
+            "doc1.rdf#host",
+            "doc3.rdf#host",
+        ]
+
+    def test_multi_predicate_join(self, schema, pool):
+        results = evaluate_query(
+            parse_query(
+                "search CycleProvider c "
+                "where c.serverInformation.memory > 64 "
+                "and c.serverInformation.cpu > 500"
+            ),
+            pool,
+            schema,
+        )
+        assert uris(results) == ["doc0.rdf#host", "doc3.rdf#host"]
+
+    def test_explicit_join_variable(self, schema, pool):
+        results = evaluate_query(
+            parse_query(
+                "search CycleProvider c, ServerInformation s "
+                "where c.serverInformation = s and s.cpu > 599"
+            ),
+            pool,
+            schema,
+        )
+        assert uris(results) == ["doc0.rdf#host", "doc2.rdf#host"]
+
+    def test_oid_query(self, schema, pool):
+        results = evaluate_query(
+            parse_query("search CycleProvider c where c = 'doc1.rdf#host'"),
+            pool,
+            schema,
+        )
+        assert uris(results) == ["doc1.rdf#host"]
+
+    def test_or_union(self, schema, pool):
+        results = evaluate_query(
+            parse_query(
+                "search CycleProvider c where c.synthValue = 1 "
+                "or c.synthValue = 4"
+            ),
+            pool,
+            schema,
+        )
+        assert uris(results) == ["doc0.rdf#host", "doc3.rdf#host"]
+
+    def test_empty_pool(self, schema):
+        results = evaluate_query(
+            parse_query("search CycleProvider c"), {}, schema
+        )
+        assert results == []
+
+    def test_dangling_reference_no_match(self, schema):
+        doc = Document("d.rdf")
+        provider = doc.new_resource("host", "CycleProvider")
+        provider.add("serverInformation", URIRef("gone.rdf#info"))
+        results = evaluate_query(
+            parse_query(
+                "search CycleProvider c "
+                "where c.serverInformation.memory > 0"
+            ),
+            doc.resources,
+            schema,
+        )
+        assert results == []
+
+    def test_results_sorted_and_unique(self, schema, pool):
+        results = evaluate_query(
+            parse_query("search CycleProvider c where c.synthValue >= 1"),
+            pool,
+            schema,
+        )
+        assert uris(results) == sorted(set(uris(results)))
+
+    def test_disconnected_variable_rejected(self, schema, pool):
+        with pytest.raises(NormalizationError):
+            evaluate_query(
+                parse_query(
+                    "search CycleProvider c, ServerInformation s "
+                    "where s.memory > 0"
+                ),
+                pool,
+                schema,
+            )
+
+    def test_subclass_query(self, rich_schema):
+        doc = Document("d.rdf")
+        doc.new_resource("c", "CycleProvider").add("serverHost", "x.de")
+        doc.new_resource("d", "DataProvider").add("collection", "stars")
+        results = evaluate_query(
+            parse_query("search Provider p"), doc.resources, rich_schema
+        )
+        assert uris(results) == ["d.rdf#c", "d.rdf#d"]
+
+    def test_multivalued_any_semantics(self, rich_schema):
+        doc = Document("d.rdf")
+        provider = doc.new_resource("c", "CycleProvider")
+        provider.add("tags", "slow")
+        provider.add("tags", "fast")
+        results = evaluate_query(
+            parse_query("search CycleProvider c where c.tags? = 'fast'"),
+            doc.resources,
+            rich_schema,
+        )
+        assert uris(results) == ["d.rdf#c"]
+
+    def test_self_join_query(self, rich_schema):
+        doc = Document("d.rdf")
+        balanced = doc.new_resource("a", "ServerInformation")
+        balanced.add("memory", 4)
+        balanced.add("cpu", 4)
+        skewed = doc.new_resource("b", "ServerInformation")
+        skewed.add("memory", 2)
+        skewed.add("cpu", 8)
+        results = evaluate_query(
+            parse_query("search ServerInformation s where s.memory = s.cpu"),
+            doc.resources,
+            rich_schema,
+        )
+        assert uris(results) == ["d.rdf#a"]

@@ -1,0 +1,106 @@
+"""Unit tests for document diffing (the update/delete entry point)."""
+
+import pytest
+
+from repro.rdf.diff import deletion_diff, diff_documents
+from repro.rdf.model import Document
+
+
+def make(uri="d.rdf", **resources):
+    doc = Document(uri)
+    for local, props in resources.items():
+        resource = doc.new_resource(local, "CycleProvider")
+        for name, value in props.items():
+            resource.add(name, value)
+    return doc
+
+
+def test_initial_registration():
+    new = make(a={"p": 1}, b={"p": 2})
+    diff = diff_documents(None, new)
+    assert diff.is_initial_registration
+    assert {r.uri.local_name for r in diff.inserted} == {"a", "b"}
+    assert not diff.updated and not diff.deleted
+
+
+def test_unchanged():
+    old = make(a={"p": 1})
+    new = make(a={"p": 1})
+    diff = diff_documents(old, new)
+    assert not diff.has_changes
+    assert len(diff.unchanged) == 1
+
+
+def test_property_change_is_update():
+    old = make(a={"p": 1})
+    new = make(a={"p": 2})
+    diff = diff_documents(old, new)
+    (pair,) = diff.updated
+    assert pair[0].get_one("p").value == 1
+    assert pair[1].get_one("p").value == 2
+
+
+def test_property_added_is_update():
+    old = make(a={"p": 1})
+    new = make(a={"p": 1, "q": 2})
+    assert len(diff_documents(old, new).updated) == 1
+
+
+def test_property_removed_is_update():
+    old = make(a={"p": 1, "q": 2})
+    new = make(a={"p": 1})
+    assert len(diff_documents(old, new).updated) == 1
+
+
+def test_resource_removed_is_delete():
+    old = make(a={"p": 1}, b={"p": 2})
+    new = make(a={"p": 1})
+    diff = diff_documents(old, new)
+    assert [r.uri.local_name for r in diff.deleted] == ["b"]
+
+
+def test_resource_added_is_insert():
+    old = make(a={"p": 1})
+    new = make(a={"p": 1}, b={"p": 2})
+    diff = diff_documents(old, new)
+    assert [r.uri.local_name for r in diff.inserted] == ["b"]
+
+
+def test_mixed_diff_shapes():
+    old = make(a={"p": 1}, b={"p": 2}, c={"p": 3})
+    new = make(a={"p": 1}, b={"p": 9}, d={"p": 4})
+    diff = diff_documents(old, new)
+    assert [r.uri.local_name for r in diff.inserted] == ["d"]
+    assert [old_r.uri.local_name for old_r, __ in diff.updated] == ["b"]
+    assert [r.uri.local_name for r in diff.deleted] == ["c"]
+    assert [r.uri.local_name for r in diff.unchanged] == ["a"]
+
+
+def test_old_versions_and_new_versions():
+    old = make(a={"p": 1}, b={"p": 2})
+    new = make(a={"p": 9}, c={"p": 3})
+    diff = diff_documents(old, new)
+    old_changed = {r.uri.local_name for r in diff.old_versions_of_changed()}
+    new_changed = {r.uri.local_name for r in diff.new_versions_of_changed()}
+    assert old_changed == {"a", "b"}  # updated-old + deleted
+    assert new_changed == {"a", "c"}  # updated-new + inserted
+
+
+def test_uri_mismatch_rejected():
+    with pytest.raises(ValueError):
+        diff_documents(make("a.rdf"), make("b.rdf"))
+
+
+def test_deletion_diff():
+    old = make(a={"p": 1}, b={"p": 2})
+    diff = deletion_diff(old)
+    assert {r.uri.local_name for r in diff.deleted} == {"a", "b"}
+    assert not diff.inserted and not diff.updated
+    assert diff.has_changes
+
+
+def test_summary_mentions_counts():
+    old = make(a={"p": 1})
+    new = make(b={"p": 1})
+    summary = diff_documents(old, new).summary()
+    assert "+1" in summary and "-1" in summary

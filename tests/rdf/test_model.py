@@ -1,0 +1,175 @@
+"""Unit tests for the RDF data model."""
+
+import pytest
+
+from repro.rdf.model import (
+    Document,
+    Literal,
+    Resource,
+    Statement,
+    URIRef,
+    make_uri_reference,
+)
+
+
+class TestURIRef:
+    def test_is_a_string(self):
+        uri = URIRef("doc.rdf#host")
+        assert uri == "doc.rdf#host"
+        assert isinstance(uri, str)
+
+    def test_document_uri_and_local_name(self):
+        uri = URIRef("doc.rdf#host")
+        assert uri.document_uri == "doc.rdf"
+        assert uri.local_name == "host"
+
+    def test_without_fragment(self):
+        uri = URIRef("http://example.org/doc.rdf")
+        assert uri.document_uri == "http://example.org/doc.rdf"
+        assert uri.local_name == ""
+
+    def test_last_hash_wins(self):
+        uri = URIRef("a#b#c")
+        assert uri.document_uri == "a#b"
+        assert uri.local_name == "c"
+
+    def test_make_uri_reference(self):
+        assert make_uri_reference("doc.rdf", "host") == "doc.rdf#host"
+
+    def test_usable_as_dict_key(self):
+        mapping = {URIRef("a#b"): 1}
+        assert mapping["a#b"] == 1
+
+
+class TestLiteral:
+    def test_accepts_scalars(self):
+        assert Literal("x").value == "x"
+        assert Literal(5).value == 5
+        assert Literal(5.5).value == 5.5
+
+    def test_rejects_bool_and_none(self):
+        with pytest.raises(TypeError):
+            Literal(True)
+        with pytest.raises(TypeError):
+            Literal(None)  # type: ignore[arg-type]
+
+    def test_is_numeric(self):
+        assert Literal(1).is_numeric
+        assert Literal(1.5).is_numeric
+        assert not Literal("1").is_numeric
+
+    def test_sql_value_int(self):
+        assert Literal(64).sql_value() == "64"
+
+    def test_sql_value_integral_float_canonicalized(self):
+        # Integral floats render like integers so int/float equality is
+        # consistent in the string-based FilterData storage.
+        assert Literal(64.0).sql_value() == "64"
+
+    def test_sql_value_fractional_float(self):
+        assert Literal(2.5).sql_value() == "2.5"
+
+    def test_sql_value_string(self):
+        assert Literal("64").sql_value() == "64"
+
+
+class TestResource:
+    def test_add_and_get(self):
+        resource = Resource("d#r", "C")
+        resource.add("p", 1)
+        resource.add("p", 2)
+        assert [v.value for v in resource.get("p")] == [1, 2]
+
+    def test_set_replaces(self):
+        resource = Resource("d#r", "C")
+        resource.add("p", 1)
+        resource.set("p", 9)
+        assert [v.value for v in resource.get("p")] == [9]
+
+    def test_get_one(self):
+        resource = Resource("d#r", "C")
+        assert resource.get_one("p") is None
+        resource.add("p", 1)
+        assert resource.get_one("p").value == 1
+        resource.add("p", 2)
+        with pytest.raises(ValueError):
+            resource.get_one("p")
+
+    def test_remove(self):
+        resource = Resource("d#r", "C")
+        resource.add("p", 1)
+        resource.remove("p")
+        assert resource.get("p") == []
+        resource.remove("p")  # idempotent
+
+    def test_references_only_uris(self):
+        resource = Resource("d#r", "C")
+        resource.add("ref", URIRef("d#other"))
+        resource.add("lit", "plain")
+        assert list(resource.references()) == [("ref", URIRef("d#other"))]
+
+    def test_statements_carry_class(self):
+        resource = Resource("d#r", "C")
+        resource.add("p", 1)
+        (statement,) = list(resource.statements())
+        assert statement == Statement(URIRef("d#r"), "C", "p", Literal(1))
+
+    def test_equality_by_content(self):
+        a = Resource("d#r", "C", [("p", Literal(1))])
+        b = Resource("d#r", "C", [("p", Literal(1))])
+        c = Resource("d#r", "C", [("p", Literal(2))])
+        assert a == b
+        assert a != c
+
+    def test_copy_is_independent(self):
+        original = Resource("d#r", "C", [("p", Literal(1))])
+        duplicate = original.copy()
+        duplicate.add("p", 2)
+        assert len(original.get("p")) == 1
+        assert len(duplicate.get("p")) == 2
+
+    def test_hash_by_uri(self):
+        a = Resource("d#r", "C")
+        b = Resource("d#r", "D")
+        assert hash(a) == hash(b)
+
+
+class TestDocument:
+    def test_new_resource(self):
+        doc = Document("doc.rdf")
+        resource = doc.new_resource("host", "CycleProvider")
+        assert resource.uri == "doc.rdf#host"
+        assert doc.get("doc.rdf#host") is resource
+
+    def test_add_rejects_foreign_uri(self):
+        doc = Document("doc.rdf")
+        with pytest.raises(ValueError):
+            doc.add(Resource("other.rdf#x", "C"))
+
+    def test_membership_and_len(self):
+        doc = Document("doc.rdf")
+        doc.new_resource("a", "C")
+        assert "doc.rdf#a" in doc
+        assert "doc.rdf#b" not in doc
+        assert len(doc) == 1
+
+    def test_remove(self):
+        doc = Document("doc.rdf")
+        doc.new_resource("a", "C")
+        removed = doc.remove("doc.rdf#a")
+        assert removed is not None
+        assert len(doc) == 0
+        assert doc.remove("doc.rdf#a") is None
+
+    def test_statements_cover_all_resources(self):
+        doc = Document("doc.rdf")
+        doc.new_resource("a", "C").add("p", 1)
+        doc.new_resource("b", "C").add("p", 2)
+        assert len(list(doc.statements())) == 2
+
+    def test_copy_deep(self):
+        doc = Document("doc.rdf")
+        doc.new_resource("a", "C").add("p", 1)
+        duplicate = doc.copy()
+        duplicate.get("doc.rdf#a").set("p", 9)
+        assert doc.get("doc.rdf#a").get_one("p").value == 1

@@ -1,0 +1,62 @@
+"""Tests for the namespace helpers and remaining serializer utilities."""
+
+from repro.rdf.namespaces import (
+    MDV_NS,
+    RDF_ID_ATTR,
+    RDF_NS,
+    RDF_ROOT_TAG,
+    RDF_SUBJECT,
+    qualified,
+    split_qualified,
+)
+from repro.rdf.serializer import indent_xml
+
+
+def test_qualified_roundtrip():
+    tag = qualified("http://example.org/ns#", "memory")
+    assert tag == "{http://example.org/ns#}memory"
+    assert split_qualified(tag) == ("http://example.org/ns#", "memory")
+
+
+def test_split_unqualified():
+    assert split_qualified("memory") == ("", "memory")
+
+
+def test_constants_are_consistent():
+    assert RDF_ID_ATTR == qualified(RDF_NS, "ID")
+    assert RDF_ROOT_TAG == qualified(RDF_NS, "RDF")
+    assert RDF_SUBJECT == "rdf#subject"
+    assert MDV_NS.endswith("#")
+
+
+def test_indent_xml_pretty_prints():
+    pretty = indent_xml("<a><b>1</b><b>2</b></a>")
+    assert pretty.count("\n") >= 3
+    assert "<b>1</b>" in pretty
+
+
+def test_doctests_in_namespaces():
+    import doctest
+
+    import repro.rdf.namespaces as module
+
+    results = doctest.testmod(module)
+    assert results.failed == 0
+
+
+def test_doctests_in_model():
+    import doctest
+
+    import repro.rdf.model as module
+
+    results = doctest.testmod(module)
+    assert results.failed == 0
+
+
+def test_doctests_in_parser_modules():
+    import doctest
+
+    import repro.rules.parser as rules_parser
+
+    results = doctest.testmod(rules_parser)
+    assert results.failed == 0

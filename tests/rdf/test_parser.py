@@ -1,0 +1,125 @@
+"""Unit tests for the RDF/XML subset parser."""
+
+import pytest
+
+from repro.errors import DocumentParseError
+from repro.rdf.model import URIRef
+from repro.rdf.parser import parse_document, parse_literal_text
+from repro.rdf.schema import PropertyKind
+
+FIGURE1_XML = """<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns="http://mdv.db.fmi.uni-passau.de/schema#">
+  <CycleProvider rdf:ID="host">
+    <serverHost>pirates.uni-passau.de</serverHost>
+    <serverPort>5874</serverPort>
+    <serverInformation>
+      <ServerInformation rdf:ID="info">
+        <memory>92</memory>
+        <cpu>600</cpu>
+      </ServerInformation>
+    </serverInformation>
+  </CycleProvider>
+</rdf:RDF>
+"""
+
+
+class TestParseLiteralText:
+    def test_schema_typed(self):
+        assert parse_literal_text("92", PropertyKind.INTEGER).value == 92
+        assert parse_literal_text("92", PropertyKind.STRING).value == "92"
+        assert parse_literal_text("1.5", PropertyKind.FLOAT).value == 1.5
+
+    def test_untyped_guesses(self):
+        assert parse_literal_text("92").value == 92
+        assert parse_literal_text("1.5").value == 1.5
+        assert parse_literal_text("host").value == "host"
+
+    def test_bad_integer(self):
+        with pytest.raises(DocumentParseError):
+            parse_literal_text("abc", PropertyKind.INTEGER)
+
+    def test_bad_float(self):
+        with pytest.raises(DocumentParseError):
+            parse_literal_text("abc", PropertyKind.FLOAT)
+
+    def test_whitespace_stripped(self):
+        assert parse_literal_text("  92\n", PropertyKind.INTEGER).value == 92
+
+
+class TestParseDocument:
+    def test_figure1_shape(self, schema):
+        doc = parse_document(FIGURE1_XML, "doc.rdf", schema)
+        assert sorted(doc.resources) == ["doc.rdf#host", "doc.rdf#info"]
+        host = doc.get("doc.rdf#host")
+        assert host.rdf_class == "CycleProvider"
+        assert host.get_one("serverHost").value == "pirates.uni-passau.de"
+        assert host.get_one("serverPort").value == 5874
+        # Nested resource hoisted and replaced by a reference.
+        assert host.get_one("serverInformation") == URIRef("doc.rdf#info")
+        info = doc.get("doc.rdf#info")
+        assert info.get_one("memory").value == 92
+        assert info.get_one("cpu").value == 600
+
+    def test_parse_without_schema_guesses_types(self):
+        doc = parse_document(FIGURE1_XML, "doc.rdf")
+        assert doc.get("doc.rdf#info").get_one("memory").value == 92
+
+    def test_rdf_resource_attribute(self, schema):
+        xml = """<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+          <CycleProvider rdf:ID="host">
+            <serverInformation rdf:resource="other.rdf#info"/>
+          </CycleProvider>
+        </rdf:RDF>"""
+        doc = parse_document(xml, "doc.rdf", schema)
+        host = doc.get("doc.rdf#host")
+        assert host.get_one("serverInformation") == URIRef("other.rdf#info")
+
+    def test_rdf_about_keeps_absolute_uri(self):
+        xml = """<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+          <Thing rdf:about="http://example.org/x#y"/>
+        </rdf:RDF>"""
+        doc = parse_document(xml, "doc.rdf")
+        assert "http://example.org/x#y" in doc
+
+    def test_schema_reference_property_text(self, schema):
+        # A reference-typed property given as text becomes a URIRef.
+        xml = """<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+          <CycleProvider rdf:ID="host">
+            <serverInformation>other.rdf#info</serverInformation>
+          </CycleProvider>
+        </rdf:RDF>"""
+        doc = parse_document(xml, "doc.rdf", schema)
+        value = doc.get("doc.rdf#host").get_one("serverInformation")
+        assert isinstance(value, URIRef)
+
+    def test_repeated_properties(self):
+        xml = """<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+          <Thing rdf:ID="t"><tag>a</tag><tag>b</tag></Thing>
+        </rdf:RDF>"""
+        doc = parse_document(xml, "doc.rdf")
+        assert [v.value for v in doc.get("doc.rdf#t").get("tag")] == ["a", "b"]
+
+    def test_malformed_xml(self):
+        with pytest.raises(DocumentParseError):
+            parse_document("<rdf:RDF", "doc.rdf")
+
+    def test_wrong_root_element(self):
+        with pytest.raises(DocumentParseError):
+            parse_document("<notrdf/>", "doc.rdf")
+
+    def test_resource_without_id(self):
+        xml = """<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+          <Thing/>
+        </rdf:RDF>"""
+        with pytest.raises(DocumentParseError):
+            parse_document(xml, "doc.rdf")
+
+    def test_property_with_two_nested_resources_rejected(self):
+        xml = """<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+          <Thing rdf:ID="t">
+            <ref><A rdf:ID="a"/><B rdf:ID="b"/></ref>
+          </Thing>
+        </rdf:RDF>"""
+        with pytest.raises(DocumentParseError):
+            parse_document(xml, "doc.rdf")

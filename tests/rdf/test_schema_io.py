@@ -1,0 +1,166 @@
+"""Tests for RDF Schema serialization of MDV schemas."""
+
+import pytest
+from tests.conftest import prop_settings
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DocumentParseError
+from repro.rdf.schema import (
+    PropertyDef,
+    PropertyKind,
+    RefStrength,
+    Schema,
+    objectglobe_schema,
+)
+from repro.rdf.schema_io import parse_schema, schema_to_rdfxml
+
+
+def schemas_equal(left: Schema, right: Schema) -> bool:
+    if sorted(left.class_names()) != sorted(right.class_names()):
+        return False
+    for name in left.class_names():
+        l_def, r_def = left.class_def(name), right.class_def(name)
+        if l_def.superclass != r_def.superclass:
+            return False
+        if l_def.properties != r_def.properties:
+            return False
+    return True
+
+
+class TestRoundTrip:
+    def test_objectglobe_roundtrip(self):
+        schema = objectglobe_schema()
+        xml = schema_to_rdfxml(schema)
+        assert schemas_equal(parse_schema(xml), schema)
+
+    def test_document_mentions_mdv_vocabulary(self):
+        xml = schema_to_rdfxml(objectglobe_schema())
+        assert "mdv:referenceStrength" in xml
+        assert "strong" in xml
+        assert "rdfs:Class" in xml
+        assert 'rdf:Property rdf:ID="CycleProvider.serverHost"' in xml
+
+    def test_subclass_and_flags_roundtrip(self, rich_schema):
+        xml = schema_to_rdfxml(rich_schema)
+        parsed = parse_schema(xml)
+        assert schemas_equal(parsed, rich_schema)
+        assert parsed.class_def("CycleProvider").superclass == "Provider"
+        assert parsed.property_def("CycleProvider", "tags").multivalued
+
+    def test_required_flag_roundtrip(self):
+        schema = Schema()
+        schema.define_class(
+            "A", [PropertyDef("must", PropertyKind.STRING, required=True)]
+        )
+        schema.freeze_check()
+        parsed = parse_schema(schema_to_rdfxml(schema))
+        assert parsed.property_def("A", "must").required
+
+    def test_same_property_name_on_two_classes(self):
+        schema = Schema()
+        schema.define_class("A", [PropertyDef("size", PropertyKind.INTEGER)])
+        schema.define_class("B", [PropertyDef("size", PropertyKind.STRING)])
+        schema.freeze_check()
+        parsed = parse_schema(schema_to_rdfxml(schema))
+        assert parsed.property_def("A", "size").kind is PropertyKind.INTEGER
+        assert parsed.property_def("B", "size").kind is PropertyKind.STRING
+
+
+class TestParsingErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(DocumentParseError):
+            parse_schema("<rdf:RDF")
+
+    def test_unknown_domain_rejected(self):
+        xml = schema_to_rdfxml(objectglobe_schema()).replace(
+            'rdfs:domain rdf:resource="#CycleProvider"',
+            'rdfs:domain rdf:resource="#Ghost"',
+        )
+        with pytest.raises(DocumentParseError):
+            parse_schema(xml)
+
+    def test_bad_strength_rejected(self):
+        xml = schema_to_rdfxml(objectglobe_schema()).replace(
+            ">strong<", ">adamantium<"
+        )
+        with pytest.raises(DocumentParseError):
+            parse_schema(xml)
+
+    def test_dangling_reference_target_rejected(self):
+        schema = Schema()
+        schema.define_class(
+            "A",
+            [
+                PropertyDef(
+                    "r", PropertyKind.REFERENCE, target_class="A",
+                )
+            ],
+        )
+        schema.freeze_check()
+        xml = schema_to_rdfxml(schema).replace(
+            '<rdfs:range rdf:resource="#A"/>',
+            '<rdfs:range rdf:resource="#Missing"/>',
+        )
+        with pytest.raises(DocumentParseError):
+            parse_schema(xml)
+
+
+# -- property-based round trip ------------------------------------------
+class_names = st.sampled_from(["Alpha", "Beta", "Gamma", "Delta"])
+prop_names = st.sampled_from(["p1", "p2", "value", "link", "items"])
+literal_kinds = st.sampled_from(
+    [PropertyKind.STRING, PropertyKind.INTEGER, PropertyKind.FLOAT]
+)
+
+
+@st.composite
+def random_schemas(draw):
+    names = draw(
+        st.lists(class_names, min_size=1, max_size=4, unique=True)
+    )
+    schema = Schema()
+    for index, name in enumerate(names):
+        properties = []
+        used = set()
+        for __ in range(draw(st.integers(min_value=0, max_value=3))):
+            prop_name = draw(prop_names)
+            if prop_name in used:
+                continue
+            used.add(prop_name)
+            if draw(st.booleans()):
+                properties.append(
+                    PropertyDef(
+                        prop_name,
+                        draw(literal_kinds),
+                        multivalued=draw(st.booleans()),
+                        required=draw(st.booleans()),
+                    )
+                )
+            else:
+                properties.append(
+                    PropertyDef(
+                        prop_name,
+                        PropertyKind.REFERENCE,
+                        target_class=draw(st.sampled_from(names)),
+                        strength=draw(st.sampled_from(list(RefStrength))),
+                        multivalued=draw(st.booleans()),
+                    )
+                )
+        # Only earlier classes may serve as superclasses (acyclic).
+        superclass = None
+        if index > 0 and draw(st.booleans()):
+            superclass = draw(st.sampled_from(names[:index]))
+        definition = schema.define_class(name, superclass=superclass)
+        for prop in properties:
+            # Avoid redefining an inherited property name ambiguously;
+            # MDV resolves through the superclass chain anyway.
+            definition.add(prop)
+    schema.freeze_check()
+    return schema
+
+
+@prop_settings(60)
+@given(schema=random_schemas())
+def test_schema_roundtrip_property(schema):
+    xml = schema_to_rdfxml(schema)
+    assert schemas_equal(parse_schema(xml), schema)

@@ -1,0 +1,50 @@
+"""Unit tests for the RDF serializers (round-trips with the parser)."""
+
+from repro.rdf.model import Document, URIRef
+from repro.rdf.parser import parse_document
+from repro.rdf.serializer import to_ntriples, to_rdfxml
+
+
+def test_rdfxml_roundtrip(schema, figure1):
+    xml = to_rdfxml(figure1)
+    parsed = parse_document(xml, figure1.uri, schema)
+    assert sorted(parsed.resources) == sorted(figure1.resources)
+    for uri, resource in figure1.resources.items():
+        assert parsed.get(uri) == resource
+
+
+def test_rdfxml_flat_form_uses_rdf_resource(figure1):
+    xml = to_rdfxml(figure1)
+    assert 'rdf:resource="doc.rdf#info"' in xml
+    assert xml.count("<CycleProvider") == 1
+
+
+def test_rdfxml_escapes_special_characters(schema):
+    doc = Document("d.rdf")
+    doc.new_resource("x", "CycleProvider").add("serverHost", "a<b&c>d")
+    xml = to_rdfxml(doc)
+    assert "a&lt;b&amp;c&gt;d" in xml
+    parsed = parse_document(xml, "d.rdf", schema)
+    assert parsed.get("d.rdf#x").get_one("serverHost").value == "a<b&c>d"
+
+
+def test_rdfxml_absolute_uri_uses_about():
+    doc = Document("d.rdf")
+    # A resource whose URI has no local fragment part.
+    from repro.rdf.model import Resource
+
+    doc.resources[URIRef("d.rdf")] = Resource(URIRef("d.rdf"), "Thing")
+    xml = to_rdfxml(doc)
+    assert 'rdf:about="d.rdf"' in xml
+
+
+def test_ntriples_stable_and_sorted(figure1):
+    lines = to_ntriples(figure1).splitlines()
+    assert lines == sorted(lines)
+    assert "<doc.rdf#host> serverPort 5874 ." in lines
+    assert "<doc.rdf#host> serverInformation <doc.rdf#info> ." in lines
+    assert '<doc.rdf#host> serverHost "pirates.uni-passau.de" .' in lines
+
+
+def test_ntriples_empty_document():
+    assert to_ntriples(Document("d.rdf")) == ""

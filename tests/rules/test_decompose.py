@@ -1,0 +1,240 @@
+"""Unit tests for rule decomposition into atomic rules (paper, §3.3.1)."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.rules.atoms import JoinAtom, TriggeringAtom, make_join
+from repro.rules.decompose import decompose_rule
+from repro.rules.normalize import normalize_rule
+from repro.rules.parser import parse_rule
+
+from tests.conftest import PAPER_RULE
+
+
+def decompose(text, schema, named_producers=None):
+    normalized = normalize_rule(parse_rule(text), schema)
+    assert len(normalized) == 1
+    return decompose_rule(normalized[0], schema, named_producers)
+
+
+class TestPaperExample:
+    """The worked example of Section 3.3.1: RuleA … RuleF."""
+
+    def test_atom_inventory(self, schema):
+        decomposed = decompose(PAPER_RULE, schema)
+        triggering = decomposed.triggering_atoms()
+        joins = decomposed.join_atoms()
+        # RuleA (memory > 64), RuleB (cpu > 500), RuleC (contains).
+        assert len(triggering) == 3
+        # RuleE (a = b) and RuleF (c.serverInformation = a).
+        assert len(joins) == 2
+
+    def test_triggering_predicates(self, schema):
+        decomposed = decompose(PAPER_RULE, schema)
+        predicates = {
+            (a.rdf_class, a.prop, a.operator, a.value)
+            for a in decomposed.triggering_atoms()
+        }
+        assert predicates == {
+            ("ServerInformation", "memory", ">", "64"),
+            ("ServerInformation", "cpu", ">", "500"),
+            ("CycleProvider", "serverHost", "contains", "uni-passau.de"),
+        }
+
+    def test_identity_join_inner(self, schema):
+        decomposed = decompose(PAPER_RULE, schema)
+        identity = [j for j in decomposed.join_atoms() if j.is_identity]
+        assert len(identity) == 1
+        assert identity[0].left_class == "ServerInformation"
+
+    def test_end_rule_registers_cycle_provider(self, schema):
+        decomposed = decompose(PAPER_RULE, schema)
+        assert decomposed.rdf_class == "CycleProvider"
+        assert isinstance(decomposed.end, JoinAtom)
+        assert decomposed.end.left_prop == "serverInformation"
+
+    def test_dependency_tree_depth(self, schema):
+        # Figure 5: triggering leaves -> identity join -> reference join.
+        assert decompose(PAPER_RULE, schema).depth() == 2
+
+    def test_children_before_parents(self, schema):
+        decomposed = decompose(PAPER_RULE, schema)
+        seen = set()
+        for atom in decomposed.atoms:
+            if isinstance(atom, JoinAtom):
+                assert atom.left.key in seen
+                assert atom.right.key in seen
+            seen.add(atom.key)
+
+    def test_render_tree_mentions_all_atoms(self, schema):
+        decomposed = decompose(PAPER_RULE, schema)
+        rendering = decomposed.render_tree()
+        assert "memory > #64" in rendering
+        assert "cpu > #500" in rendering
+        assert "uni-passau.de" in rendering
+
+
+class TestSimpleShapes:
+    def test_class_only_rule(self, schema):
+        decomposed = decompose("search CycleProvider c register c", schema)
+        (atom,) = decomposed.atoms
+        assert isinstance(atom, TriggeringAtom)
+        assert atom.is_class_only
+
+    def test_single_predicate_rule_is_one_triggering_atom(self, schema):
+        decomposed = decompose(
+            "search CycleProvider c register c where c.synthValue > 5",
+            schema,
+        )
+        assert len(decomposed.atoms) == 1
+        assert decomposed.depth() == 0
+
+    def test_oid_rule(self, schema):
+        decomposed = decompose(
+            "search CycleProvider c register c where c = 'doc.rdf#host'",
+            schema,
+        )
+        (atom,) = decomposed.atoms
+        assert atom.prop == "rdf#subject"
+        assert atom.value == "doc.rdf#host"
+
+    def test_path_rule_shares_class_atom(self, schema):
+        """Section 3.3.3's first rule: class-only atom + memory atom + join."""
+        decomposed = decompose(
+            "search CycleProvider c register c "
+            "where c.serverInformation.memory > 64",
+            schema,
+        )
+        triggering = decomposed.triggering_atoms()
+        class_only = [a for a in triggering if a.is_class_only]
+        assert len(class_only) == 1
+        assert class_only[0].rdf_class == "CycleProvider"
+        assert len(decomposed.join_atoms()) == 1
+
+    def test_subclass_extension_classes(self, rich_schema):
+        decomposed = decompose("search Provider p register p", rich_schema)
+        (atom,) = decomposed.atoms
+        assert atom.extension_classes == (
+            "CycleProvider",
+            "DataProvider",
+            "Provider",
+        )
+
+    def test_duplicate_predicates_deduplicated(self, schema):
+        decomposed = decompose(
+            "search CycleProvider c register c "
+            "where c.synthValue > 5 and c.synthValue > 5",
+            schema,
+        )
+        assert len(decomposed.atoms) == 1
+
+
+class TestRuleGroups:
+    def test_section_333_rule_group_sharing(self, schema):
+        """RuleC1 and RuleC2 share a group signature but not a key."""
+        first = decompose(
+            "search CycleProvider c register c "
+            "where c.serverInformation.memory > 64",
+            schema,
+        )
+        second = decompose(
+            "search CycleProvider c register c "
+            "where c.serverInformation.cpu > 500",
+            schema,
+        )
+        assert first.end.key != second.end.key
+        assert first.end.group_signature == second.end.group_signature
+        # And the class-only CycleProvider atom (RuleA) is shared.
+        first_keys = {a.key for a in first.triggering_atoms()}
+        second_keys = {a.key for a in second.triggering_atoms()}
+        assert first_keys & second_keys
+
+    def test_orientation_canonicalization(self, schema):
+        """``c.serverInformation = s`` and ``s = c.serverInformation``
+        land in the same group."""
+        forward = decompose(
+            "search CycleProvider c, ServerInformation s register c "
+            "where c.serverInformation = s and s.memory > 1",
+            schema,
+        )
+        backward = decompose(
+            "search CycleProvider c, ServerInformation s register c "
+            "where s = c.serverInformation and s.memory > 1",
+            schema,
+        )
+        assert forward.end.key == backward.end.key
+
+
+class TestJoinPeeling:
+    def test_chain_query(self, rich_schema):
+        decomposed = decompose(
+            "search DataProvider d, CycleProvider c, ServerInformation s "
+            "register d where d.host = c and c.serverInformation = s "
+            "and s.memory > 64",
+            rich_schema,
+        )
+        assert decomposed.rdf_class == "DataProvider"
+        assert decomposed.depth() == 2
+
+    def test_register_side_survives(self, rich_schema):
+        decomposed = decompose(
+            "search DataProvider d, CycleProvider c register c "
+            "where d.host = c and d.collection contains 'x'",
+            rich_schema,
+        )
+        assert decomposed.rdf_class == "CycleProvider"
+
+    def test_multi_edge_join_graph_rejected(self, rich_schema):
+        with pytest.raises(DecompositionError):
+            decompose(
+                "search ServerInformation a, ServerInformation b register a "
+                "where a.memory = b.memory and a.cpu = b.cpu",
+                rich_schema,
+            )
+
+    def test_self_join_atom(self, rich_schema):
+        decomposed = decompose(
+            "search ServerInformation s register s where s.memory = s.cpu",
+            rich_schema,
+        )
+        (join,) = decomposed.join_atoms()
+        assert join.self_join
+        assert join.left.key == join.right.key
+
+
+class TestNamedProducers:
+    def test_named_extension_used_as_producer(self, schema):
+        base = decompose(
+            "search CycleProvider c register c "
+            "where c.serverHost contains 'passau'",
+            schema,
+        )
+        normalized = normalize_rule(
+            parse_rule(
+                "search PassauHosts p register p where p.serverPort = 80"
+            ),
+            schema,
+            {"PassauHosts": "CycleProvider"},
+        )[0]
+        decomposed = decompose_rule(
+            normalized, schema, {"PassauHosts": base.end}
+        )
+        # The named rule's end atom is embedded as an input.
+        assert base.end.key in {a.key for a in decomposed.atoms}
+        assert isinstance(decomposed.end, JoinAtom)
+        assert decomposed.end.is_identity
+
+
+class TestMakeJoin:
+    def test_swap_flips_operator_and_register(self):
+        left = TriggeringAtom("A", ("A",))
+        right = TriggeringAtom("B", ("B",))
+        join = make_join(
+            left, "A", None, "<", right, "B", "size", register_side="left",
+            numeric=True,
+        )
+        # Property side goes left: operands swapped, operator mirrored.
+        assert join.left_prop == "size"
+        assert join.operator == ">"
+        assert join.register_side == "right"
+        assert join.rdf_class == "A"

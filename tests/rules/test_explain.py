@@ -1,0 +1,52 @@
+"""Tests for the rule explanation utility."""
+
+from repro.rules.explain import explain_decomposition, explain_rule
+
+from tests.conftest import PAPER_RULE
+
+
+def test_explain_paper_rule(schema):
+    text = explain_rule(PAPER_RULE, schema)
+    assert "normalized:" in text
+    assert "triggering" in text
+    assert "join" in text
+    assert "max filter iterations: 2" in text
+    assert "uni-passau.de" in text
+
+
+def test_explain_class_only_rule(schema):
+    text = explain_rule("search CycleProvider c register c", schema)
+    assert "class-only on CycleProvider" in text
+    assert "max filter iterations: 0" in text
+
+
+def test_explain_or_rule(schema):
+    text = explain_rule(
+        "search CycleProvider c register c "
+        "where c.synthValue > 1 or c.synthValue < 0",
+        schema,
+    )
+    assert "or-split into 2 conjuncts" in text
+    assert text.count("--- conjunct") == 2
+
+
+def test_explain_named_extension(schema):
+    text = explain_rule(
+        "search Fast f register f where f.serverPort = 80",
+        schema,
+        named_extension_types={"Fast": "CycleProvider"},
+    )
+    assert "CycleProvider.serverPort = 80" in text
+
+
+def test_explain_decomposition_direct(schema):
+    from repro.rules.decompose import decompose_rule
+    from repro.rules.normalize import normalize_rule
+    from repro.rules.parser import parse_rule
+
+    decomposed = decompose_rule(
+        normalize_rule(parse_rule(PAPER_RULE), schema)[0], schema
+    )
+    text = explain_decomposition(decomposed)
+    assert "children first" in text
+    assert "registers CycleProvider" in text

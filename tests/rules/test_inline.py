@@ -1,0 +1,113 @@
+"""Tests for named-rule inlining (the query-path expansion)."""
+
+import pytest
+
+from repro.errors import NormalizationError
+from repro.rules.ast import Query
+from repro.rules.inline import inline_named_query, inline_named_rules
+from repro.rules.parser import parse_query, parse_rule
+
+PASSAU = parse_rule(
+    "search CycleProvider c register c "
+    "where c.serverHost contains 'passau'"
+)
+BIG = parse_rule(
+    "search CycleProvider c, ServerInformation s register c "
+    "where c.serverInformation = s and s.memory > 64"
+)
+
+
+def test_simple_expansion():
+    rule = parse_rule("search PassauHosts p register p where p.serverPort = 80")
+    expanded = inline_named_rules(rule, {"PassauHosts": PASSAU})
+    assert [e.name for e in expanded.extensions] == ["CycleProvider"]
+    assert [e.variable for e in expanded.extensions] == ["p"]
+    text = str(expanded)
+    assert "contains 'passau'" in text
+    assert "p.serverPort = 80" in text
+
+
+def test_register_variable_unified():
+    rule = parse_rule("search PassauHosts p register p")
+    expanded = inline_named_rules(rule, {"PassauHosts": PASSAU})
+    # The named rule's register variable c was renamed to p everywhere.
+    assert "c" not in {e.variable for e in expanded.extensions}
+    assert "p.serverHost" in str(expanded)
+
+
+def test_auxiliary_variables_renamed_apart():
+    rule = parse_rule(
+        "search BigHosts b, ServerInformation s register b "
+        "where b.serverInformation = s"
+    )
+    expanded = inline_named_rules(rule, {"BigHosts": BIG})
+    variables = [e.variable for e in expanded.extensions]
+    # The named rule's own 's' must not collide with the outer 's'.
+    assert len(variables) == len(set(variables))
+    assert "s" in variables  # the outer one survives as-is
+
+
+def test_two_uses_of_same_named_rule():
+    rule = parse_rule(
+        "search BigHosts a, BigHosts b register a where a = b"
+    )
+    expanded = inline_named_rules(rule, {"BigHosts": BIG})
+    variables = [e.variable for e in expanded.extensions]
+    assert len(variables) == len(set(variables)) == 4
+
+
+def test_recursive_expansion():
+    fast = parse_rule(
+        "search PassauHosts p register p where p.serverPort = 80"
+    )
+    rule = parse_rule("search FastPassau f register f")
+    expanded = inline_named_rules(
+        rule, {"PassauHosts": PASSAU, "FastPassau": fast}
+    )
+    text = str(expanded)
+    assert "contains 'passau'" in text
+    assert "serverPort = 80" in text
+    assert [e.name for e in expanded.extensions] == ["CycleProvider"]
+
+
+def test_cycle_detected():
+    selfish = parse_rule("search Loop x register x where x.serverPort = 1")
+    with pytest.raises(NormalizationError):
+        inline_named_rules(
+            parse_rule("search Loop y register y"), {"Loop": selfish}
+        )
+
+
+def test_unknown_names_left_untouched():
+    rule = parse_rule("search CycleProvider c register c")
+    expanded = inline_named_rules(rule, {"PassauHosts": PASSAU})
+    assert expanded == rule
+
+
+def test_or_inside_named_rule_survives():
+    either = parse_rule(
+        "search CycleProvider c register c "
+        "where c.serverHost contains 'a' or c.serverHost contains 'b'"
+    )
+    rule = parse_rule("search Either e register e where e.serverPort = 80")
+    expanded = inline_named_rules(rule, {"Either": either})
+    assert "or" in str(expanded)
+
+
+def test_inline_named_query():
+    query = parse_query("search PassauHosts p where p.serverPort > 90")
+    expanded = inline_named_query(query, {"PassauHosts": PASSAU})
+    assert isinstance(expanded, Query)
+    assert expanded.result == "p"
+    assert "contains 'passau'" in str(expanded)
+
+
+def test_expanded_rule_normalizes(schema):
+    """The expansion must type-check against the plain schema."""
+    from repro.rules.normalize import normalize_rule
+
+    rule = parse_rule("search BigHosts b register b")
+    expanded = inline_named_rules(rule, {"BigHosts": BIG})
+    conjuncts = normalize_rule(expanded, schema)
+    assert len(conjuncts) == 1
+    assert conjuncts[0].register == "b"

@@ -1,0 +1,339 @@
+"""Unit tests for rule normalization (paper, Section 3.3)."""
+
+import pytest
+
+from repro.errors import NormalizationError, UnknownClassError
+from repro.rdf.namespaces import RDF_SUBJECT
+from repro.rules.normalize import normalize_rule, to_dnf
+from repro.rules.parser import parse_rule
+
+from tests.conftest import PAPER_RULE
+
+
+def normalize_one(text, schema, named=None):
+    results = normalize_rule(parse_rule(text), schema, named)
+    assert len(results) == 1
+    return results[0]
+
+
+class TestPathSplitting:
+    def test_paper_normalized_form(self, schema):
+        """The paper's Example 1 normalization (Section 3.3)."""
+        normalized = normalize_one(
+            "search CycleProvider c register c "
+            "where c.serverHost contains 'uni-passau.de' "
+            "and c.serverInformation.memory > 64",
+            schema,
+        )
+        assert normalized.register == "c"
+        # The search part now contains all classes used in the where part.
+        assert list(normalized.variables.values()) == [
+            "CycleProvider",
+            "ServerInformation",
+        ]
+        # Path expressions are split into single property accesses.
+        assert len(normalized.constants) == 2
+        assert len(normalized.joins) == 1
+        join = normalized.joins[0]
+        assert join.left_prop == "serverInformation"
+        assert join.right_prop is None
+
+    def test_shared_prefix_single_variable(self, schema):
+        """Both paths bind to the SAME fresh variable (Section 3.3.1)."""
+        normalized = normalize_one(PAPER_RULE, schema)
+        # One fresh variable, not two: same-resource semantics preserved.
+        assert len(normalized.variables) == 2
+        fresh = [v for v in normalized.variables if v.startswith("_v")]
+        assert len(fresh) == 1
+        assert len(normalized.joins) == 1
+
+    def test_distinct_roots_get_distinct_variables(self, rich_schema):
+        normalized = normalize_one(
+            "search DataProvider d, DataProvider e register d "
+            "where d.host.serverPort = 1 and e.host.serverPort = 2 "
+            "and d.host = e.host",
+            rich_schema,
+        )
+        fresh = [v for v in normalized.variables if v.startswith("_v")]
+        assert len(fresh) == 2
+
+    def test_deep_path(self, rich_schema):
+        normalized = normalize_one(
+            "search DataProvider d register d "
+            "where d.host.serverInformation.memory > 64",
+            rich_schema,
+        )
+        # d -> host -> serverInformation: two fresh variables.
+        fresh = [v for v in normalized.variables if v.startswith("_v")]
+        assert len(fresh) == 2
+        assert len(normalized.joins) == 2
+
+    def test_path_through_literal_rejected(self, schema):
+        with pytest.raises(NormalizationError):
+            normalize_one(
+                "search CycleProvider c register c "
+                "where c.serverHost.memory > 64",
+                schema,
+            )
+
+
+class TestPredicateClassification:
+    def test_bare_variable_becomes_subject_predicate(self, schema):
+        normalized = normalize_one(
+            "search CycleProvider c register c where c = 'doc.rdf#host'",
+            schema,
+        )
+        (predicate,) = normalized.constants
+        assert predicate.prop == RDF_SUBJECT
+
+    def test_constant_on_left_is_flipped(self, schema):
+        normalized = normalize_one(
+            "search ServerInformation s register s where 64 < s.memory",
+            schema,
+        )
+        (predicate,) = normalized.constants
+        assert predicate.operator == ">"
+        assert predicate.value.value == 64
+
+    def test_numeric_equality_is_string_compared(self, schema):
+        # Following the paper's storage design, = compares canonically
+        # rendered strings; only the ordering operators reconvert.
+        normalized = normalize_one(
+            "search ServerInformation s register s where s.memory = 64",
+            schema,
+        )
+        assert normalized.constants[0].numeric is False
+
+    def test_ordering_operator_is_numeric(self, schema):
+        normalized = normalize_one(
+            "search ServerInformation s register s where s.memory > 64",
+            schema,
+        )
+        assert normalized.constants[0].numeric is True
+
+    def test_ordering_on_string_property_rejected(self, schema):
+        with pytest.raises(NormalizationError):
+            normalize_one(
+                "search CycleProvider c register c where c.serverHost > 'a'",
+                schema,
+            )
+
+    def test_ordering_with_string_constant_rejected(self, schema):
+        with pytest.raises(NormalizationError):
+            normalize_one(
+                "search ServerInformation s register s where s.memory > 'x'",
+                schema,
+            )
+
+    def test_contains_requires_string(self, schema):
+        with pytest.raises(NormalizationError):
+            normalize_one(
+                "search ServerInformation s register s "
+                "where s.memory contains '6'",
+                schema,
+            )
+
+    def test_contains_constant_left_rejected(self, schema):
+        with pytest.raises(NormalizationError):
+            normalize_one(
+                "search CycleProvider c register c "
+                "where 'x' contains c.serverHost",
+                schema,
+            )
+
+    def test_numeric_property_vs_string_constant_rejected(self, schema):
+        with pytest.raises(NormalizationError):
+            normalize_one(
+                "search ServerInformation s register s where s.memory = 'a'",
+                schema,
+            )
+
+    def test_string_property_vs_number_rejected(self, schema):
+        with pytest.raises(NormalizationError):
+            normalize_one(
+                "search CycleProvider c register c where c.serverHost = 5",
+                schema,
+            )
+
+    def test_two_constants_rejected(self, schema):
+        with pytest.raises(NormalizationError):
+            normalize_one(
+                "search CycleProvider c register c where 1 = 1", schema
+            )
+
+    def test_bare_variable_ordering_rejected(self, schema):
+        with pytest.raises(NormalizationError):
+            normalize_one(
+                "search CycleProvider c register c where c > 'x'", schema
+            )
+
+    def test_unknown_class_in_search(self, schema):
+        with pytest.raises(UnknownClassError):
+            normalize_one("search Unicorn u register u", schema)
+
+    def test_unbound_variable_in_where(self, schema):
+        with pytest.raises(NormalizationError):
+            normalize_one(
+                "search CycleProvider c register c where x.memory > 64",
+                schema,
+            )
+
+
+class TestJoinPredicates:
+    def test_identity_join(self, schema):
+        normalized = normalize_one(
+            "search CycleProvider c, ServerInformation s register c "
+            "where c.serverInformation = s and s.memory > 64",
+            schema,
+        )
+        (join,) = normalized.joins
+        assert join.left_prop == "serverInformation"
+        assert join.right_prop is None
+
+    def test_ordering_join_requires_numeric_both_sides(self, rich_schema):
+        with pytest.raises(NormalizationError):
+            normalize_one(
+                "search CycleProvider c, ServerInformation s register c "
+                "where c.serverHost < s.memory",
+                rich_schema,
+            )
+
+    def test_numeric_join_allowed(self, rich_schema):
+        normalized = normalize_one(
+            "search ServerInformation a, ServerInformation b register a "
+            "where a.memory > b.cpu and a = b",
+            rich_schema,
+        )
+        numeric_joins = [j for j in normalized.joins if j.numeric]
+        assert len(numeric_joins) == 1
+
+    def test_reference_join_target_checked(self, rich_schema):
+        with pytest.raises(NormalizationError):
+            normalize_one(
+                "search CycleProvider c, DataProvider d register c "
+                "where c.serverInformation = d",
+                rich_schema,
+            )
+
+    def test_literal_vs_bare_variable_rejected(self, schema):
+        with pytest.raises(NormalizationError):
+            normalize_one(
+                "search CycleProvider c, ServerInformation s register c "
+                "where c.serverHost = s and s.memory > 1",
+                schema,
+            )
+
+    def test_self_join_predicate(self, rich_schema):
+        normalized = normalize_one(
+            "search ServerInformation s register s where s.memory = s.cpu",
+            rich_schema,
+        )
+        (join,) = normalized.joins
+        assert join.is_self_join
+
+
+class TestConnectivity:
+    def test_disconnected_variable_rejected(self, schema):
+        with pytest.raises(NormalizationError):
+            normalize_one(
+                "search CycleProvider c, ServerInformation s register c "
+                "where s.memory > 64",
+                schema,
+            )
+
+    def test_connected_chain_accepted(self, rich_schema):
+        normalize_one(
+            "search DataProvider d, CycleProvider c, ServerInformation s "
+            "register d where d.host = c and c.serverInformation = s "
+            "and s.memory > 64",
+            rich_schema,
+        )
+
+
+class TestAnyOperator:
+    def test_any_on_multivalued_accepted(self, rich_schema):
+        normalized = normalize_one(
+            "search CycleProvider c register c where c.tags? = 'fast'",
+            rich_schema,
+        )
+        assert normalized.constants[0].prop == "tags"
+
+    def test_any_on_single_valued_rejected(self, rich_schema):
+        with pytest.raises(NormalizationError):
+            normalize_one(
+                "search CycleProvider c register c where c.serverPort? = 80",
+                rich_schema,
+            )
+
+    def test_any_mid_path(self, rich_schema):
+        normalized = normalize_one(
+            "search CycleProvider c register c "
+            "where c.mirrors?.serverHost contains 'de'",
+            rich_schema,
+        )
+        assert len(normalized.joins) == 1
+
+
+class TestOrSplitting:
+    def test_or_produces_two_conjuncts(self, schema):
+        results = normalize_rule(
+            parse_rule(
+                "search CycleProvider c register c "
+                "where c.synthValue > 9 or c.serverHost contains 'de'"
+            ),
+            schema,
+        )
+        assert len(results) == 2
+
+    def test_and_distributes_over_or(self, schema):
+        results = normalize_rule(
+            parse_rule(
+                "search CycleProvider c register c "
+                "where c.synthValue > 1 and "
+                "(c.serverHost contains 'a' or c.serverHost contains 'b')"
+            ),
+            schema,
+        )
+        assert len(results) == 2
+        for conjunct in results:
+            properties = sorted(p.prop for p in conjunct.constants)
+            assert properties == ["serverHost", "synthValue"]
+
+    def test_dnf_explosion_guarded(self, schema):
+        clauses = " and ".join(
+            f"(c.synthValue = {i} or c.synthValue = {i + 100})"
+            for i in range(8)
+        )
+        with pytest.raises(NormalizationError):
+            normalize_rule(
+                parse_rule(
+                    f"search CycleProvider c register c where {clauses}"
+                ),
+                schema,
+            )
+
+    def test_to_dnf_shape(self, schema):
+        rule = parse_rule(
+            "search CycleProvider c register c "
+            "where (c.synthValue = 1 or c.synthValue = 2) "
+            "and (c.synthValue = 3 or c.synthValue = 4)"
+        )
+        conjuncts = to_dnf(rule.where)
+        assert len(conjuncts) == 4
+        assert all(len(conjunct) == 2 for conjunct in conjuncts)
+
+
+class TestNamedExtensions:
+    def test_named_extension_type_used(self, schema):
+        normalized = normalize_one(
+            "search PassauHosts p register p where p.serverPort = 80",
+            schema,
+            named={"PassauHosts": "CycleProvider"},
+        )
+        assert normalized.variables["p"] == "CycleProvider"
+
+    def test_unknown_extension_rejected(self, schema):
+        with pytest.raises(UnknownClassError):
+            normalize_one(
+                "search PassauHosts p register p", schema, named={}
+            )

@@ -1,0 +1,148 @@
+"""Unit tests for the rule/query parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError, RuleSyntaxError
+from repro.rules.ast import And, Constant, Or, PathExpr, PathStep, Predicate
+from repro.rules.parser import parse_query, parse_rule
+
+
+class TestRuleParsing:
+    def test_minimal_rule(self):
+        rule = parse_rule("search CycleProvider c register c")
+        assert rule.register == "c"
+        assert rule.where is None
+        assert rule.variables() == {"c": "CycleProvider"}
+
+    def test_multiple_extensions(self):
+        rule = parse_rule(
+            "search CycleProvider c, ServerInformation s register c "
+            "where c.serverInformation = s"
+        )
+        assert rule.variables() == {
+            "c": "CycleProvider",
+            "s": "ServerInformation",
+        }
+
+    def test_paper_rule_example1(self):
+        rule = parse_rule(
+            "search CycleProvider c register c "
+            "where c.serverHost contains 'uni-passau.de' "
+            "and c.serverInformation.memory > 64"
+        )
+        assert isinstance(rule.where, And)
+        first, second = rule.where.operands
+        assert first.operator == "contains"
+        assert second.operator == ">"
+        assert second.left == PathExpr(
+            "c", (PathStep("serverInformation"), PathStep("memory"))
+        )
+        assert isinstance(second.right, Constant)
+        assert second.right.literal.value == 64
+
+    def test_bare_variable_predicate(self):
+        rule = parse_rule(
+            "search CycleProvider c register c where c = 'doc.rdf#host'"
+        )
+        assert isinstance(rule.where, Predicate)
+        assert rule.where.left == PathExpr("c")
+
+    def test_any_operator(self):
+        rule = parse_rule(
+            "search CycleProvider c register c where c.tags? = 'fast'"
+        )
+        assert rule.where.left.steps == (PathStep("tags", any=True),)
+
+    def test_or_and_precedence(self):
+        rule = parse_rule(
+            "search CycleProvider c register c "
+            "where c.synthValue > 1 and c.synthValue < 5 "
+            "or c.synthValue = 9"
+        )
+        assert isinstance(rule.where, Or)
+        left, right = rule.where.operands
+        assert isinstance(left, And)
+        assert isinstance(right, Predicate)
+
+    def test_parentheses(self):
+        rule = parse_rule(
+            "search CycleProvider c register c "
+            "where c.synthValue > 1 and (c.synthValue < 5 "
+            "or c.synthValue = 9)"
+        )
+        assert isinstance(rule.where, And)
+        __, grouped = rule.where.operands
+        assert isinstance(grouped, Or)
+
+    def test_constant_on_left(self):
+        rule = parse_rule(
+            "search ServerInformation s register s where 64 < s.memory"
+        )
+        assert rule.where.left == Constant(rule.where.left.literal)
+
+    def test_register_must_be_bound(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_rule("search CycleProvider c register x")
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_rule("search CycleProvider c, ServerInformation c register c")
+
+    def test_missing_register(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_rule("search CycleProvider c where c.synthValue > 1")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_rule("search CycleProvider c register c extra")
+
+    def test_missing_operand(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_rule("search CycleProvider c register c where c.synthValue >")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_rule(
+                "search CycleProvider c register c where (c.synthValue > 1"
+            )
+
+    def test_roundtrip_str_parse(self):
+        text = (
+            "search CycleProvider c register c "
+            "where c.serverHost contains 'uni-passau.de' "
+            "and c.serverInformation.memory > 64"
+        )
+        rule = parse_rule(text)
+        assert parse_rule(str(rule)) == rule
+
+    def test_string_escape_roundtrip(self):
+        rule = parse_rule(
+            "search CycleProvider c register c where c.serverHost = 'o''neil'"
+        )
+        assert rule.where.right.literal.value == "o'neil"
+        assert parse_rule(str(rule)) == rule
+
+
+class TestQueryParsing:
+    def test_query_has_no_register(self):
+        query = parse_query(
+            "search CycleProvider c where c.synthValue > 5"
+        )
+        assert query.result == "c"
+
+    def test_query_as_rule(self):
+        query = parse_query("search CycleProvider c where c.synthValue > 5")
+        rule = query.as_rule()
+        assert rule.register == "c"
+        assert rule.where == query.where
+
+    def test_query_errors_are_query_syntax(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("search")
+
+    def test_query_multi_extension(self):
+        query = parse_query(
+            "search CycleProvider c, ServerInformation s "
+            "where c.serverInformation = s"
+        )
+        assert query.result == "c"

@@ -1,0 +1,307 @@
+"""Unit tests for the persistent rule registry (paper, §3.3.2–3.3.4)."""
+
+import pytest
+
+from repro.errors import SubscriptionError
+from repro.rules.decompose import decompose_rule
+from repro.rules.normalize import normalize_rule
+from repro.rules.parser import parse_rule
+from repro.rules.registry import RuleRegistry
+
+from tests.conftest import PAPER_RULE
+
+
+def decomposed(text, schema, named=None, producers=None):
+    normalized = normalize_rule(parse_rule(text), schema, named)[0]
+    return decompose_rule(normalized, schema, producers)
+
+
+PATH_MEMORY = (
+    "search CycleProvider c register c "
+    "where c.serverInformation.memory > 64"
+)
+PATH_CPU = (
+    "search CycleProvider c register c "
+    "where c.serverInformation.cpu > 500"
+)
+
+
+class TestEnsureAtoms:
+    def test_paper_example_counts(self, registry, schema, db):
+        registry.register_subscription(
+            "lmr", PAPER_RULE, decomposed(PAPER_RULE, schema)
+        )
+        assert registry.triggering_count() == 3
+        assert registry.join_count() == 2
+        assert registry.group_count() == 2
+
+    def test_dedup_across_subscriptions(self, registry, schema):
+        """Section 3.3.3: RuleA and the join group are shared."""
+        registry.register_subscription(
+            "lmr1", PATH_MEMORY, decomposed(PATH_MEMORY, schema)
+        )
+        before = registry.atom_count()
+        registration = registry.register_subscription(
+            "lmr2", PATH_CPU, decomposed(PATH_CPU, schema)
+        )
+        # Class-only CycleProvider atom reused; 2 new atoms (cpu + join).
+        assert registry.atom_count() == before + 2
+        assert len(registration.created) == 2
+        assert registration.reused_existing_atoms
+        # Both joins share one rule group (C1/C2 of the paper).
+        assert registry.group_count() == 1
+
+    def test_identical_rule_twice_creates_nothing(self, registry, schema):
+        registry.register_subscription(
+            "lmr1", PATH_MEMORY, decomposed(PATH_MEMORY, schema)
+        )
+        registration = registry.register_subscription(
+            "lmr2", PATH_MEMORY, decomposed(PATH_MEMORY, schema)
+        )
+        assert registration.created == []
+
+    def test_duplicate_subscription_rejected(self, registry, schema):
+        registry.register_subscription(
+            "lmr", PATH_MEMORY, decomposed(PATH_MEMORY, schema)
+        )
+        with pytest.raises(SubscriptionError):
+            registry.register_subscription(
+                "lmr", PATH_MEMORY, decomposed(PATH_MEMORY, schema)
+            )
+
+    def test_no_duplicate_rule_texts(self, registry, schema, db):
+        registry.register_subscription(
+            "lmr", PAPER_RULE, decomposed(PAPER_RULE, schema)
+        )
+        total = db.scalar("SELECT COUNT(*) FROM atomic_rules")
+        distinct = db.scalar("SELECT COUNT(DISTINCT rule_text) FROM atomic_rules")
+        assert total == distinct
+
+    def test_dedup_disabled_shares_nothing(self, db, schema):
+        registry = RuleRegistry(db, deduplicate=False)
+        registry.register_subscription(
+            "lmr1", PATH_MEMORY, decomposed(PATH_MEMORY, schema)
+        )
+        before = registry.atom_count()
+        registration = registry.register_subscription(
+            "lmr2", PATH_CPU, decomposed(PATH_CPU, schema)
+        )
+        assert registry.atom_count() == before + len(registration.all_rule_ids)
+
+
+class TestTriggeringIndexRows:
+    def test_oid_rule_lands_in_eq_table(self, registry, schema, db):
+        rule = "search CycleProvider c register c where c = 'd.rdf#h'"
+        registry.register_subscription("lmr", rule, decomposed(rule, schema))
+        row = db.query_one("SELECT * FROM filter_rules_eq")
+        assert row["property"] == "rdf#subject"
+        assert row["value"] == "d.rdf#h"
+
+    def test_contains_rule_lands_in_con_table(self, registry, schema, db):
+        rule = (
+            "search CycleProvider c register c "
+            "where c.serverHost contains 'de'"
+        )
+        registry.register_subscription("lmr", rule, decomposed(rule, schema))
+        assert db.count("filter_rules_con") == 1
+
+    def test_class_only_rule_lands_in_class_table(self, registry, schema, db):
+        rule = "search CycleProvider c register c"
+        registry.register_subscription("lmr", rule, decomposed(rule, schema))
+        assert db.count("filter_rules_class") == 1
+
+    def test_subclass_extension_rows(self, db, rich_schema):
+        registry = RuleRegistry(db)
+        rule = "search Provider p register p"
+        registry.register_subscription(
+            "lmr", rule, decomposed(rule, rich_schema)
+        )
+        rows = db.query_all("SELECT class FROM filter_rules_class ORDER BY class")
+        assert [r["class"] for r in rows] == [
+            "CycleProvider",
+            "DataProvider",
+            "Provider",
+        ]
+
+    def test_each_comparison_operator_routed(self, registry, schema, db):
+        operators = {
+            "<": "filter_rules_lt",
+            "<=": "filter_rules_le",
+            ">": "filter_rules_gt",
+            ">=": "filter_rules_ge",
+        }
+        for index, (op, table) in enumerate(operators.items()):
+            rule = (
+                f"search ServerInformation s register s "
+                f"where s.memory {op} {index}"
+            )
+            registry.register_subscription(
+                f"lmr{index}", rule, decomposed(rule, schema)
+            )
+            assert db.count(table) == 1, table
+
+
+class TestDependencies:
+    def test_dependency_rows_carry_group(self, registry, schema, db):
+        registry.register_subscription(
+            "lmr", PATH_MEMORY, decomposed(PATH_MEMORY, schema)
+        )
+        rows = db.query_all("SELECT * FROM rule_dependencies")
+        assert len(rows) == 2  # left + right input of the join rule
+        assert all(r["group_id"] is not None for r in rows)
+
+    def test_graph_is_acyclic(self, registry, schema, db):
+        from repro.rules.graph import DependencyGraph
+
+        registry.register_subscription(
+            "lmr", PAPER_RULE, decomposed(PAPER_RULE, schema)
+        )
+        graph = DependencyGraph.load(db)
+        assert graph.is_acyclic()
+        assert graph.longest_path_length() == 2
+
+
+class TestUnsubscribe:
+    def test_full_cleanup(self, registry, schema, db):
+        registry.register_subscription(
+            "lmr", PAPER_RULE, decomposed(PAPER_RULE, schema)
+        )
+        removed = registry.unsubscribe("lmr", PAPER_RULE)
+        assert len(removed) == 5
+        assert registry.atom_count() == 0
+        assert db.count("rule_dependencies") == 0
+        assert db.count("filter_rules_con") == 0
+        assert db.count("subscription_rules") == 0
+
+    def test_shared_atoms_survive(self, registry, schema):
+        registry.register_subscription(
+            "lmr1", PATH_MEMORY, decomposed(PATH_MEMORY, schema)
+        )
+        registry.register_subscription(
+            "lmr2", PATH_CPU, decomposed(PATH_CPU, schema)
+        )
+        registry.unsubscribe("lmr2", PATH_CPU)
+        # lmr1's three atoms remain, lmr2's private two are gone.
+        assert registry.atom_count() == 3
+        assert registry.subscriptions_of("lmr1")
+
+    def test_unknown_unsubscribe_rejected(self, registry, schema):
+        with pytest.raises(SubscriptionError):
+            registry.unsubscribe("lmr", "search CycleProvider c register c")
+
+
+class TestLookups:
+    def test_end_rule_ids_and_subscriptions_for(self, registry, schema):
+        first = registry.register_subscription(
+            "lmr1", PATH_MEMORY, decomposed(PATH_MEMORY, schema)
+        )
+        second = registry.register_subscription(
+            "lmr2", PATH_CPU, decomposed(PATH_CPU, schema)
+        )
+        assert registry.end_rule_ids() == {first.end_rule, second.end_rule}
+        subs = registry.subscriptions_for({first.end_rule})
+        assert [s.subscriber for s in subs] == ["lmr1"]
+
+    def test_shared_end_rule_routes_to_both(self, registry, schema):
+        first = registry.register_subscription(
+            "lmr1", PATH_MEMORY, decomposed(PATH_MEMORY, schema)
+        )
+        registry.register_subscription(
+            "lmr2", PATH_MEMORY, decomposed(PATH_MEMORY, schema)
+        )
+        subs = registry.subscriptions_for({first.end_rule})
+        assert sorted(s.subscriber for s in subs) == ["lmr1", "lmr2"]
+
+
+class TestAtomReconstruction:
+    def test_roundtrip_triggering(self, registry, schema):
+        rule = "search ServerInformation s register s where s.memory > 64"
+        registration = registry.register_subscription(
+            "lmr", rule, decomposed(rule, schema)
+        )
+        node = registry.load_atom(registration.end_rule)
+        registry._node_cache.clear()
+        reloaded = registry.load_atom(registration.end_rule)
+        assert reloaded.key == node.key
+
+    def test_roundtrip_join_tree(self, registry, schema):
+        registration = registry.register_subscription(
+            "lmr", PAPER_RULE, decomposed(PAPER_RULE, schema)
+        )
+        registry._node_cache.clear()
+        node = registry.load_atom(registration.end_rule)
+        assert node.key == decomposed(PAPER_RULE, schema).end.key
+
+    def test_missing_atom_raises(self, registry):
+        with pytest.raises(SubscriptionError):
+            registry.load_atom(999)
+
+
+class TestNamedRules:
+    def test_register_and_lookup(self, registry, schema):
+        rule = (
+            "search CycleProvider c register c "
+            "where c.serverHost contains 'passau'"
+        )
+        registration = registry.register_named_rule(
+            "PassauHosts", rule, decomposed(rule, schema)
+        )
+        assert registry.named_rule("PassauHosts") == (
+            registration.end_rule,
+            "CycleProvider",
+        )
+        assert registry.named_rule_types() == {"PassauHosts": "CycleProvider"}
+
+    def test_duplicate_name_rejected(self, registry, schema):
+        rule = "search CycleProvider c register c"
+        registry.register_named_rule("N", rule, decomposed(rule, schema))
+        with pytest.raises(SubscriptionError):
+            registry.register_named_rule("N", rule, decomposed(rule, schema))
+
+    def test_named_producer_embedding(self, registry, schema):
+        base_rule = (
+            "search CycleProvider c register c "
+            "where c.serverHost contains 'passau'"
+        )
+        registry.register_named_rule(
+            "PassauHosts", base_rule, decomposed(base_rule, schema)
+        )
+        producers = registry.named_producers()
+        derived = decomposed(
+            "search PassauHosts p register p where p.serverPort = 80",
+            schema,
+            named={"PassauHosts": "CycleProvider"},
+            producers=producers,
+        )
+        registration = registry.register_subscription(
+            "lmr", "derived", derived
+        )
+        # The named rule's atom is shared, not re-created.
+        created_keys = {atom.key for __, atom in registration.created}
+        assert producers["PassauHosts"].key not in created_keys
+
+
+class TestNamedRuleSharing:
+    def test_unsubscribe_keeps_named_rule_atoms(self, registry, schema):
+        """Atoms shared with a named rule survive subscriber churn."""
+        base_rule = (
+            "search CycleProvider c register c "
+            "where c.serverHost contains 'passau'"
+        )
+        registry.register_named_rule(
+            "PassauHosts", base_rule, decomposed(base_rule, schema)
+        )
+        atoms_after_named = registry.atom_count()
+
+        derived = decomposed(
+            "search PassauHosts p register p where p.serverPort = 80",
+            schema,
+            named={"PassauHosts": "CycleProvider"},
+            producers=registry.named_producers(),
+        )
+        registry.register_subscription("lmr", "derived-rule", derived)
+        registry.unsubscribe("lmr", "derived-rule")
+        # The named rule's own atom is still there; the derived-only
+        # atoms are gone.
+        assert registry.atom_count() == atoms_after_named
+        assert registry.named_rule("PassauHosts") is not None

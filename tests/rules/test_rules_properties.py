@@ -1,0 +1,120 @@
+"""Property-based tests for the rule language pipeline."""
+
+from tests.conftest import prop_settings
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf.schema import objectglobe_schema
+from repro.rules.decompose import decompose_rule
+from repro.rules.normalize import normalize_rule
+from repro.rules.parser import parse_rule
+
+SCHEMA = objectglobe_schema()
+
+comparison_ops = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+int_constants = st.integers(min_value=-1000, max_value=1000)
+string_constants = st.sampled_from(
+    ["uni-passau.de", "tum", "it's", "a%b_c", ""]
+)
+
+
+@st.composite
+def predicates(draw):
+    kind = draw(
+        st.sampled_from(
+            ["host_contains", "host_eq", "synth_cmp", "memory_path", "cpu_path", "oid"]
+        )
+    )
+    if kind == "host_contains":
+        needle = draw(string_constants).replace("'", "''")
+        return f"c.serverHost contains '{needle}'"
+    if kind == "host_eq":
+        value = draw(string_constants).replace("'", "''")
+        op = draw(st.sampled_from(["=", "!="]))
+        return f"c.serverHost {op} '{value}'"
+    if kind == "synth_cmp":
+        return f"c.synthValue {draw(comparison_ops)} {draw(int_constants)}"
+    if kind == "memory_path":
+        return (
+            f"c.serverInformation.memory {draw(comparison_ops)} "
+            f"{draw(int_constants)}"
+        )
+    if kind == "cpu_path":
+        return (
+            f"c.serverInformation.cpu {draw(comparison_ops)} "
+            f"{draw(int_constants)}"
+        )
+    return "c = 'doc0.rdf#host'"
+
+
+@st.composite
+def rule_texts(draw):
+    parts = draw(st.lists(predicates(), min_size=1, max_size=4))
+    return (
+        "search CycleProvider c register c where " + " and ".join(parts)
+    )
+
+
+@prop_settings(80)
+@given(text=rule_texts())
+def test_parse_str_roundtrip(text):
+    rule = parse_rule(text)
+    assert parse_rule(str(rule)) == rule
+
+
+@prop_settings(80)
+@given(text=rule_texts())
+def test_decomposition_is_deterministic(text):
+    """Equal rules always decompose to equal atom keys (dedup soundness)."""
+    first = decompose_rule(
+        normalize_rule(parse_rule(text), SCHEMA)[0], SCHEMA
+    )
+    second = decompose_rule(
+        normalize_rule(parse_rule(text), SCHEMA)[0], SCHEMA
+    )
+    assert first.end.key == second.end.key
+    assert [a.key for a in first.atoms] == [a.key for a in second.atoms]
+
+
+@prop_settings(80)
+@given(text=rule_texts())
+def test_decomposition_structure_invariants(text):
+    decomposed = decompose_rule(
+        normalize_rule(parse_rule(text), SCHEMA)[0], SCHEMA
+    )
+    from repro.rules.atoms import JoinAtom, TriggeringAtom
+
+    keys = set()
+    for atom in decomposed.atoms:
+        # Children-first ordering.
+        if isinstance(atom, JoinAtom):
+            assert atom.left.key in keys
+            assert atom.right.key in keys
+        keys.add(atom.key)
+        # Triggering atoms refer to a single class with a full predicate
+        # or none at all.
+        if isinstance(atom, TriggeringAtom):
+            assert (atom.prop is None) == (atom.operator is None)
+    # The end rule registers the rule's search class.
+    assert decomposed.rdf_class == "CycleProvider"
+    # The dependency tree depth bounds the filter iteration count.
+    assert decomposed.depth() <= len(decomposed.atoms)
+
+
+@prop_settings(60)
+@given(text=rule_texts())
+def test_predicate_order_does_not_change_end_key(text):
+    """Conjunct order must not affect the canonical decomposition."""
+    rule = parse_rule(text)
+    from repro.rules.ast import And, Rule
+
+    if not isinstance(rule.where, And):
+        return
+    reversed_where = And(tuple(reversed(rule.where.operands)))
+    reordered = Rule(rule.extensions, rule.register, reversed_where)
+    original = decompose_rule(
+        normalize_rule(rule, SCHEMA)[0], SCHEMA
+    )
+    shuffled = decompose_rule(
+        normalize_rule(reordered, SCHEMA)[0], SCHEMA
+    )
+    assert original.end.key == shuffled.end.key

@@ -1,0 +1,117 @@
+"""Unit tests for the rule-language tokenizer."""
+
+import pytest
+
+from repro.errors import RuleSyntaxError
+from repro.rules.tokens import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+def test_keywords_case_insensitive():
+    tokens = tokenize("SEARCH Register WHERE and OR Contains")
+    assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+    assert texts("SEARCH Register WHERE") == ["search", "register", "where"]
+
+
+def test_identifiers():
+    tokens = tokenize("CycleProvider c_1 _x")
+    assert [t.type for t in tokens[:-1]] == [TokenType.IDENT] * 3
+
+
+def test_numbers():
+    assert texts("42 -7 3.25") == ["42", "-7", "3.25"]
+    token_types = kinds("42 -7 3.25")[:-1]
+    assert token_types == [TokenType.NUMBER] * 3
+
+
+def test_number_then_dot_not_confused_with_path():
+    # "5." followed by a non-digit must not swallow the dot.
+    tokens = tokenize("5.x")
+    assert tokens[0].text == "5"
+    assert tokens[1].type is TokenType.DOT
+    assert tokens[2].text == "x"
+
+
+def test_operators():
+    assert texts("= != < <= > >=") == ["=", "!=", "<", "<=", ">", ">="]
+    assert all(
+        t.type is TokenType.OPERATOR for t in tokenize("= != < <= > >=")[:-1]
+    )
+
+
+def test_bang_without_equals_rejected():
+    with pytest.raises(RuleSyntaxError):
+        tokenize("a ! b")
+
+
+def test_string_constant():
+    (token, __) = tokenize("'uni-passau.de'")
+    assert token.type is TokenType.STRING
+    assert token.text == "uni-passau.de"
+
+
+def test_string_with_escaped_quote():
+    (token, __) = tokenize("'it''s'")
+    assert token.text == "it's"
+
+
+def test_string_escape_followed_by_more_text():
+    tokens = tokenize("'a''b' x")
+    assert tokens[0].text == "a'b"
+    assert tokens[1].text == "x"
+
+
+def test_unterminated_string():
+    with pytest.raises(RuleSyntaxError):
+        tokenize("'oops")
+
+
+def test_punctuation():
+    assert kinds(". , ? ( )")[:-1] == [
+        TokenType.DOT,
+        TokenType.COMMA,
+        TokenType.QUESTION,
+        TokenType.LPAREN,
+        TokenType.RPAREN,
+    ]
+
+
+def test_unexpected_character():
+    with pytest.raises(RuleSyntaxError) as err:
+        tokenize("a @ b")
+    assert err.value.position == 2
+
+
+def test_end_token_always_present():
+    assert tokenize("")[-1].type is TokenType.END
+    assert tokenize("x")[-1].type is TokenType.END
+
+
+def test_positions_recorded():
+    tokens = tokenize("ab cd")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 3
+
+
+def test_is_keyword_helper():
+    token = Token(TokenType.KEYWORD, "search", 0)
+    assert token.is_keyword("search")
+    assert not token.is_keyword("where")
+
+
+def test_full_rule_tokenizes():
+    text = (
+        "search CycleProvider c register c "
+        "where c.serverHost contains 'uni-passau.de' "
+        "and c.serverInformation.memory > 64"
+    )
+    tokens = tokenize(text)
+    assert tokens[-1].type is TokenType.END
+    assert sum(1 for t in tokens if t.type is TokenType.DOT) == 3

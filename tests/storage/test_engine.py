@@ -1,0 +1,127 @@
+"""Unit tests for the SQLite engine wrapper."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.engine import Database
+
+
+def test_row_access_by_name():
+    db = Database()
+    db.execute("CREATE TABLE t (a, b)")
+    db.execute("INSERT INTO t VALUES (1, 'x')")
+    row = db.query_one("SELECT * FROM t")
+    assert row["a"] == 1
+    assert row["b"] == "x"
+    db.close()
+
+
+def test_scalar_and_count():
+    db = Database()
+    db.execute("CREATE TABLE t (a)")
+    db.executemany("INSERT INTO t VALUES (?)", [(i,) for i in range(5)])
+    assert db.scalar("SELECT SUM(a) FROM t") == 10
+    assert db.count("t") == 5
+    assert db.count("t", "a > ?", (2,)) == 2
+    db.close()
+
+
+def test_scalar_of_empty_result_is_none():
+    db = Database()
+    db.execute("CREATE TABLE t (a)")
+    assert db.query_one("SELECT a FROM t") is None
+    db.close()
+
+
+def test_transaction_commits():
+    db = Database()
+    db.execute("CREATE TABLE t (a)")
+    with db.transaction():
+        db.execute("INSERT INTO t VALUES (1)")
+    assert db.count("t") == 1
+    db.close()
+
+
+def test_transaction_rolls_back_on_error():
+    db = Database()
+    db.execute("CREATE TABLE t (a)")
+    db.commit()
+    with pytest.raises(RuntimeError):
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES (1)")
+            raise RuntimeError("boom")
+    assert db.count("t") == 0
+    db.close()
+
+
+def test_nested_transactions_join_outer():
+    db = Database()
+    db.execute("CREATE TABLE t (a)")
+    db.commit()
+    with pytest.raises(RuntimeError):
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES (1)")
+            with db.transaction():
+                db.execute("INSERT INTO t VALUES (2)")
+            raise RuntimeError("boom")
+    assert db.count("t") == 0
+    db.close()
+
+
+def test_sql_errors_wrapped():
+    db = Database()
+    with pytest.raises(StorageError) as err:
+        db.execute("SELECT * FROM missing_table")
+    assert "missing_table" in str(err.value)
+    db.close()
+
+
+def test_executemany_errors_wrapped():
+    db = Database()
+    with pytest.raises(StorageError):
+        db.executemany("INSERT INTO nope VALUES (?)", [(1,)])
+    db.close()
+
+
+def test_closed_database_rejected():
+    db = Database()
+    db.close()
+    with pytest.raises(StorageError):
+        db.execute("SELECT 1")
+    db.close()  # idempotent
+
+
+def test_clone_copies_data_and_is_independent():
+    db = Database()
+    db.execute("CREATE TABLE t (a)")
+    db.execute("INSERT INTO t VALUES (1)")
+    db.commit()
+    duplicate = db.clone()
+    duplicate.execute("INSERT INTO t VALUES (2)")
+    assert db.count("t") == 1
+    assert duplicate.count("t") == 2
+    db.close()
+    duplicate.close()
+
+
+def test_table_names_sorted():
+    db = Database()
+    db.execute("CREATE TABLE zeta (a)")
+    db.execute("CREATE TABLE alpha (a)")
+    assert db.table_names() == ["alpha", "zeta"]
+    db.close()
+
+
+def test_explain_returns_plan_text():
+    db = Database()
+    db.execute("CREATE TABLE t (a PRIMARY KEY, b)")
+    plan = db.explain("SELECT b FROM t WHERE a = ?", (1,))
+    assert "t" in plan
+    db.close()
+
+
+def test_context_manager_closes():
+    with Database() as db:
+        db.execute("SELECT 1")
+    with pytest.raises(StorageError):
+        db.execute("SELECT 1")

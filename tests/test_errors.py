@@ -1,0 +1,52 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_mdv_error():
+    for name in errors.__all__:
+        exc_class = getattr(errors, name)
+        assert issubclass(exc_class, errors.MDVError), name
+
+
+def test_hierarchy_shape():
+    assert issubclass(errors.UnknownClassError, errors.SchemaError)
+    assert issubclass(errors.UnknownPropertyError, errors.SchemaError)
+    assert issubclass(errors.SchemaValidationError, errors.SchemaError)
+    assert issubclass(errors.DocumentParseError, errors.ParseError)
+    assert issubclass(errors.RuleSyntaxError, errors.ParseError)
+    assert issubclass(errors.QuerySyntaxError, errors.RuleSyntaxError)
+    assert issubclass(errors.NormalizationError, errors.RuleError)
+    assert issubclass(errors.DecompositionError, errors.RuleError)
+    assert issubclass(errors.DocumentNotFoundError, errors.RepositoryError)
+
+
+def test_unknown_class_message():
+    err = errors.UnknownClassError("Mystery")
+    assert "Mystery" in str(err)
+    assert err.class_name == "Mystery"
+
+
+def test_unknown_property_message():
+    err = errors.UnknownPropertyError("C", "p")
+    assert "C" in str(err) and "p" in str(err)
+
+
+def test_rule_syntax_error_position():
+    err = errors.RuleSyntaxError("bad token", position=17)
+    assert "17" in str(err)
+    assert err.position == 17
+    plain = errors.RuleSyntaxError("bad token")
+    assert plain.position is None
+
+
+def test_document_not_found_carries_uri():
+    err = errors.DocumentNotFoundError("doc.rdf")
+    assert err.document_uri == "doc.rdf"
+
+
+def test_single_catch_all():
+    with pytest.raises(errors.MDVError):
+        raise errors.DecompositionError("nope")

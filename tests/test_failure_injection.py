@@ -1,0 +1,137 @@
+"""Failure-injection tests: errors must surface, state must stay sound."""
+
+import pytest
+
+from repro.errors import MDVError, StorageError, SubscriptionError
+from repro.mdv.provider import MetadataProvider
+from repro.mdv.repository import LocalMetadataRepository
+from repro.net.bus import NetworkBus
+from repro.rdf.model import Document, URIRef
+
+
+def make_doc(index, memory=92):
+    doc = Document(f"doc{index}.rdf")
+    provider = doc.new_resource("host", "CycleProvider")
+    provider.add("serverHost", "a.uni-passau.de")
+    provider.add("serverInformation", URIRef(f"doc{index}.rdf#info"))
+    info = doc.new_resource("info", "ServerInformation")
+    info.add("memory", memory)
+    info.add("cpu", 600)
+    return doc
+
+
+class TestBusFailures:
+    def test_handler_exception_propagates(self):
+        bus = NetworkBus()
+
+        def broken(message):
+            raise RuntimeError("handler crash")
+
+        bus.register("broken", broken)
+        with pytest.raises(RuntimeError):
+            bus.send("a", "broken", "x", None)
+        # The message was still accounted (it did travel).
+        assert bus.total_messages == 1
+
+    def test_subscriber_crash_surfaces_to_publisher(self, schema):
+        bus = NetworkBus()
+        mdp = MetadataProvider(schema, name="mdp", bus=bus)
+        lmr = LocalMetadataRepository("lmr", mdp, bus=bus)
+        lmr.subscribe(
+            "search CycleProvider c register c "
+            "where c.serverHost contains 'passau'"
+        )
+
+        def broken(batch):
+            raise RuntimeError("cache corrupted")
+
+        lmr.apply_batch = broken  # simulate a crashing LMR
+        bus.register("lmr", lmr._handle_message)
+        with pytest.raises(RuntimeError):
+            mdp.register_document(make_doc(1))
+        # The MDP's own state committed before publishing.
+        assert mdp.document_count() == 1
+
+
+class TestTransactionalSoundness:
+    def test_failed_update_leaves_filter_state_intact(self, schema):
+        """A crash mid-update must roll the whole three-pass back."""
+        mdp = MetadataProvider(schema)
+        mdp.connect_subscriber("lmr", lambda batch: None)
+        mdp.subscribe(
+            "lmr",
+            "search CycleProvider c register c "
+            "where c.serverInformation.memory > 64",
+        )
+        doc = make_doc(1, memory=92)
+        mdp.register_document(doc)
+        matches_before = mdp.engine.current_matches(
+            mdp.registry.subscriptions_of("lmr")[0].end_rule
+        )
+
+        engine = mdp.engine
+        original_run = engine.run
+        calls = {"count": 0}
+
+        def exploding_run(*args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 3:  # blow up in pass 3
+                raise StorageError("disk on fire")
+            return original_run(*args, **kwargs)
+
+        engine.run = exploding_run
+        from repro.rdf.diff import diff_documents
+
+        updated = doc.copy()
+        updated.get("doc1.rdf#info").set("memory", 16)
+        with pytest.raises(StorageError):
+            engine.process_diff(diff_documents(doc, updated))
+        engine.run = original_run
+
+        # The transaction rolled back: old state fully intact.
+        end_rule = mdp.registry.subscriptions_of("lmr")[0].end_rule
+        assert engine.current_matches(end_rule) == matches_before
+        atoms = mdp.db.count(
+            "filter_data", "uri_reference = ?", ("doc1.rdf#info",)
+        )
+        assert atoms == 3  # identity + memory + cpu, old version
+
+        # And the system keeps working afterwards.
+        outcome = engine.process_diff(diff_documents(doc, updated))
+        assert outcome.unmatched
+
+
+class TestInvalidInputs:
+    def test_closed_database_raises_storage_error(self, schema):
+        mdp = MetadataProvider(schema)
+        mdp.db.close()
+        with pytest.raises(StorageError):
+            mdp.register_document(make_doc(1))
+
+    def test_bad_rule_text_leaves_no_partial_subscription(self, schema):
+        mdp = MetadataProvider(schema)
+        mdp.connect_subscriber("lmr", lambda batch: None)
+        with pytest.raises(MDVError):
+            mdp.subscribe("lmr", "search Unicorn u register u")
+        assert mdp.registry.subscriptions_of("lmr") == []
+        assert mdp.registry.atom_count() == 0
+
+    def test_or_rule_partial_registration_conflict(self, schema):
+        """Subscribing the same or-rule twice fails cleanly."""
+        mdp = MetadataProvider(schema)
+        mdp.connect_subscriber("lmr", lambda batch: None)
+        rule = (
+            "search CycleProvider c register c "
+            "where c.synthValue > 1 or c.synthValue < 0"
+        )
+        mdp.subscribe("lmr", rule)
+        with pytest.raises(SubscriptionError):
+            mdp.subscribe("lmr", rule)
+
+    def test_unparseable_xml_rejected_without_state_change(self, schema):
+        from repro.errors import DocumentParseError
+
+        mdp = MetadataProvider(schema)
+        with pytest.raises(DocumentParseError):
+            mdp.register_document("<rdf:RDF", document_uri="x.rdf")
+        assert mdp.document_count() == 0

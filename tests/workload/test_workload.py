@@ -1,0 +1,137 @@
+"""Tests for the benchmark workload generators (Figure 10 contracts)."""
+
+import pytest
+
+from repro.rdf.schema import objectglobe_schema
+from repro.workload.documents import benchmark_batch, benchmark_document
+from repro.workload.rules import (
+    comp_rule,
+    join_rule,
+    oid_rule,
+    path_rule,
+    rules_of_type,
+    synth_value_for_fraction,
+)
+from repro.workload.scenarios import WorkloadSpec
+
+
+class TestDocuments:
+    def test_shape_matches_figure1(self):
+        doc = benchmark_document(7)
+        assert sorted(r.rdf_class for r in doc) == [
+            "CycleProvider",
+            "ServerInformation",
+        ]
+        host = doc.get("doc7.rdf#host")
+        assert host.get_one("serverInformation") == "doc7.rdf#info"
+
+    def test_documents_validate_against_schema(self):
+        schema = objectglobe_schema()
+        for doc in benchmark_batch(5):
+            schema.validate_document(doc)
+
+    def test_memory_defaults_to_index(self):
+        doc = benchmark_document(42)
+        assert doc.get("doc42.rdf#info").get_one("memory").value == 42
+
+    def test_batch_indices_consecutive(self):
+        docs = benchmark_batch(3, start_index=10)
+        assert [d.uri for d in docs] == [
+            "doc10.rdf",
+            "doc11.rdf",
+            "doc12.rdf",
+        ]
+
+
+class TestRuleGenerators:
+    def test_rule_texts_parse(self):
+        from repro.rules.parser import parse_rule
+
+        for text in (
+            oid_rule(3),
+            comp_rule(3),
+            path_rule(3),
+            join_rule(3),
+        ):
+            parse_rule(text)
+
+    def test_figure10_shapes(self):
+        assert "c = 'doc3.rdf#host'" in oid_rule(3)
+        assert "synthValue > 3" in comp_rule(3)
+        assert "serverInformation.memory = 3" in path_rule(3)
+        assert "contains 'uni-passau.de'" in join_rule(3)
+        assert "cpu = 600" in join_rule(3)
+
+    def test_rules_of_type_dispatch(self):
+        assert len(rules_of_type("OID", 4)) == 4
+        with pytest.raises(ValueError):
+            rules_of_type("BOGUS", 4)
+
+    def test_synth_value_for_fraction(self):
+        assert synth_value_for_fraction(1000, 0.1) == 100
+        assert synth_value_for_fraction(1000, 0.0) == 0
+        with pytest.raises(ValueError):
+            synth_value_for_fraction(1000, 1.5)
+
+
+class TestMatchingContracts:
+    """The paper's matching contracts, verified via the query oracle."""
+
+    @pytest.mark.parametrize("rule_type", ["OID", "PATH", "JOIN"])
+    def test_one_to_one_matching(self, rule_type):
+        from repro.query.evaluator import evaluate_query
+        from repro.rules.parser import parse_query, parse_rule
+        from repro.rules.ast import Query
+
+        schema = objectglobe_schema()
+        spec = WorkloadSpec(rule_type, rule_count=6)
+        pool = {
+            r.uri: r for doc in spec.documents(6) for r in doc
+        }
+        for index, text in enumerate(spec.rule_texts()):
+            rule = parse_rule(text)
+            query = Query(rule.extensions, rule.register, rule.where)
+            matches = [
+                str(r.uri) for r in evaluate_query(query, pool, schema)
+            ]
+            assert matches == [f"doc{index}.rdf#host"], text
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.25, 0.5, 1.0])
+    def test_comp_fraction_contract(self, fraction):
+        from repro.query.evaluator import evaluate_query
+        from repro.rules.parser import parse_rule
+        from repro.rules.ast import Query
+
+        schema = objectglobe_schema()
+        spec = WorkloadSpec("COMP", rule_count=8, match_fraction=fraction)
+        pool = {r.uri: r for doc in spec.documents(1) for r in doc}
+        matching = 0
+        for text in spec.rule_texts():
+            rule = parse_rule(text)
+            query = Query(rule.extensions, rule.register, rule.where)
+            if evaluate_query(query, pool, schema):
+                matching += 1
+        assert matching == spec.expected_matches_per_document()
+        assert matching == round(8 * fraction)
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("NOPE", 10)
+        with pytest.raises(ValueError):
+            WorkloadSpec("OID", 0)
+
+    def test_one_to_one_bound_enforced(self):
+        spec = WorkloadSpec("PATH", rule_count=5)
+        with pytest.raises(ValueError):
+            spec.documents(6)
+        spec.documents(5)  # exactly at the bound is fine
+
+    def test_comp_unbounded(self):
+        spec = WorkloadSpec("COMP", rule_count=5)
+        assert len(spec.documents(20)) == 20
+
+    def test_labels(self):
+        assert WorkloadSpec("OID", 100).label() == "OID n=100"
+        assert "match=10%" in WorkloadSpec("COMP", 100).label()

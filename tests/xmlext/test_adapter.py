@@ -1,0 +1,185 @@
+"""Tests for the generic-XML adapter (future-work extension)."""
+
+import pytest
+
+from repro.errors import DocumentParseError
+from repro.mdv.provider import MetadataProvider
+from repro.mdv.repository import LocalMetadataRepository
+from repro.rdf.model import URIRef
+from repro.rdf.schema import PropertyKind
+from repro.xmlext.adapter import infer_schema, xml_to_document
+
+CATALOG_XML = """<catalog>
+  <book id="b1">
+    <title>Principles of Distributed Database Systems</title>
+    <year>1999</year>
+    <price>79.5</price>
+    <author id="a1">
+      <name>Ozsu</name>
+    </author>
+    <tag>databases</tag>
+    <tag>distribution</tag>
+  </book>
+  <book id="b2">
+    <title>The Jini Specification</title>
+    <year>1999</year>
+    <price>35</price>
+    <author id="a2">
+      <name>Arnold</name>
+    </author>
+    <cites ref="cat.xml#b1"/>
+  </book>
+</catalog>
+"""
+
+
+@pytest.fixture()
+def catalog():
+    return xml_to_document(CATALOG_XML, "cat.xml")
+
+
+class TestConversion:
+    def test_resources_and_classes(self, catalog):
+        classes = {str(r.uri): r.rdf_class for r in catalog}
+        assert classes == {
+            "cat.xml#b1": "book",
+            "cat.xml#a1": "author",
+            "cat.xml#b2": "book",
+            "cat.xml#a2": "author",
+        }
+
+    def test_literal_properties_typed(self, catalog):
+        book = catalog.get("cat.xml#b1")
+        assert book.get_one("year").value == 1999
+        assert book.get_one("price").value == 79.5
+        assert book.get_one("title").value.startswith("Principles")
+
+    def test_repeated_tags_become_multivalued(self, catalog):
+        book = catalog.get("cat.xml#b1")
+        assert sorted(v.value for v in book.get("tag")) == [
+            "databases",
+            "distribution",
+        ]
+
+    def test_nested_elements_hoisted_to_references(self, catalog):
+        book = catalog.get("cat.xml#b1")
+        assert book.get_one("author") == URIRef("cat.xml#a1")
+        assert catalog.get("cat.xml#a1").get_one("name").value == "Ozsu"
+
+    def test_ref_attribute_becomes_reference(self, catalog):
+        book = catalog.get("cat.xml#b2")
+        assert book.get_one("cites") == URIRef("cat.xml#b1")
+
+    def test_synthetic_ids_for_anonymous_resources(self):
+        xml = "<root><thing><part><x>1</x></part></thing></root>"
+        doc = xml_to_document(xml, "d.xml")
+        assert any(
+            uri.local_name.startswith("thing-") for uri in doc.resources
+        )
+
+    def test_duplicate_ids_rejected(self):
+        xml = "<root><a id='x'/><b id='x'/></root>"
+        with pytest.raises(DocumentParseError):
+            xml_to_document(xml, "d.xml")
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(DocumentParseError):
+            xml_to_document("<root", "d.xml")
+
+
+class TestSchemaInference:
+    def test_inferred_kinds(self, catalog):
+        schema = infer_schema([catalog])
+        assert schema.property_def("book", "year").kind is PropertyKind.INTEGER
+        # price saw both int and float: widened to FLOAT.
+        assert schema.property_def("book", "price").kind is PropertyKind.FLOAT
+        assert schema.property_def("book", "title").kind is PropertyKind.STRING
+
+    def test_nested_reference_is_strong(self, catalog):
+        schema = infer_schema([catalog])
+        assert schema.property_def("book", "author").is_strong
+
+    def test_ref_attribute_is_weak(self, catalog):
+        schema = infer_schema([catalog])
+        cites = schema.property_def("book", "cites")
+        assert cites.is_reference and not cites.is_strong
+
+    def test_multivalued_detected(self, catalog):
+        schema = infer_schema([catalog])
+        assert schema.property_def("book", "tag").multivalued
+
+    def test_documents_validate_against_inferred_schema(self, catalog):
+        schema = infer_schema([catalog])
+        schema.validate_document(catalog)
+
+    def test_xml_strings_accepted(self):
+        schema = infer_schema([CATALOG_XML], document_uris=["cat.xml"])
+        assert schema.has_class("book")
+
+    def test_xml_strings_need_uris(self):
+        with pytest.raises(ValueError):
+            infer_schema([CATALOG_XML])
+
+    def test_mixed_reference_targets_rejected(self):
+        # The same (class, property) pair referencing two different
+        # target classes cannot be expressed in an MDV schema.
+        xml = (
+            "<root>"
+            "<x id='x1'><link ref='d.xml#a1'/></x>"
+            "<x id='x2'><link ref='d.xml#y1'/></x>"
+            "<a id='a1'><v>1</v></a>"
+            "<y id='y1'><w>2</w></y>"
+            "</root>"
+        )
+        doc = xml_to_document(xml, "d.xml")
+        with pytest.raises(DocumentParseError):
+            infer_schema([doc])
+
+
+class TestXmlOverMdv:
+    """The headline claim: the unchanged filter serves XML content."""
+
+    def test_subscribe_to_xml_content(self, catalog):
+        schema = infer_schema([catalog])
+        mdp = MetadataProvider(schema)
+        lmr = LocalMetadataRepository("reader", mdp)
+        lmr.subscribe(
+            "search book b register b where b.year >= 1999 "
+            "and b.price < 50"
+        )
+        mdp.register_document(catalog)
+        cached = [str(u) for u in lmr.cache.uris()]
+        # b2 matches; its strong author travels along.
+        assert "cat.xml#b2" in cached
+        assert "cat.xml#a2" in cached
+        assert "cat.xml#b1" not in cached
+
+    def test_updates_propagate_for_xml(self, catalog):
+        schema = infer_schema([catalog])
+        mdp = MetadataProvider(schema)
+        lmr = LocalMetadataRepository("reader", mdp)
+        lmr.subscribe("search book b register b where b.price < 50")
+        mdp.register_document(catalog)
+        assert "cat.xml#b2" in lmr.cache
+
+        repriced = xml_to_document(
+            CATALOG_XML.replace("<price>35</price>", "<price>99</price>"),
+            "cat.xml",
+        )
+        mdp.register_document(repriced)
+        assert "cat.xml#b2" not in lmr.cache
+
+    def test_path_rules_over_xml(self, catalog):
+        schema = infer_schema([catalog])
+        mdp = MetadataProvider(schema)
+        lmr = LocalMetadataRepository("reader", mdp)
+        lmr.subscribe(
+            "search book b register b where b.author.name contains 'Ozsu'"
+        )
+        mdp.register_document(catalog)
+        matched = [
+            str(uri)
+            for uri in lmr.cache.uris()
+            if lmr.cache.get(uri).matched_subs
+        ]
+        assert matched == ["cat.xml#b1"]
