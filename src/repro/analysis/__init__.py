@@ -1,0 +1,41 @@
+"""Static analysis for subscription rules and persisted filter state.
+
+Three analyzers over the rule pipeline, all reporting structured
+:class:`~repro.analysis.diagnostics.Diagnostic` findings instead of
+raising on the first problem:
+
+- :mod:`repro.analysis.lint` — schema, typing and satisfiability checks
+  on the parsed rule AST (``MDV00x``/``MDV01x``);
+- :mod:`repro.analysis.subsume` — duplication and subsumption of a
+  candidate rule against the live registry (``MDV02x``);
+- :mod:`repro.analysis.invariants` — storage and dependency-graph
+  invariant auditing of an MDP database (``MDV03x``).
+
+``python -m repro.analysis`` exposes all three from the command line;
+the registration paths (:meth:`RuleRegistry.register_subscription`,
+``MetadataProvider.subscribe``) accept an ``analyze`` policy that turns
+findings into warnings or registration rejections.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+)
+from repro.analysis.invariants import audit_database
+from repro.analysis.lint import lint_rule, lint_rule_text
+from repro.analysis.subsume import check_subsumption
+
+__all__ = [
+    "AnalysisReport",
+    "CODES",
+    "Diagnostic",
+    "Severity",
+    "audit_database",
+    "check_subsumption",
+    "lint_rule",
+    "lint_rule_text",
+]

@@ -1,0 +1,220 @@
+"""Command-line entry point: ``python -m repro.analysis <command>``.
+
+Commands:
+
+- ``lint [FILE ...] [--rule TEXT] [--db PATH]`` — lint subscription
+  rules.  Rule files hold one rule per paragraph (blank-line separated;
+  ``#`` starts a comment line).  With ``--db`` the rules are also
+  checked for duplication/subsumption against the registry stored in
+  that MDP database.
+- ``audit --db PATH`` — audit a live MDP database for storage and
+  dependency-graph invariant violations.
+- ``codes`` — list every diagnostic code with its meaning.
+
+Exit status: 0 when clean, 1 when only warnings were found, 2 on any
+error (including unreadable inputs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import MDVError
+from repro.rdf.schema import Schema, objectglobe_schema
+from repro.rules.registry import RuleRegistry
+from repro.storage.engine import Database
+
+from repro.analysis.diagnostics import CODES, EXIT_ERRORS, AnalysisReport
+from repro.analysis.invariants import audit_database
+from repro.analysis.lint import lint_rule_text
+from repro.analysis.subsume import check_subsumption
+
+__all__ = ["main"]
+
+
+def _parse_rule_file(text: str) -> list[str]:
+    """Split a rule file into rules: paragraphs, ``#`` comments dropped."""
+    rules: list[str] = []
+    paragraph: list[str] = []
+    for line in [*text.splitlines(), ""]:
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            continue
+        if not stripped:
+            if paragraph:
+                rules.append(" ".join(paragraph))
+                paragraph = []
+            continue
+        paragraph.append(stripped)
+    return rules
+
+
+def _open_database(path: str) -> Database:
+    if not Path(path).exists():
+        raise FileNotFoundError(f"no such database: {path}")
+    return Database(path)
+
+
+def _provider_schema(db: Database) -> Schema:
+    """The schema to lint against.
+
+    MDP databases do not persist their schema, so the CLI falls back to
+    the paper's ObjectGlobe example schema — the one every bundled
+    scenario and benchmark uses.
+    """
+    return objectglobe_schema()
+
+
+def run_lint(
+    files: list[str], rule: str | None, db_path: str | None
+) -> int:
+    """Lint rules from files and/or ``--rule``; print findings."""
+    sources: list[tuple[str, str]] = []
+    for file_name in files:
+        try:
+            text = Path(file_name).read_text()
+        except OSError as exc:
+            print(f"error: cannot read {file_name}: {exc}", file=sys.stderr)
+            return EXIT_ERRORS
+        for index, rule_text in enumerate(_parse_rule_file(text), start=1):
+            sources.append((f"{file_name}:{index}", rule_text))
+    if rule is not None:
+        sources.append(("--rule", rule))
+    if not sources:
+        print("error: nothing to lint (pass FILE or --rule)", file=sys.stderr)
+        return EXIT_ERRORS
+
+    db = None
+    registry = None
+    schema = objectglobe_schema()
+    if db_path is not None:
+        try:
+            db = _open_database(db_path)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERRORS
+        registry = RuleRegistry(db)
+        schema = _provider_schema(db)
+
+    total = AnalysisReport()
+    for label, rule_text in sources:
+        named_types = registry.named_rule_types() if registry else None
+        report = lint_rule_text(rule_text, schema, named_types)
+        if registry is not None and not report.has_errors:
+            report.extend(_subsumption_report(rule_text, schema, registry))
+        _print_findings(label, rule_text, report)
+        total.extend(report)
+    _print_summary(total, len(sources))
+    return total.exit_code()
+
+
+def _subsumption_report(
+    rule_text: str, schema: Schema, registry: RuleRegistry
+) -> AnalysisReport:
+    """Subsumption findings for one lint-clean rule, never raising."""
+    from repro.rules.decompose import decompose_rule
+    from repro.rules.normalize import normalize_rule
+    from repro.rules.parser import parse_rule
+
+    report = AnalysisReport()
+    try:
+        parsed = parse_rule(rule_text)
+        conjuncts = normalize_rule(
+            parsed, schema, registry.named_rule_types()
+        )
+        named_producers = registry.named_producers()
+        for normalized in conjuncts:
+            decomposed = decompose_rule(normalized, schema, named_producers)
+            report.extend(
+                check_subsumption(decomposed, registry, source=rule_text)
+            )
+    except MDVError:
+        pass  # the linter already reported everything it models
+    return report
+
+
+def run_audit(db_path: str) -> int:
+    """Audit one MDP database; print findings."""
+    try:
+        db = _open_database(db_path)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERRORS
+    report = audit_database(db)
+    for diagnostic in report:
+        where = f" [{diagnostic.source}]" if diagnostic.source else ""
+        print(f"{db_path}{where}: {diagnostic.render()}")
+    _print_summary(report, 1)
+    return report.exit_code()
+
+
+def run_codes() -> int:
+    for code, meaning in sorted(CODES.items()):
+        print(f"{code}  {meaning}")
+    return 0
+
+
+def _print_findings(
+    label: str, rule_text: str, report: AnalysisReport
+) -> None:
+    for diagnostic in report:
+        print(f"{label}: {diagnostic.render()}")
+        if diagnostic.span is not None:
+            start, end = diagnostic.span
+            print(f"    {rule_text}")
+            print(f"    {' ' * start}{'^' * max(end - start, 1)}")
+
+
+def _print_summary(report: AnalysisReport, analyzed: int) -> None:
+    errors = len(report.errors())
+    warnings = len(report.warnings())
+    infos = len(report.diagnostics) - errors - warnings
+    parts = [f"{analyzed} input(s)"]
+    for count, word in ((errors, "error"), (warnings, "warning"),
+                        (infos, "info")):
+        if count:
+            parts.append(f"{count} {word}(s)")
+    if report.is_clean:
+        parts.append("clean")
+    print(", ".join(parts))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis for subscription rules and MDP stores.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    lint_parser = subparsers.add_parser(
+        "lint", help="lint subscription rules from files or --rule"
+    )
+    lint_parser.add_argument(
+        "files", nargs="*", metavar="FILE",
+        help="rule files (one rule per blank-line separated paragraph)",
+    )
+    lint_parser.add_argument(
+        "--rule", help="lint a single rule given on the command line"
+    )
+    lint_parser.add_argument(
+        "--db", help="also check duplication/subsumption against this "
+        "MDP database",
+    )
+    audit_parser = subparsers.add_parser(
+        "audit", help="audit an MDP database for invariant violations"
+    )
+    audit_parser.add_argument(
+        "--db", required=True, help="path to the MDP SQLite database"
+    )
+    subparsers.add_parser("codes", help="list all diagnostic codes")
+    args = parser.parse_args(argv)
+    if args.command == "lint":
+        return run_lint(args.files, args.rule, args.db)
+    if args.command == "audit":
+        return run_audit(args.db)
+    return run_codes()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,8 @@ from repro.bench.ablations import ABLATIONS
 from repro.bench.figures import FIGURES
 from repro.bench.reporting import render_chart, render_claims, render_figure
 
+__all__ = ["main"]
+
 
 def _write_csv(figure, path: str) -> None:
     with open(path, "w") as handle:

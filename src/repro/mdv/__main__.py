@@ -14,6 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import MDVError
 from repro.mdv.provider import MetadataProvider
 from repro.mdv.repository import LocalMetadataRepository
 from repro.mdv.stats import collect_statistics
@@ -21,6 +22,8 @@ from repro.net.bus import NetworkBus
 from repro.rdf.model import Document, URIRef
 from repro.rdf.schema import objectglobe_schema
 from repro.rules.explain import explain_rule
+
+__all__ = ["main"]
 
 
 def _demo_document(index: int, host: str, memory: int) -> Document:
@@ -84,7 +87,7 @@ def run_explain(rule_text: str) -> int:
     schema = objectglobe_schema()
     try:
         print(explain_rule(rule_text, schema))
-    except Exception as exc:  # surface parse/normalize errors readably
+    except MDVError as exc:  # surface parse/normalize errors readably
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0

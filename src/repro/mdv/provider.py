@@ -24,8 +24,12 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
+from repro.analysis import check_subsumption, lint_rule_text
+from repro.analysis.diagnostics import Diagnostic
 from repro.errors import (
     DocumentNotFoundError,
+    RuleAnalysisError,
+    RuleError,
     SchemaValidationError,
     SubscriptionError,
 )
@@ -43,7 +47,7 @@ from repro.rdf.serializer import to_rdfxml
 from repro.rules.decompose import decompose_rule
 from repro.rules.normalize import normalize_rule
 from repro.rules.parser import parse_query, parse_rule
-from repro.rules.registry import RuleRegistry, Subscription
+from repro.rules.registry import ANALYZE_POLICIES, RuleRegistry, Subscription
 from repro.storage.engine import Database
 from repro.storage.schema import create_all
 from repro.storage.tables import DocumentTable, ResourceTable
@@ -76,11 +80,16 @@ class MetadataProvider:
         use_rule_groups: bool = True,
         consistency: str = "filter",
         join_evaluation: str = "scan",
+        analyze: str = "off",
     ):
         if consistency not in ("filter", "resource-list", "ttl"):
             raise ValueError(
                 f"consistency must be 'filter', 'resource-list' or 'ttl', "
                 f"got {consistency!r}"
+            )
+        if analyze not in ANALYZE_POLICIES:
+            raise ValueError(
+                f"analyze must be one of {ANALYZE_POLICIES}, got {analyze!r}"
             )
         self.name = name
         self.schema = schema
@@ -95,6 +104,10 @@ class MetadataProvider:
         #: instantiated lazily to avoid a circular import.
         self.consistency = consistency
         self._strategy = None
+        #: Default pre-subscription analysis policy (see ANALYZE_POLICIES).
+        self.analyze = analyze
+        #: Diagnostics of the most recent analyzed subscribe call.
+        self.last_diagnostics: list[Diagnostic] = []
         self.bus = bus
         self._documents: dict[str, Document] = {}
         self._document_table = DocumentTable(self.db)
@@ -273,14 +286,41 @@ class MetadataProvider:
         """Attach a directly connected subscriber (no network bus)."""
         self._direct_subscribers[name] = handler
 
-    def subscribe(self, subscriber: str, rule_text: str) -> list[Subscription]:
+    def subscribe(
+        self,
+        subscriber: str,
+        rule_text: str,
+        analyze: str | None = None,
+    ) -> list[Subscription]:
         """Register a subscription rule for ``subscriber``.
 
         Rules containing ``or`` are split into conjuncts (Section 2.3);
         one subscription per conjunct is registered, all labelled with
         the original rule text.  Current matches are delivered right
         away.  Returns the registered subscriptions.
+
+        ``analyze`` overrides the provider's default analysis policy for
+        this call.  With ``"warn"`` or ``"reject"`` the rule is linted
+        and subsumption-checked *before anything is stored*, so a
+        rejected multi-conjunct rule never registers partially; findings
+        land in :attr:`last_diagnostics`.
         """
+        policy = self.analyze if analyze is None else analyze
+        if policy not in ANALYZE_POLICIES:
+            raise ValueError(
+                f"analyze must be one of {ANALYZE_POLICIES}, got {policy!r}"
+            )
+        self.last_diagnostics = []
+        if policy != "off":
+            diagnostics = self.analyze_rule(rule_text, subscriber=subscriber)
+            self.last_diagnostics = diagnostics
+            if policy == "reject" and any(d.is_error for d in diagnostics):
+                first = next(d for d in diagnostics if d.is_error)
+                raise RuleAnalysisError(
+                    f"subscription rejected by analysis: "
+                    f"[{first.code}] {first.message}",
+                    diagnostics=diagnostics,
+                )
         rule = parse_rule(rule_text)
         conjuncts = normalize_rule(
             rule, self.schema, self.registry.named_rule_types()
@@ -305,6 +345,44 @@ class MetadataProvider:
                 )
                 self._deliver(batch)
         return subscriptions
+
+    def analyze_rule(
+        self, rule_text: str, subscriber: str | None = None
+    ) -> list[Diagnostic]:
+        """Statically analyze a rule without registering anything.
+
+        Runs the linter (schema, typing, satisfiability) and — when the
+        rule is lintably clean — the subsumption check of each conjunct
+        against the live registry.  Never raises on a bad rule; parse
+        and normalization failures come back as diagnostics.
+        """
+        named_types = self.registry.named_rule_types()
+        report = lint_rule_text(rule_text, self.schema, named_types)
+        if report.has_errors:
+            return list(report.diagnostics)
+        try:
+            rule = parse_rule(rule_text)
+            conjuncts = normalize_rule(rule, self.schema, named_types)
+            named_producers = self.registry.named_producers()
+            for normalized in conjuncts:
+                decomposed = decompose_rule(
+                    normalized, self.schema, named_producers
+                )
+                report.extend(
+                    check_subsumption(
+                        decomposed,
+                        self.registry,
+                        subscriber=subscriber,
+                        source=rule_text,
+                    )
+                )
+        except RuleError:
+            # The linter accepted what it could check; the rest of the
+            # pipeline rejected the rule for a reason the linter does
+            # not model (e.g. named-rule restrictions).  Registration
+            # will surface that error; analysis reports what it has.
+            pass
+        return list(report.diagnostics)
 
     def unsubscribe(self, subscriber: str, rule_text: str) -> None:
         """Remove every subscription registered under ``rule_text``."""
@@ -473,6 +551,9 @@ class MetadataProvider:
         if kind == "subscribe":
             subscriber, rule_text = payload
             return self.subscribe(subscriber, rule_text)
+        if kind == "analyze":
+            subscriber, rule_text = payload
+            return self.analyze_rule(rule_text, subscriber=subscriber)
         if kind == "unsubscribe":
             subscriber, rule_text = payload
             return self.unsubscribe(subscriber, rule_text)

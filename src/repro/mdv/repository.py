@@ -21,7 +21,8 @@ An LMR:
 
 from __future__ import annotations
 
-from repro.errors import RepositoryError, SubscriptionError
+from repro.analysis.diagnostics import Diagnostic
+from repro.errors import RepositoryError, RuleAnalysisError, SubscriptionError
 from repro.mdv.cache import CacheStore
 from repro.mdv.gc import GarbageCollector, GcReport
 from repro.mdv.provider import MetadataProvider
@@ -49,10 +50,13 @@ class LocalMetadataRepository:
         provider: MetadataProvider,
         schema: Schema | None = None,
         bus: NetworkBus | None = None,
+        analyze: str = "off",
     ):
         self.name = name
         self.provider = provider
         self.schema = schema or provider.schema
+        #: Pre-subscription analysis policy ("off", "warn" or "reject").
+        self.analyze = analyze
         self.bus = bus
         self.cache = CacheStore(self.schema)
         self.collector = GarbageCollector(self.schema)
@@ -69,21 +73,43 @@ class LocalMetadataRepository:
     # ------------------------------------------------------------------
     # Subscription management
     # ------------------------------------------------------------------
-    def subscribe(self, rule_text: str) -> None:
+    def subscribe(
+        self, rule_text: str, analyze: str | None = None
+    ) -> list[Diagnostic]:
         """Register a subscription rule at the MDP.
 
         Rules are produced "by users browsing and selecting metadata or
         by administrators of LMRs" (Section 2.3); either way they arrive
         here as rule text.
+
+        With an analysis policy (``analyze`` argument, falling back to
+        the LMR's default), the MDP statically analyzes the rule first
+        and the findings are returned; the ``"reject"`` policy raises
+        :class:`~repro.errors.RuleAnalysisError` on analyzer errors and
+        registers nothing.
         """
         if rule_text in self._subscriptions:
             raise SubscriptionError(
                 f"LMR {self.name!r} already subscribed: {rule_text!r}"
             )
+        policy = self.analyze if analyze is None else analyze
+        diagnostics: list[Diagnostic] = []
+        if policy != "off":
+            diagnostics = list(
+                self._call_provider("analyze", (self.name, rule_text))
+            )
+            if policy == "reject" and any(d.is_error for d in diagnostics):
+                first = next(d for d in diagnostics if d.is_error)
+                raise RuleAnalysisError(
+                    f"subscription rejected by analysis: "
+                    f"[{first.code}] {first.message}",
+                    diagnostics=diagnostics,
+                )
         subscriptions = self._call_provider(
             "subscribe", (self.name, rule_text)
         )
         self._subscriptions[rule_text] = [s.sub_id for s in subscriptions]
+        return diagnostics
 
     def unsubscribe(self, rule_text: str) -> None:
         """Cancel a subscription and evict its no-longer-covered matches."""
@@ -207,6 +233,9 @@ class LocalMetadataRepository:
             return self.bus.send(self.name, self.provider.name, kind, payload)
         if kind == "subscribe":
             return self.provider.subscribe(*payload)
+        if kind == "analyze":
+            subscriber, rule_text = payload
+            return self.provider.analyze_rule(rule_text, subscriber=subscriber)
         if kind == "unsubscribe":
             return self.provider.unsubscribe(*payload)
         if kind == "register_document":

@@ -8,6 +8,17 @@ parser, serializer and filter agree on them.
 
 from __future__ import annotations
 
+__all__ = [
+    "RDF_NS",
+    "RDFS_NS",
+    "MDV_NS",
+    "RDF_SUBJECT",
+    "RDF_ID_ATTR",
+    "RDF_ABOUT_ATTR",
+    "RDF_RESOURCE_ATTR",
+    "RDF_ROOT_TAG",
+]
+
 #: The W3C RDF syntax namespace (as of the 1999 specification the paper cites).
 RDF_NS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
 

@@ -18,11 +18,12 @@ a boolean expression tree rather than a flat conjunction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.rdf.model import Literal
 
 __all__ = [
+    "Span",
     "PathStep",
     "PathExpr",
     "Constant",
@@ -36,6 +37,12 @@ __all__ = [
     "Query",
     "flip_operator",
 ]
+
+#: Character range ``(start, end)`` of a node in the original rule text.
+#: Spans are carried for diagnostics only and excluded from equality, so
+#: structurally identical nodes from different source positions compare
+#: equal (rule deduplication relies on that).
+Span = tuple[int, int]
 
 #: Maps an operator to its mirror image, used when predicate operands are
 #: swapped during canonicalization (``10 < c.memory`` ⇒ ``c.memory > 10``).
@@ -83,6 +90,7 @@ class PathExpr:
 
     variable: str
     steps: tuple[PathStep, ...] = ()
+    span: Span | None = field(default=None, compare=False)
 
     @property
     def is_bare(self) -> bool:
@@ -115,6 +123,7 @@ class Predicate:
     left: Operand
     operator: str
     right: Operand
+    span: Span | None = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return f"{self.left} {self.operator} {self.right}"
@@ -160,6 +169,7 @@ class ExtensionRef:
 
     name: str
     variable: str
+    span: Span | None = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return f"{self.name} {self.variable}"

@@ -18,6 +18,7 @@ rules feed them; join rules sharing a signature form a **rule group**
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
 from typing import Union
 
@@ -211,7 +212,7 @@ def make_join(
     return keep() if left_order <= right_order else swap()
 
 
-def iter_atoms(root: AtomNode):
+def iter_atoms(root: AtomNode) -> Iterator[AtomNode]:
     """Yield every atom of a decomposition tree, children before parents.
 
     Each distinct atom (by key) is yielded once even when shared within
@@ -219,7 +220,7 @@ def iter_atoms(root: AtomNode):
     """
     seen: set[str] = set()
 
-    def walk(node: AtomNode):
+    def walk(node: AtomNode) -> Iterator[AtomNode]:
         if node.key in seen:
             return
         if isinstance(node, JoinAtom):

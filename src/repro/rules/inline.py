@@ -30,7 +30,9 @@ from repro.rules.ast import (
 __all__ = ["inline_named_rules", "inline_named_query"]
 
 
-def _rename_operand(operand, mapping):
+def _rename_operand(
+    operand: PathExpr | Constant, mapping: dict[str, str]
+) -> PathExpr | Constant:
     if isinstance(operand, Constant):
         return operand
     assert isinstance(operand, PathExpr)

@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from repro.errors import NormalizationError, UnknownClassError
 from repro.rdf.model import Literal
 from repro.rdf.namespaces import RDF_SUBJECT
-from repro.rdf.schema import PropertyKind, Schema
+from repro.rdf.schema import PropertyDef, PropertyKind, Schema
 from repro.rules.ast import (
     And,
     BoolExpr,
@@ -351,7 +351,13 @@ class _Normalizer:
             ConstantPredicate(variable, final.prop, operator, value, numeric)
         )
 
-    def _check_constant_types(self, class_name, prop, operator, value) -> bool:
+    def _check_constant_types(
+        self,
+        class_name: str,
+        prop: PropertyDef,
+        operator: str,
+        value: Literal,
+    ) -> bool:
         """Validate operator/type compatibility; return the numeric flag."""
         if operator in _ORDERING_OPERATORS:
             if not prop.is_numeric or not value.is_numeric:

@@ -75,6 +75,14 @@ class _Parser:
         if self.current.type is not TokenType.END:
             raise self.fail("unexpected trailing input")
 
+    def _end_of_previous(self) -> int:
+        """End position of the most recently consumed token."""
+        token = self.tokens[self.index - 1]
+        if token.type is TokenType.STRING:
+            # token.text is unescaped: add the quotes and escape doubles.
+            return token.position + len(token.text) + 2 + token.text.count("'")
+        return token.position + max(len(token.text), 1)
+
     # -- grammar productions --------------------------------------------
     def extensions(self) -> tuple[ExtensionRef, ...]:
         refs = [self.extension()]
@@ -90,9 +98,10 @@ class _Parser:
         return tuple(refs)
 
     def extension(self) -> ExtensionRef:
+        start = self.current.position
         name = self.expect_ident("an extension (class or rule) name")
         variable = self.expect_ident("a variable name")
-        return ExtensionRef(name, variable)
+        return ExtensionRef(name, variable, span=(start, self._end_of_previous()))
 
     def disjunction(self) -> BoolExpr:
         operands = [self.conjunction()]
@@ -121,10 +130,11 @@ class _Parser:
         return self.predicate()
 
     def predicate(self) -> Predicate:
+        start = self.current.position
         left = self.operand()
         operator = self.comparison_operator()
         right = self.operand()
-        return Predicate(left, operator, right)
+        return Predicate(left, operator, right, span=(start, self._end_of_previous()))
 
     def comparison_operator(self) -> str:
         token = self.current
@@ -151,6 +161,7 @@ class _Parser:
         raise self.fail("expected a constant or a path expression")
 
     def path(self) -> PathExpr:
+        start = self.current.position
         variable = self.expect_ident("a variable")
         steps: list[PathStep] = []
         while self.current.type is TokenType.DOT:
@@ -161,7 +172,7 @@ class _Parser:
                 self.advance()
                 any_flag = True
             steps.append(PathStep(prop, any_flag))
-        return PathExpr(variable, tuple(steps))
+        return PathExpr(variable, tuple(steps), span=(start, self._end_of_previous()))
 
 
 def parse_rule(text: str) -> Rule:

@@ -1,6 +1,7 @@
 """Package-surface tests: every advertised name must resolve."""
 
 import importlib
+import pkgutil
 
 import pytest
 
@@ -14,10 +15,29 @@ PACKAGES = [
     "repro.pubsub",
     "repro.net",
     "repro.mdv",
+    "repro.analysis",
     "repro.workload",
     "repro.bench",
     "repro.xmlext",
 ]
+
+
+def _every_module() -> list[str]:
+    """All importable module names under the ``repro`` package."""
+    import repro
+
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _every_module())
+def test_every_module_declares_all(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), f"{module_name} lacks __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name} does not resolve"
 
 
 @pytest.mark.parametrize("package_name", PACKAGES)
@@ -69,6 +89,11 @@ MODULES_WITH_DOCSTRINGS = [
     "repro.pubsub.closure",
     "repro.pubsub.publisher",
     "repro.net.bus",
+    "repro.analysis.diagnostics",
+    "repro.analysis.intervals",
+    "repro.analysis.lint",
+    "repro.analysis.subsume",
+    "repro.analysis.invariants",
     "repro.mdv.provider",
     "repro.mdv.repository",
     "repro.mdv.cache",
