@@ -14,6 +14,11 @@ The hierarchy mirrors the subsystems of the library:
 - :class:`SubscriptionError`, :class:`PublishError` — the publish &
   subscribe machinery.
 - :class:`RepositoryError` — LMR cache and client-facing operations.
+- :class:`NetworkError` subclasses — the simulated network substrate:
+  unreachable endpoints and messages lost in transit.  All of them are
+  *retryable* from the sender's point of view; the reliable delivery
+  layer (:mod:`repro.mdv.outbox`) catches exactly this branch of the
+  hierarchy when deciding whether to retry.
 """
 
 from __future__ import annotations
@@ -38,6 +43,9 @@ __all__ = [
     "RepositoryError",
     "DocumentNotFoundError",
     "DuplicateDocumentError",
+    "NetworkError",
+    "EndpointDownError",
+    "DeliveryError",
 ]
 
 
@@ -161,3 +169,28 @@ class DuplicateDocumentError(RepositoryError):
     def __init__(self, document_uri: str):
         super().__init__(f"document already registered: {document_uri!r}")
         self.document_uri = document_uri
+
+
+class NetworkError(MDVError):
+    """A failure in the (simulated) network substrate.
+
+    The whole branch is retryable: a sender that sees a
+    :class:`NetworkError` learned nothing about whether the receiver
+    processed the message, so at-least-once delivery retries it.
+    """
+
+
+class EndpointDownError(NetworkError):
+    """The destination endpoint is unknown, crashed, or partitioned away.
+
+    ``endpoint`` names the unreachable destination.
+    """
+
+    def __init__(self, endpoint: str, reason: str = "unreachable"):
+        super().__init__(f"endpoint {endpoint!r} is {reason}")
+        self.endpoint = endpoint
+        self.reason = reason
+
+
+class DeliveryError(NetworkError):
+    """A message was lost in transit (dropped or errored by a link)."""

@@ -18,10 +18,25 @@ from repro.mdv.consistency import (
     expire_stale_entries,
 )
 from repro.mdv.gc import GarbageCollector, GcReport
+from repro.mdv.outbox import (
+    DeadLetter,
+    DedupIndex,
+    Outbox,
+    OutboxEntry,
+    ReplicaUpdate,
+    RetryPolicy,
+)
 from repro.mdv.provider import MetadataProvider
-from repro.mdv.repository import LocalMetadataRepository
+from repro.mdv.repository import CachedQueryResult, LocalMetadataRepository
 
 __all__ = [
+    "CachedQueryResult",
+    "DeadLetter",
+    "DedupIndex",
+    "Outbox",
+    "OutboxEntry",
+    "ReplicaUpdate",
+    "RetryPolicy",
     "Backbone",
     "BatchingRegistrar",
     "BatchStats",

@@ -7,6 +7,9 @@ Commands:
 - ``explain "<rule text>"`` — show how a subscription rule is
   normalized and decomposed into atomic rules (uses the ObjectGlobe
   example schema unless ``--schema-class`` pairs are given).
+- ``--chaos-seed N`` — fault-tolerance smoke check: run the seeded
+  chaos scenario twice (faulty and clean) and verify the faulty run
+  converged to the clean one after recovery; exits 1 on divergence.
 """
 
 from __future__ import annotations
@@ -83,6 +86,39 @@ def run_demo() -> int:
     return 0
 
 
+def run_chaos(seed: int) -> int:
+    from repro.workload.chaos import run_chaos_scenario
+
+    print(f"chaos smoke check, seed {seed}")
+    faulty = run_chaos_scenario(seed, faulty=True)
+    clean = run_chaos_scenario(seed, faulty=False)
+    print("faulty:", faulty.summary())
+    print("clean: ", clean.summary())
+    failures = []
+    if faulty.provider_snapshots != clean.provider_snapshots:
+        failures.append("provider document stores diverged")
+    if faulty.lmr_snapshots != clean.lmr_snapshots:
+        failures.append("LMR caches diverged")
+    if not faulty.backbone_synchronized:
+        failures.append("backbone did not resynchronize")
+    if (faulty.batches_received - faulty.batches_applied
+            != faulty.duplicates_ignored):
+        failures.append("dedup counters are inconsistent")
+    if not faulty.stale_read_observed:
+        failures.append("partitioned LMR read was not flagged stale")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: converged after {faulty.faults_injected} injected faults "
+        f"({faulty.duplicates_ignored} duplicate batches ignored, "
+        f"{faulty.recovery.get('redriven', 0)} dead letters redriven, "
+        f"{faulty.recovery.get('repaired', 0)} anti-entropy repairs)"
+    )
+    return 0
+
+
 def run_explain(rule_text: str) -> int:
     schema = objectglobe_schema()
     try:
@@ -96,18 +132,30 @@ def run_explain(rule_text: str) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.mdv",
-        description="MDV demo and rule-inspection commands.",
+        description="MDV demo, rule-inspection and chaos-smoke commands.",
     )
-    subparsers = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the seeded fault-tolerance smoke check and exit",
+    )
+    subparsers = parser.add_subparsers(dest="command")
     subparsers.add_parser("demo", help="run a scripted 3-tier scenario")
     explain_parser = subparsers.add_parser(
         "explain", help="explain a subscription rule"
     )
     explain_parser.add_argument("rule", help="the rule text (quote it)")
     args = parser.parse_args(argv)
+    if args.chaos_seed is not None:
+        return run_chaos(args.chaos_seed)
     if args.command == "demo":
         return run_demo()
-    return run_explain(args.rule)
+    if args.command == "explain":
+        return run_explain(args.rule)
+    parser.error("a command (demo|explain) or --chaos-seed is required")
+    return 2  # pragma: no cover - parser.error raises SystemExit
 
 
 if __name__ == "__main__":

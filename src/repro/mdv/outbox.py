@@ -1,0 +1,426 @@
+"""Reliable at-least-once delivery: outbox, retry/backoff, dedup.
+
+The paper requires MDPs to "consistently replicate metadata among each
+other" and to keep LMR caches consistent through notifications — over a
+network that, at Internet scale, loses and duplicates messages.  This
+module supplies the delivery contract that survives that network:
+
+- :class:`Outbox` — a per-destination FIFO of unacknowledged messages,
+  each stamped with a monotonic per-destination sequence number.  A
+  successful (non-raising) transport call is the acknowledgement;
+  :class:`~repro.errors.NetworkError` failures are retried with capped
+  exponential backoff plus seeded jitter on a *simulated* clock, and
+  after ``max_attempts`` the entry moves to a dead-letter queue from
+  which :meth:`Outbox.redrive` can resurrect it (e.g. after a partition
+  heals).  Delivery is therefore *at-least-once*.
+- :class:`DedupIndex` — the receiving side: ``(source, seq)`` pairs are
+  applied exactly once; duplicates (from retries or from a faulty link)
+  are counted and ignored.  At-least-once delivery plus idempotent
+  receivers yields *exactly-once application*.
+- :class:`ReplicaUpdate` — the backbone's replication envelope: a
+  document change with its version vector entry and delivery metadata.
+
+Non-network transport failures (the receiver rejected the message) are
+*poison*: they dead-letter immediately instead of retrying forever, and
+the fan-out to other destinations continues — a raising peer never
+again stalls the loop.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import NetworkError
+
+if TYPE_CHECKING:
+    from repro.rdf.model import Document
+
+__all__ = [
+    "RetryPolicy",
+    "OutboxEntry",
+    "DeadLetter",
+    "Outbox",
+    "DedupIndex",
+    "ReplicaUpdate",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with jitter, in simulated ms."""
+
+    base_delay_ms: float = 10.0
+    multiplier: float = 2.0
+    max_delay_ms: float = 5000.0
+    jitter_ms: float = 5.0
+    #: Attempts before an entry is dead-lettered.
+    max_attempts: int = 8
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        raw = self.base_delay_ms * self.multiplier ** max(attempt - 1, 0)
+        return min(raw, self.max_delay_ms) + rng.uniform(0.0, self.jitter_ms)
+
+
+@dataclass
+class OutboxEntry:
+    """One unacknowledged message."""
+
+    destination: str
+    kind: str
+    payload: Any
+    seq: int
+    attempts: int = 0
+    #: Simulated time before which no retry is attempted.
+    due_ms: float = 0.0
+    last_error: str | None = None
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """An entry that exhausted its retries or poisoned its receiver."""
+
+    entry: OutboxEntry
+    error: str
+    at_ms: float
+    #: ``True`` when the receiver rejected the message (non-retryable).
+    poison: bool = False
+
+
+@dataclass(frozen=True)
+class ReplicaUpdate:
+    """A replicated document change (``document is None`` = deletion)."""
+
+    document_uri: str
+    document: Document | None
+    #: ``(counter, origin)`` — totally ordered, last-writer-wins.
+    version: tuple[int, str]
+    source: str
+    seq: int
+
+    def approximate_size(self) -> int:
+        size = len(self.document_uri) + len(self.source) + 16
+        if self.document is not None:
+            for resource in self.document:
+                size += len(str(resource.uri)) + len(resource.rdf_class)
+                for name in resource.property_names():
+                    for value in resource.get(name):
+                        size += len(name) + len(str(value))
+        return size
+
+
+#: ``transport(destination, kind, payload)``; raises on failure.
+Transport = Callable[[str, str, Any], Any]
+
+
+class Outbox:
+    """Per-destination reliable send queues for one source node.
+
+    ``clock`` and ``sleep`` tie retries to a simulated timeline (by
+    default the outbox keeps its own); with a
+    :class:`~repro.net.bus.NetworkBus` pass ``clock=lambda:
+    bus.simulated_ms`` and ``sleep=bus.sleep`` so backoff windows and
+    network latency share one clock.  No wall time is ever consumed.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        transport: Transport,
+        clock: Callable[[], float] | None = None,
+        sleep: Callable[[float], None] | None = None,
+        policy: RetryPolicy | None = None,
+        seed: int = 0,
+    ):
+        self.source = source
+        self.policy = policy or RetryPolicy()
+        self._transport = transport
+        self._own_clock_ms = 0.0
+        self._clock = clock if clock is not None else self._read_own_clock
+        self._sleep = sleep if sleep is not None else self._advance_own_clock
+        self._rng = random.Random(seed)
+        self._queues: dict[str, deque[OutboxEntry]] = {}
+        self._next_seq: dict[str, int] = {}
+        #: Destinations whose queue was dead-lettered wholesale; no
+        #: further delivery is attempted until a redrive unparks them,
+        #: preserving sequence order across the outage.
+        self._parked: set[str] = set()
+        #: Acknowledged entries retained per destination for replay.
+        self._history: dict[str, list[OutboxEntry]] = {}
+        self.dead_letters: list[DeadLetter] = []
+        self.enqueued = 0
+        self.delivered = 0
+        self.retries = 0
+
+    def _read_own_clock(self) -> float:
+        return self._own_clock_ms
+
+    def _advance_own_clock(self, ms: float) -> None:
+        self._own_clock_ms += ms
+
+    # ------------------------------------------------------------------
+    # Enqueue
+    # ------------------------------------------------------------------
+    def reserve_seq(self, destination: str) -> int:
+        """Claim the next monotonic sequence number for a destination."""
+        seq = self._next_seq.get(destination, 0) + 1
+        self._next_seq[destination] = seq
+        return seq
+
+    def enqueue(
+        self, destination: str, kind: str, payload: Any, seq: int | None = None
+    ) -> OutboxEntry:
+        """Queue a message; ``seq`` defaults to a freshly reserved one."""
+        if seq is None:
+            seq = self.reserve_seq(destination)
+        entry = OutboxEntry(destination, kind, payload, seq)
+        self._queues.setdefault(destination, deque()).append(entry)
+        self.enqueued += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def flush(self, destination: str | None = None) -> int:
+        """Attempt every due entry once; returns deliveries.
+
+        Per destination the queue is FIFO with head-of-line blocking: a
+        retryable failure of the head backs the whole queue off, so
+        sequence order is preserved on the wire.  When the head exhausts
+        its retries the destination is considered down: the *entire*
+        queue dead-letters and the destination is parked until
+        :meth:`redrive` — delivering later entries past a lost earlier
+        one would reorder the stream.  Poison failures (receiver
+        rejected the message) skip just the poisoned entry.
+        """
+        destinations = (
+            [destination] if destination is not None else sorted(self._queues)
+        )
+        delivered = 0
+        for name in destinations:
+            delivered += self._flush_queue(name)
+        return delivered
+
+    def _flush_queue(self, destination: str) -> int:
+        if destination in self._parked:
+            return 0
+        queue = self._queues.get(destination)
+        delivered = 0
+        while queue:
+            entry = queue[0]
+            if entry.due_ms > self._clock():
+                break
+            try:
+                self._transport(destination, entry.kind, entry.payload)
+            except NetworkError as exc:
+                entry.attempts += 1
+                entry.last_error = str(exc)
+                if entry.attempts >= self.policy.max_attempts:
+                    self._park(destination, queue, str(exc))
+                    break
+                self.retries += 1
+                entry.due_ms = self._clock() + self.policy.delay_for(
+                    entry.attempts, self._rng
+                )
+                break
+            except Exception as exc:  # noqa: BLE001 - receiver rejected it
+                entry.attempts += 1
+                entry.last_error = str(exc)
+                queue.popleft()
+                self.dead_letters.append(
+                    DeadLetter(entry, str(exc), self._clock(), poison=True)
+                )
+                continue
+            queue.popleft()
+            self._history.setdefault(destination, []).append(entry)
+            self.delivered += 1
+            delivered += 1
+        if queue is not None and not queue:
+            del self._queues[destination]
+        return delivered
+
+    def _park(self, destination: str, queue: deque[OutboxEntry],
+              error: str) -> None:
+        """Dead-letter the whole queue and halt delivery to ``destination``."""
+        head = True
+        now = self._clock()
+        while queue:
+            entry = queue.popleft()
+            reason = error if head else f"held back behind dead letter: {error}"
+            head = False
+            self.dead_letters.append(DeadLetter(entry, reason, now))
+        self._parked.add(destination)
+
+    def drain(
+        self, destination: str | None = None, max_rounds: int = 10_000
+    ) -> int:
+        """Flush repeatedly, sleeping out backoff windows, until the
+        pending queues are empty (delivered or dead-lettered)."""
+        delivered = 0
+        for _ in range(max_rounds):
+            if not self._deliverable_pending(destination):
+                break
+            delivered += self.flush(destination)
+            next_due = self._next_due(destination)
+            if next_due is None:
+                continue
+            now = self._clock()
+            if next_due > now:
+                self._sleep(next_due - now)
+        return delivered
+
+    def _deliverable_pending(self, destination: str | None) -> int:
+        """Queued entries on destinations that are not parked."""
+        return sum(
+            len(queue)
+            for name, queue in self._queues.items()
+            if name not in self._parked
+            and (destination is None or name == destination)
+        )
+
+    def _next_due(self, destination: str | None) -> float | None:
+        heads = [
+            queue[0].due_ms
+            for name, queue in self._queues.items()
+            if queue
+            and name not in self._parked
+            and (destination is None or name == destination)
+        ]
+        return min(heads) if heads else None
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def redrive(self, destination: str | None = None) -> int:
+        """Move dead letters back into their queues (in seq order) and
+        unpark the affected destinations."""
+        if destination is None:
+            self._parked.clear()
+        else:
+            self._parked.discard(destination)
+        kept: list[DeadLetter] = []
+        revived: list[OutboxEntry] = []
+        for letter in self.dead_letters:
+            if destination is None or letter.entry.destination == destination:
+                revived.append(letter.entry)
+            else:
+                kept.append(letter)
+        self.dead_letters = kept
+        for entry in sorted(revived, key=lambda e: (e.destination, e.seq)):
+            entry.attempts = 0
+            entry.due_ms = 0.0
+            queue = self._queues.setdefault(entry.destination, deque())
+            # Dead letters predate anything still pending: put them in
+            # front, keeping per-destination seq order on the wire.
+            queue.appendleft(entry)
+        for queue in self._queues.values():
+            ordered = sorted(queue, key=lambda e: e.seq)
+            queue.clear()
+            queue.extend(ordered)
+        return len(revived)
+
+    def replay_since(self, destination: str, after_seq: int) -> int:
+        """Re-enqueue acknowledged history with ``seq > after_seq``.
+
+        Supports receiver resync after a restart: replayed entries are
+        redelivered and deduplicated by the receiver's
+        :class:`DedupIndex`.
+        """
+        entries = [
+            entry
+            for entry in self._history.get(destination, [])
+            if entry.seq > after_seq
+        ]
+        queue = self._queues.setdefault(destination, deque())
+        pending_seqs = {entry.seq for entry in queue}
+        for entry in entries:
+            if entry.seq in pending_seqs:
+                continue
+            replay = OutboxEntry(
+                destination, entry.kind, entry.payload, entry.seq
+            )
+            queue.append(replay)
+            self.enqueued += 1
+        ordered = sorted(queue, key=lambda e: e.seq)
+        queue.clear()
+        queue.extend(ordered)
+        return len(entries)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending_count(self, destination: str | None = None) -> int:
+        if destination is not None:
+            return len(self._queues.get(destination, ()))
+        return sum(len(queue) for queue in self._queues.values())
+
+    def dead_count(self, destination: str | None = None) -> int:
+        return sum(
+            1
+            for letter in self.dead_letters
+            if destination is None or letter.entry.destination == destination
+        )
+
+    def destinations(self) -> list[str]:
+        names = set(self._queues) | set(self._next_seq)
+        return sorted(names)
+
+    def lag_report(self) -> dict[str, dict[str, object]]:
+        """Per-destination backlog: pending, dead, last error."""
+        report: dict[str, dict[str, object]] = {}
+        for name in self.destinations():
+            queue = self._queues.get(name)
+            pending = len(queue) if queue else 0
+            dead = self.dead_count(name)
+            if not pending and not dead:
+                continue
+            last_error: str | None = None
+            if queue:
+                last_error = queue[0].last_error
+            if last_error is None and dead:
+                last_error = next(
+                    letter.error
+                    for letter in reversed(self.dead_letters)
+                    if letter.entry.destination == name
+                )
+            report[name] = {
+                "pending": pending,
+                "dead": dead,
+                "last_error": last_error,
+            }
+        return report
+
+
+class DedupIndex:
+    """Receiver-side ``(source, seq)`` exactly-once-application index."""
+
+    def __init__(self) -> None:
+        self._seen: dict[str, set[int]] = {}
+        #: Messages applied for the first time.
+        self.applied = 0
+        #: Messages ignored as duplicates.
+        self.duplicates_ignored = 0
+
+    def check_and_record(self, source: str, seq: int) -> bool:
+        """``True`` when ``(source, seq)`` is fresh (and now recorded)."""
+        seen = self._seen.setdefault(source, set())
+        if seq in seen:
+            self.duplicates_ignored += 1
+            return False
+        seen.add(seq)
+        self.applied += 1
+        return True
+
+    def highest(self, source: str) -> int:
+        seen = self._seen.get(source)
+        return max(seen) if seen else 0
+
+    def watermarks(self) -> dict[str, int]:
+        return {source: max(seqs) for source, seqs in self._seen.items() if seqs}
+
+    def seen_count(self, source: str) -> int:
+        return len(self._seen.get(source, ()))

@@ -23,6 +23,7 @@ Public surface:
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.analysis import check_subsumption, lint_rule_text
 from repro.analysis.diagnostics import Diagnostic
@@ -35,6 +36,7 @@ from repro.errors import (
 )
 from repro.filter.engine import FilterEngine
 from repro.filter.results import PublishOutcome
+from repro.mdv.outbox import DedupIndex, Outbox, ReplicaUpdate, RetryPolicy
 from repro.net.bus import NetworkBus
 from repro.pubsub.notifications import NotificationBatch
 from repro.pubsub.publisher import Publisher
@@ -81,6 +83,7 @@ class MetadataProvider:
         consistency: str = "filter",
         join_evaluation: str = "scan",
         analyze: str = "off",
+        retry_policy: RetryPolicy | None = None,
     ):
         if consistency not in ("filter", "resource-list", "ttl"):
             raise ValueError(
@@ -114,10 +117,33 @@ class MetadataProvider:
         self._resource_table = ResourceTable(self.db)
         self._direct_subscribers: dict[str, BatchHandler] = {}
         #: Peers notified of document changes (backbone replication).
-        self._replication_hook: Callable[[str, Document | None], None] | None = None
+        self._replication_hook: (
+            Callable[[str, Document | None, tuple[int, str]], None] | None
+        ) = None
+        #: Per-document ``(counter, origin)`` versions; deletions keep a
+        #: tombstone version so anti-entropy can order them.
+        self._doc_versions: dict[str, tuple[int, str]] = {}
+        #: Exactly-once application of replicated changes by (source, seq).
+        self.replica_dedup = DedupIndex()
+        #: Replica updates ignored because a newer version was applied.
+        self.stale_replicas_ignored = 0
+        #: Reliable delivery of notifications and replication over the
+        #: bus; ``None`` without a bus (direct calls cannot be lost).
+        self.outbox: Outbox | None = None
         if bus is not None:
             bus.register(name, self._handle_message)
+            self.outbox = Outbox(
+                name,
+                transport=self._bus_transport,
+                clock=lambda: bus.simulated_ms,
+                sleep=bus.sleep,
+                policy=retry_policy,
+            )
         self._load_persisted_documents()
+
+    def _bus_transport(self, destination: str, kind: str, payload: Any) -> Any:
+        assert self.bus is not None
+        return self.bus.send(self.name, destination, kind, payload)
 
     def _load_persisted_documents(self) -> None:
         """Rebuild the in-memory document store from the database.
@@ -155,8 +181,10 @@ class MetadataProvider:
         self._store_document(document, diff.deleted)
         self._republish_strong_parents(outcome, diff)
         self._publish(outcome)
-        if not _replicated and self._replication_hook is not None:
-            self._replication_hook(document.uri, document)
+        if not _replicated:
+            version = self._next_version(document.uri)
+            if self._replication_hook is not None:
+                self._replication_hook(document.uri, document, version)
         return outcome
 
     def _process_diff(self, diff) -> PublishOutcome:
@@ -205,8 +233,9 @@ class MetadataProvider:
             outcome = self.engine.process_insertions(resources)
             for document in fresh:
                 self._store_document(document, [])
+                version = self._next_version(document.uri)
                 if self._replication_hook is not None:
-                    self._replication_hook(document.uri, document)
+                    self._replication_hook(document.uri, document, version)
             _merge_outcomes(merged, outcome)
             self._publish(outcome)
         return merged
@@ -223,8 +252,10 @@ class MetadataProvider:
         self._document_table.delete(document_uri)
         self._resource_table.delete_many(str(r.uri) for r in old)
         self._publish(outcome)
-        if not _replicated and self._replication_hook is not None:
-            self._replication_hook(document_uri, None)
+        if not _replicated:
+            version = self._next_version(document_uri)
+            if self._replication_hook is not None:
+                self._replication_hook(document_uri, None, version)
         return outcome
 
     def _check_uri_ownership(self, document: Document) -> None:
@@ -514,28 +545,108 @@ class MetadataProvider:
         if handler is not None:
             handler(batch)
             return
-        if self.bus is not None:
+        if self.outbox is not None:
+            # Reliable at-least-once delivery: stamp, queue, attempt.
+            # Failures are retried by later flushes; they never abort
+            # the publish that produced the batch.
+            seq = self.outbox.reserve_seq(batch.subscriber)
+            batch.source = self.name
+            batch.seq = seq
+            self.outbox.enqueue(batch.subscriber, "notifications", batch, seq)
+            self.outbox.flush(batch.subscriber)
+        elif self.bus is not None:  # pragma: no cover - bus implies outbox
             self.bus.send_one_way(
                 self.name, batch.subscriber, "notifications", batch
             )
+
+    def resync_subscriber(self, subscriber: str, after_seq: int) -> int:
+        """Replay everything a restarted subscriber may have missed.
+
+        Dead letters for the subscriber are redriven, acknowledged
+        batches with ``seq > after_seq`` are re-enqueued, and the queue
+        is flushed.  Redelivered duplicates are ignored by the
+        subscriber's ``(source, seq)`` dedup index.  Returns the number
+        of batches delivered by the flush.
+        """
+        if self.outbox is None:
+            return 0
+        self.outbox.redrive(subscriber)
+        self.outbox.replay_since(subscriber, after_seq)
+        return self.outbox.flush(subscriber)
 
     # ------------------------------------------------------------------
     # Backbone integration
     # ------------------------------------------------------------------
     def set_replication_hook(
-        self, hook: Callable[[str, Document | None], None]
+        self, hook: Callable[[str, Document | None, tuple[int, str]], None]
     ) -> None:
-        """Called after local registration; the backbone uses this to
-        replicate the document to peer MDPs (``None`` = deletion)."""
+        """Called after local registration with ``(uri, document,
+        version)``; the backbone uses this to replicate the document to
+        peer MDPs (``document=None`` = deletion)."""
         self._replication_hook = hook
 
-    def apply_replica(self, document_uri: str, document: Document | None) -> None:
-        """Apply a replicated change originating at a peer MDP."""
+    def _next_version(self, document_uri: str) -> tuple[int, str]:
+        """Bump a document's version for a local (non-replicated) write.
+
+        Versions are ``(counter, origin)`` pairs, totally ordered by
+        tuple comparison — concurrent writes resolve deterministically
+        (last writer wins, origin name breaking counter ties).
+        """
+        current = self._doc_versions.get(document_uri)
+        counter = (current[0] if current is not None else 0) + 1
+        version = (counter, self.name)
+        self._doc_versions[document_uri] = version
+        return version
+
+    def document_version(self, document_uri: str) -> tuple[int, str] | None:
+        return self._doc_versions.get(document_uri)
+
+    def version_digest(self) -> dict[str, tuple[int, str]]:
+        """Every known document version, tombstones included.
+
+        Peers exchange these digests during anti-entropy
+        (:meth:`~repro.mdv.backbone.Backbone.reconcile`) to find
+        documents they missed during a partition.
+        """
+        return dict(self._doc_versions)
+
+    def fetch_document(self, document_uri: str):
+        """A document's current content and version (anti-entropy pull)."""
+        return (
+            self._documents.get(document_uri),
+            self._doc_versions.get(document_uri),
+        )
+
+    def apply_replica(
+        self,
+        document_uri: str,
+        document: Document | None,
+        version: tuple[int, str] | None = None,
+        source: str | None = None,
+        seq: int | None = None,
+    ) -> str:
+        """Apply a replicated change originating at a peer MDP.
+
+        Idempotent: redeliveries of the same ``(source, seq)`` and
+        changes older than the locally applied version are ignored, so
+        at-least-once delivery yields exactly-once application.
+        Returns ``"applied"``, ``"duplicate"`` or ``"stale"``.
+        """
+        if source is not None and seq is not None:
+            if not self.replica_dedup.check_and_record(source, seq):
+                return "duplicate"
+        if version is not None:
+            local = self._doc_versions.get(document_uri)
+            if local is not None and local >= version:
+                self.stale_replicas_ignored += 1
+                return "stale"
+            self._doc_versions[document_uri] = version
         if document is None:
             if document_uri in self._documents:
                 self.delete_document(document_uri, _replicated=True)
-            return
+            return "applied"
         self.register_document(document.copy(), _replicated=True)
+        return "applied"
 
     # ------------------------------------------------------------------
     # Bus endpoint
@@ -564,6 +675,23 @@ class MetadataProvider:
         if kind == "named_definitions":
             return self.registry.named_rule_definitions()
         if kind == "replicate":
+            if isinstance(payload, ReplicaUpdate):
+                return self.apply_replica(
+                    payload.document_uri,
+                    payload.document,
+                    version=payload.version,
+                    source=payload.source,
+                    seq=payload.seq,
+                )
             document_uri, document = payload
             return self.apply_replica(document_uri, document)
+        if kind == "ping":
+            return "pong"
+        if kind == "digest":
+            return self.version_digest()
+        if kind == "fetch_document":
+            return self.fetch_document(payload)
+        if kind == "resync":
+            subscriber, watermark = payload
+            return self.resync_subscriber(subscriber, watermark)
         raise ValueError(f"unknown message kind {kind!r}")

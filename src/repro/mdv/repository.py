@@ -16,15 +16,27 @@ An LMR:
   and therefore is not forwarded to the backbone";
 - forwards global registrations by its clients to the MDP;
 - runs a reference-counting garbage collector over strong-reference
-  copies (Section 2.4).
+  copies (Section 2.4);
+- applies notification batches *exactly once* (``(source, seq)``
+  dedup) although the reliable delivery layer may redeliver them, and
+  keeps serving (possibly stale) cached results when its provider is
+  unreachable (:meth:`~LocalMetadataRepository.query_with_status`).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.analysis.diagnostics import Diagnostic
-from repro.errors import RepositoryError, RuleAnalysisError, SubscriptionError
+from repro.errors import (
+    NetworkError,
+    RepositoryError,
+    RuleAnalysisError,
+    SubscriptionError,
+)
 from repro.mdv.cache import CacheStore
 from repro.mdv.gc import GarbageCollector, GcReport
+from repro.mdv.outbox import DedupIndex
 from repro.mdv.provider import MetadataProvider
 from repro.net.bus import DEFAULT_LAN_LATENCY_MS, Message, NetworkBus
 from repro.pubsub.notifications import (
@@ -38,7 +50,27 @@ from repro.rdf.model import Document, Resource, URIRef
 from repro.rdf.schema import Schema
 from repro.rules.parser import parse_query
 
-__all__ = ["LocalMetadataRepository"]
+__all__ = ["CachedQueryResult", "LocalMetadataRepository"]
+
+
+@dataclass
+class CachedQueryResult:
+    """A degraded-read-aware query result.
+
+    ``stale`` marks results served while the LMR's provider was
+    unreachable: the cache answered, but it may lag behind the backbone
+    until the partition heals and pending notifications arrive.
+    """
+
+    resources: list[Resource] = field(default_factory=list)
+    stale: bool = False
+    reason: str | None = None
+
+    def __iter__(self):
+        return iter(self.resources)
+
+    def __len__(self) -> int:
+        return len(self.resources)
 
 
 class LocalMetadataRepository:
@@ -65,6 +97,10 @@ class LocalMetadataRepository:
         #: Logical clock advanced per notification batch (TTL support).
         self.clock = 0
         self.notifications_received = 0
+        #: Exactly-once application of reliable batches by (source, seq).
+        self.dedup = DedupIndex()
+        #: Every batch that reached this LMR, duplicates included.
+        self.batches_received = 0
         if bus is not None:
             bus.register(name, self._handle_message)
         else:
@@ -128,13 +164,22 @@ class LocalMetadataRepository:
     # ------------------------------------------------------------------
     # Notification handling
     # ------------------------------------------------------------------
-    def apply_batch(self, batch: NotificationBatch) -> None:
+    def apply_batch(self, batch: NotificationBatch) -> bool:
         """Apply one notification batch to the cache.
 
         Within a batch, matches are applied before unmatches and
         deletions so content refreshes never race against evictions of
         the same publish event.
+
+        Batches carrying reliable-delivery metadata are applied exactly
+        once: a redelivered ``(source, seq)`` pair is counted in the
+        dedup index and ignored.  Returns ``True`` when the batch was
+        applied, ``False`` for a duplicate.
         """
+        self.batches_received += 1
+        if batch.source is not None and batch.seq is not None:
+            if not self.dedup.check_and_record(batch.source, batch.seq):
+                return False
         self.clock += 1
         self.notifications_received += len(batch)
         matches = [n for n in batch if isinstance(n, MatchNotification)]
@@ -148,6 +193,34 @@ class LocalMetadataRepository:
             self.cache.apply_unmatch(notification.sub_id, notification.uri)
         for notification in deletes:
             self.cache.apply_delete(notification.uri)
+        return True
+
+    def resync(self, max_attempts: int = 25) -> None:
+        """Ask the provider to replay batches missed while unreachable.
+
+        Sends the highest applied sequence number; the provider
+        redrives dead letters and re-sends everything newer.  Replayed
+        duplicates are absorbed by the ``(source, seq)`` dedup index.
+        The request itself is idempotent, so transient link faults are
+        retried (with backoff on the simulated clock) up to
+        ``max_attempts`` times before the last error propagates.
+        """
+        if self.bus is None:
+            return
+        watermark = self.dedup.highest(self.provider.name)
+        for attempt in range(max_attempts):
+            try:
+                self.bus.send(
+                    self.name,
+                    self.provider.name,
+                    "resync",
+                    (self.name, watermark),
+                )
+                return
+            except NetworkError:
+                if attempt == max_attempts - 1:
+                    raise
+                self.bus.sleep(2.0 * (attempt + 1))
 
     # ------------------------------------------------------------------
     # Query processing (local only)
@@ -177,6 +250,56 @@ class LocalMetadataRepository:
         pool = {r.uri: r for r in self.cache.resources()}
         pool.update(self._local)
         return evaluate_query(query, pool, self.schema)
+
+    def query_with_status(self, query_text: str) -> CachedQueryResult:
+        """Evaluate a query, degrading gracefully when the MDP is away.
+
+        The cache always answers; what the provider's reachability
+        decides is the *staleness marker*.  During a partition (or
+        provider crash) the result is flagged ``stale`` instead of
+        raising — the cache may lag behind the backbone until pending
+        notifications are redelivered.  A query whose named-rule
+        extensions cannot be resolved (definitions live at the MDP and
+        were never fetched) comes back empty and stale rather than
+        failing.
+        """
+        try:
+            resources = self.query(query_text)
+        except NetworkError as exc:
+            return CachedQueryResult(
+                resources=[],
+                stale=True,
+                reason=(
+                    f"named-rule definitions unavailable while provider "
+                    f"is unreachable: {exc}"
+                ),
+            )
+        if not self.provider_reachable():
+            return CachedQueryResult(
+                resources=resources,
+                stale=True,
+                reason="provider unreachable; serving cached results",
+            )
+        return CachedQueryResult(resources=resources)
+
+    def provider_reachable(self, attempts: int = 3) -> bool:
+        """Probe the provider (pings over the bus).
+
+        A single lost ping on a lossy-but-connected link must not flag
+        query results stale, so the probe retries a few times; during a
+        real partition or crash every attempt fails fast anyway.
+        """
+        if self.bus is None:
+            return True
+        for attempt in range(attempts):
+            try:
+                self.bus.send(self.name, self.provider.name, "ping", None)
+            except NetworkError:
+                if attempt < attempts - 1:
+                    self.bus.sleep(1.0)
+                continue
+            return True
+        return False
 
     def _named_definitions(self) -> dict[str, str]:
         if not hasattr(self, "_named_definition_cache"):
@@ -246,8 +369,9 @@ class LocalMetadataRepository:
 
     def _handle_message(self, message: Message):
         if message.kind == "notifications":
-            self.apply_batch(message.payload)
-            return None
+            batch: NotificationBatch = message.payload
+            applied = self.apply_batch(batch)
+            return batch.ack(duplicate=not applied)
         if message.kind == "query":
             return self.query(message.payload)
         raise RepositoryError(f"unknown message kind {message.kind!r}")
@@ -256,6 +380,9 @@ class LocalMetadataRepository:
         stats = self.cache.stats()
         stats["local_resources"] = len(self._local)
         stats["notifications"] = self.notifications_received
+        stats["batches_received"] = self.batches_received
+        stats["batches_applied"] = self.dedup.applied
+        stats["duplicates_ignored"] = self.dedup.duplicates_ignored
         return stats
 
     def configure_lan_latency(self) -> None:

@@ -7,10 +7,14 @@ from repro.net.bus import (
     Message,
     NetworkBus,
 )
+from repro.net.faults import FaultDecision, FaultPlan, LinkFaults
 
 __all__ = [
     "DEFAULT_LAN_LATENCY_MS",
     "DEFAULT_WAN_LATENCY_MS",
+    "FaultDecision",
+    "FaultPlan",
+    "LinkFaults",
     "LinkStats",
     "Message",
     "NetworkBus",

@@ -7,11 +7,17 @@ plus cost accounting — both provided here without sockets:
 
 - endpoints register a handler under a name;
 - :meth:`NetworkBus.send` delivers synchronously and returns the
-  handler's response;
+  handler's response; a request/response exchange is charged two link
+  traversals, a :meth:`NetworkBus.send_one_way` notification one;
 - every message advances a simulated clock by the link's latency and
   accumulates byte counts, so examples and tests can quantify the
   benefit of answering queries at the LMR instead of crossing the
-  "Internet" to an MDP.
+  "Internet" to an MDP;
+- an optional :class:`~repro.net.faults.FaultPlan` injects drops,
+  duplicates, transport errors, delays, endpoint crashes and
+  partitions; injected faults are accounted per link in
+  :class:`LinkStats` and surface to senders as
+  :class:`~repro.errors.NetworkError` subclasses.
 
 Latency defaults model the paper's setting: LAN-local traffic is cheap,
 wide-area traffic is two orders of magnitude more expensive.
@@ -20,10 +26,11 @@ wide-area traffic is two orders of magnitude more expensive.
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
-from repro.errors import MDVError
+from repro.errors import DeliveryError, EndpointDownError, NetworkError
+from repro.net.faults import FaultDecision, FaultPlan
 
 __all__ = ["Message", "LinkStats", "NetworkBus"]
 
@@ -50,17 +57,35 @@ class Message:
 
 @dataclass
 class LinkStats:
-    """Accumulated traffic on one directed link."""
+    """Accumulated traffic and injected faults on one directed link."""
 
     messages: int = 0
     bytes: int = 0
     latency_ms: float = 0.0
+    #: Messages lost in transit by the fault plan.
+    dropped: int = 0
+    #: Extra deliveries injected by the fault plan.
+    duplicated: int = 0
+    #: Transport errors signalled to the sender.
+    errored: int = 0
+    #: Sends that timed out against a crashed or partitioned endpoint.
+    timeouts: int = 0
+    #: Extra delay injected by the fault plan, in simulated ms.
+    fault_delay_ms: float = 0.0
+
+    @property
+    def faults(self) -> int:
+        return self.dropped + self.duplicated + self.errored + self.timeouts
 
 
 class NetworkBus:
     """Synchronous message delivery with latency and traffic accounting."""
 
-    def __init__(self, default_latency_ms: float = DEFAULT_WAN_LATENCY_MS):
+    def __init__(
+        self,
+        default_latency_ms: float = DEFAULT_WAN_LATENCY_MS,
+        fault_plan: FaultPlan | None = None,
+    ):
         self._handlers: dict[str, Callable[[Message], Any]] = {}
         self._latency: dict[tuple[str, str], float] = {}
         self.default_latency_ms = default_latency_ms
@@ -68,6 +93,8 @@ class NetworkBus:
         #: Total simulated network time spent, in ms.
         self.simulated_ms = 0.0
         self.total_messages = 0
+        #: Optional fault-injection plan consulted once per message.
+        self.faults = fault_plan
 
     # ------------------------------------------------------------------
     # Topology
@@ -93,32 +120,99 @@ class NetworkBus:
         return self._latency.get((source, destination), self.default_latency_ms)
 
     # ------------------------------------------------------------------
+    # Simulated time
+    # ------------------------------------------------------------------
+    def sleep(self, ms: float) -> None:
+        """Advance the simulated clock without sending anything.
+
+        Retry/backoff layers use this to wait out backoff windows
+        deterministically — no wall time is ever consumed.
+        """
+        if ms < 0:
+            raise ValueError(f"cannot sleep a negative duration: {ms!r}")
+        self.simulated_ms += ms
+
+    # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
     def send(self, source: str, destination: str, kind: str, payload: Any) -> Any:
         """Deliver a message; returns the destination handler's response.
 
-        The response trip is charged with the same link latency (a
+        The response trip is charged with the reverse link's latency (a
         request/response exchange costs two traversals).
         """
-        handler = self._handlers.get(destination)
-        if handler is None:
-            raise MDVError(f"no endpoint named {destination!r} on the bus")
-        message = Message(source, destination, kind, payload)
-        link = self.links.setdefault((source, destination), LinkStats())
-        latency = self.latency(source, destination)
-        link.messages += 1
-        link.bytes += message.approximate_size()
-        link.latency_ms += latency
-        self.simulated_ms += latency
-        self.total_messages += 1
-        return handler(message)
+        return self._deliver(source, destination, kind, payload,
+                             round_trip=True)
 
     def send_one_way(
         self, source: str, destination: str, kind: str, payload: Any
     ) -> None:
-        """Fire-and-forget variant (notifications)."""
-        self.send(source, destination, kind, payload)
+        """Fire-and-forget variant (notifications): one traversal."""
+        self._deliver(source, destination, kind, payload, round_trip=False)
+
+    def _deliver(self, source: str, destination: str, kind: str,
+                 payload: Any, round_trip: bool) -> Any:
+        message = Message(source, destination, kind, payload)
+        link = self.links.setdefault((source, destination), LinkStats())
+        latency = self.latency(source, destination)
+        decision = (
+            self.faults.decide(source, destination)
+            if self.faults is not None
+            else FaultDecision()
+        )
+        if decision.unreachable:
+            # The request is charged — it was sent and timed out.
+            link.timeouts += 1
+            self._charge(link, latency, message.approximate_size())
+            if self.faults is not None and self.faults.crashed(destination):
+                raise EndpointDownError(destination, "crashed")
+            if self.faults is not None and self.faults.crashed(source):
+                raise EndpointDownError(source, "crashed")
+            raise EndpointDownError(destination, "partitioned away")
+        handler = self._handlers.get(destination)
+        if handler is None:
+            raise EndpointDownError(destination, "not registered on the bus")
+        if decision.extra_delay_ms:
+            link.fault_delay_ms += decision.extra_delay_ms
+        self._charge(
+            link, latency + decision.extra_delay_ms, message.approximate_size()
+        )
+        if decision.dropped:
+            link.dropped += 1
+            raise DeliveryError(
+                f"message {kind!r} from {source!r} to {destination!r} "
+                f"was dropped in transit"
+            )
+        if decision.errored:
+            link.errored += 1
+            raise NetworkError(
+                f"link {source!r} -> {destination!r} signalled a transport "
+                f"error for message {kind!r}"
+            )
+        response = handler(message)
+        for _ in range(decision.duplicates):
+            # A duplicated packet: delivered again, charged again; its
+            # outcome (including receiver-side errors) never affects the
+            # original exchange.
+            link.duplicated += 1
+            self._charge(link, latency, message.approximate_size())
+            try:
+                handler(message)
+            except Exception:  # noqa: BLE001 - receiver rejected the dup
+                pass
+        if round_trip:
+            back_latency = self.latency(destination, source)
+            back = self.links.setdefault((destination, source), LinkStats())
+            back.latency_ms += back_latency
+            self.simulated_ms += back_latency
+        return response
+
+    def _charge(self, link: LinkStats, latency_ms: float, size: int) -> None:
+        link.messages += 1
+        link.bytes += size
+        link.latency_ms += latency_ms
+        self.simulated_ms += latency_ms
+        self.total_messages += 1
 
     # ------------------------------------------------------------------
     # Reporting
@@ -128,10 +222,17 @@ class NetworkBus:
             f"messages={self.total_messages} simulated_ms={self.simulated_ms:.1f}"
         ]
         for (source, destination), stats in sorted(self.links.items()):
-            lines.append(
+            line = (
                 f"  {source} -> {destination}: {stats.messages} msgs, "
                 f"{stats.bytes} bytes, {stats.latency_ms:.1f} ms"
             )
+            if stats.faults:
+                line += (
+                    f" [faults: {stats.dropped} dropped, "
+                    f"{stats.duplicated} duplicated, {stats.errored} errored, "
+                    f"{stats.timeouts} timeouts]"
+                )
+            lines.append(line)
         return "\n".join(lines)
 
     def reset_stats(self) -> None:

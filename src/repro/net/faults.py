@@ -1,0 +1,198 @@
+"""Deterministic fault injection for the simulated network bus.
+
+The paper's backbone is "distributed all over the Internet" — links
+drop, duplicate, delay and corrupt messages, endpoints crash, and node
+sets partition.  This module makes every one of those failure modes
+*injectable* and, crucially, *deterministic*: a :class:`FaultPlan` is
+seeded, so the same seed over the same message sequence produces the
+same faults, and chaos tests become reproducible.
+
+A plan is scripted through its API:
+
+- :meth:`FaultPlan.set_link_faults` / :meth:`set_default_faults` —
+  probabilistic per-link behaviour (:class:`LinkFaults`): drop rate,
+  duplicate rate, error rate, deterministic extra delay plus jitter;
+- :meth:`FaultPlan.crash` / :meth:`restart` — take an endpoint off the
+  bus and bring it back (its handler stays registered; messages to or
+  from it time out while crashed);
+- :meth:`FaultPlan.partition` / :meth:`heal` — cut the links between
+  two node sets in both directions, then restore them.
+
+The bus consults :meth:`FaultPlan.decide` once per message and records
+the injected faults in its per-link ``LinkStats``.  Every random draw
+happens unconditionally and in a fixed order, so toggling one fault
+rate never shifts the random stream of the others.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+__all__ = ["LinkFaults", "FaultDecision", "FaultPlan"]
+
+
+def _check_rate(name: str, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Probabilistic fault behaviour of one directed link."""
+
+    #: Probability that a message silently disappears in transit.
+    drop_rate: float = 0.0
+    #: Probability that a message is delivered twice.
+    duplicate_rate: float = 0.0
+    #: Probability that the link signals a transport error to the sender.
+    error_rate: float = 0.0
+    #: Deterministic extra one-way delay, in simulated ms.
+    delay_ms: float = 0.0
+    #: Upper bound of additional uniform random delay, in simulated ms.
+    delay_jitter_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("drop_rate", self.drop_rate)
+        _check_rate("duplicate_rate", self.duplicate_rate)
+        _check_rate("error_rate", self.error_rate)
+        if self.delay_ms < 0 or self.delay_jitter_ms < 0:
+            raise ValueError("delays must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The plan's verdict for one message send."""
+
+    #: Destination (or source) crashed or partitioned away: time out.
+    unreachable: bool = False
+    #: The message is lost in transit after being charged.
+    dropped: bool = False
+    #: The link raises a transport error to the sender.
+    errored: bool = False
+    #: Number of *extra* deliveries of the same message (0 = none).
+    duplicates: int = 0
+    #: Additional one-way delay injected on this traversal.
+    extra_delay_ms: float = 0.0
+
+
+#: The all-clear decision reused for fault-free links.
+CLEAN = FaultDecision()
+
+_NO_FAULTS = LinkFaults()
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, scriptable schedule of network faults."""
+
+    seed: int = 0
+    #: Fault behaviour of links without an explicit configuration.
+    default_faults: LinkFaults = field(default_factory=LinkFaults)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._link_faults: dict[tuple[str, str], LinkFaults] = {}
+        self._crashed: set[str] = set()
+        self._cuts: list[tuple[frozenset[str], frozenset[str]]] = []
+        #: Total messages the plan ruled on.
+        self.decisions = 0
+        #: Total faults injected (drops + errors + duplicates + timeouts).
+        self.faults_injected = 0
+
+    # ------------------------------------------------------------------
+    # Scripting API
+    # ------------------------------------------------------------------
+    def set_default_faults(self, faults: LinkFaults) -> None:
+        self.default_faults = faults
+
+    def set_link_faults(
+        self,
+        source: str,
+        destination: str,
+        faults: LinkFaults,
+        symmetric: bool = True,
+    ) -> None:
+        self._link_faults[(source, destination)] = faults
+        if symmetric:
+            self._link_faults[(destination, source)] = faults
+
+    def link_faults(self, source: str, destination: str) -> LinkFaults:
+        return self._link_faults.get((source, destination), self.default_faults)
+
+    def crash(self, *endpoints: str) -> None:
+        """Take endpoints off the network (state survives; see restart)."""
+        self._crashed.update(endpoints)
+
+    def restart(self, *endpoints: str) -> None:
+        """Bring crashed endpoints back onto the network."""
+        self._crashed.difference_update(endpoints)
+
+    def crashed(self, endpoint: str) -> bool:
+        return endpoint in self._crashed
+
+    def partition(
+        self, group_a: Iterable[str], group_b: Iterable[str]
+    ) -> None:
+        """Cut every link between ``group_a`` and ``group_b`` (both ways)."""
+        a, b = frozenset(group_a), frozenset(group_b)
+        if a & b:
+            raise ValueError(f"partition groups overlap: {sorted(a & b)}")
+        self._cuts.append((a, b))
+
+    def heal(self) -> None:
+        """Remove every partition (crashed endpoints stay crashed)."""
+        self._cuts.clear()
+
+    def is_partitioned(self, source: str, destination: str) -> bool:
+        for a, b in self._cuts:
+            if (source in a and destination in b) or (
+                source in b and destination in a
+            ):
+                return True
+        return False
+
+    def is_reachable(self, source: str, destination: str) -> bool:
+        return (
+            source not in self._crashed
+            and destination not in self._crashed
+            and not self.is_partitioned(source, destination)
+        )
+
+    # ------------------------------------------------------------------
+    # The bus's per-message hook
+    # ------------------------------------------------------------------
+    def decide(self, source: str, destination: str) -> FaultDecision:
+        """Rule on one message from ``source`` to ``destination``.
+
+        Reachability is checked first and consumes no randomness; the
+        probabilistic draws happen in a fixed order (drop, error,
+        duplicate, jitter) regardless of the configured rates, so the
+        random stream is stable under reconfiguration.
+        """
+        self.decisions += 1
+        if not self.is_reachable(source, destination):
+            self.faults_injected += 1
+            return FaultDecision(unreachable=True)
+        faults = self.link_faults(source, destination)
+        if faults == _NO_FAULTS:
+            return CLEAN
+        r_drop = self._rng.random()
+        r_error = self._rng.random()
+        r_duplicate = self._rng.random()
+        r_jitter = self._rng.random()
+        extra_delay = faults.delay_ms + r_jitter * faults.delay_jitter_ms
+        if r_drop < faults.drop_rate:
+            self.faults_injected += 1
+            return FaultDecision(dropped=True, extra_delay_ms=extra_delay)
+        if r_error < faults.error_rate:
+            self.faults_injected += 1
+            return FaultDecision(errored=True, extra_delay_ms=extra_delay)
+        duplicates = 1 if r_duplicate < faults.duplicate_rate else 0
+        if duplicates:
+            self.faults_injected += 1
+        return FaultDecision(
+            duplicates=duplicates, extra_delay_ms=extra_delay
+        )

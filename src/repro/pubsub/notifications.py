@@ -99,16 +99,31 @@ Notification = MatchNotification | UnmatchNotification | DeleteNotification
 
 @dataclass
 class NotificationBatch:
-    """All notifications one publish event produces for one subscriber."""
+    """All notifications one publish event produces for one subscriber.
+
+    ``source`` and ``seq`` are the reliable-delivery metadata stamped by
+    the sending MDP's outbox (:mod:`repro.mdv.outbox`): delivery is
+    at-least-once, and receivers apply each ``(source, seq)`` pair
+    exactly once, acknowledging with :meth:`ack`.  Both stay ``None``
+    for directly connected subscribers, which cannot see duplicates.
+    """
 
     subscriber: str
     notifications: list[Notification] = field(default_factory=list)
+    #: Name of the sending MDP (reliable delivery only).
+    source: str | None = None
+    #: Monotonic per-(source, subscriber) sequence number.
+    seq: int | None = None
 
     def __len__(self) -> int:
         return len(self.notifications)
 
     def __iter__(self):
         return iter(self.notifications)
+
+    def ack(self, duplicate: bool = False) -> dict:
+        """The receiver's acknowledgement for this batch."""
+        return {"ack": self.seq, "source": self.source, "duplicate": duplicate}
 
     def approximate_size(self) -> int:
         total = 0

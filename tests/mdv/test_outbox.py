@@ -1,0 +1,193 @@
+"""Unit tests for the reliable-delivery outbox and the dedup index."""
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.mdv.outbox import DedupIndex, Outbox, RetryPolicy
+
+
+class FlakyTransport:
+    """Fails the first ``failures`` calls per destination, then delivers."""
+
+    def __init__(self, failures=0, poison_kinds=()):
+        self.failures = failures
+        self.poison_kinds = set(poison_kinds)
+        self.calls = []
+        self._failed = {}
+
+    def __call__(self, destination, kind, payload):
+        self.calls.append((destination, kind, payload))
+        if kind in self.poison_kinds:
+            raise ValueError(f"receiver rejected {kind!r}")
+        done = self._failed.get(destination, 0)
+        if done < self.failures:
+            self._failed[destination] = done + 1
+            raise NetworkError(f"link to {destination} flaked")
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            base_delay_ms=10.0, multiplier=2.0, max_delay_ms=35.0,
+            jitter_ms=0.0,
+        )
+        rng = random.Random(0)
+        delays = [policy.delay_for(attempt, rng) for attempt in (1, 2, 3, 4)]
+        assert delays == [10.0, 20.0, 35.0, 35.0]
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(base_delay_ms=10.0, jitter_ms=5.0)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 10.0 <= policy.delay_for(1, rng) <= 15.0
+
+
+class TestOutboxDelivery:
+    def test_happy_path_delivers_in_seq_order(self):
+        transport = FlakyTransport()
+        outbox = Outbox("src", transport)
+        outbox.enqueue("dst", "note", "first")
+        outbox.enqueue("dst", "note", "second")
+        assert outbox.flush() == 2
+        assert [payload for _, _, payload in transport.calls] == [
+            "first", "second",
+        ]
+        assert outbox.pending_count() == 0
+        assert outbox.delivered == 2
+
+    def test_seq_numbers_are_monotonic_per_destination(self):
+        outbox = Outbox("src", FlakyTransport())
+        assert outbox.enqueue("a", "x", 1).seq == 1
+        assert outbox.enqueue("a", "x", 2).seq == 2
+        assert outbox.enqueue("b", "x", 3).seq == 1  # independent stream
+
+    def test_network_failure_backs_off_then_delivers(self):
+        transport = FlakyTransport(failures=2)
+        outbox = Outbox("src", transport)
+        outbox.enqueue("dst", "note", "payload")
+        assert outbox.flush() == 0  # first attempt fails, entry backed off
+        assert outbox.pending_count("dst") == 1
+        assert outbox.flush() == 0  # not due yet — no transport call made
+        assert len(transport.calls) == 1
+        assert outbox.drain() == 1  # drain sleeps out the backoff windows
+        assert outbox.retries == 2
+        assert outbox.pending_count() == 0
+
+    def test_head_of_line_blocking_preserves_order(self):
+        transport = FlakyTransport(failures=1)
+        outbox = Outbox("src", transport)
+        outbox.enqueue("dst", "note", "first")
+        outbox.enqueue("dst", "note", "second")
+        outbox.flush()  # head fails; "second" must not jump the queue
+        assert len(transport.calls) == 1
+        outbox.drain()
+        assert [payload for _, _, payload in transport.calls] == [
+            "first", "first", "second",
+        ]
+
+    def test_exhausted_retries_park_the_whole_destination(self):
+        transport = FlakyTransport(failures=10**9)
+        outbox = Outbox(
+            "src", transport, policy=RetryPolicy(max_attempts=3)
+        )
+        outbox.enqueue("dst", "note", "first")
+        outbox.enqueue("dst", "note", "second")
+        outbox.drain()
+        # Both entries dead-letter: delivering "second" past a lost
+        # "first" would reorder the stream.
+        assert outbox.dead_count("dst") == 2
+        assert outbox.pending_count("dst") == 0
+        first, second = outbox.dead_letters
+        assert first.entry.seq == 1 and not first.poison
+        assert "held back" in second.error
+        # Parked: new enqueues wait for a redrive instead of delivering.
+        outbox.enqueue("dst", "note", "third")
+        before = len(transport.calls)
+        assert outbox.drain() == 0
+        assert len(transport.calls) == before
+
+    def test_poison_failure_dead_letters_only_that_entry(self):
+        transport = FlakyTransport(poison_kinds={"bad"})
+        outbox = Outbox("src", transport)
+        outbox.enqueue("dst", "bad", "rejected")
+        outbox.enqueue("dst", "note", "fine")
+        assert outbox.flush() == 1
+        assert outbox.dead_count("dst") == 1
+        (letter,) = outbox.dead_letters
+        assert letter.poison
+        assert "rejected" in letter.entry.payload
+
+    def test_redrive_restores_seq_order_and_unparks(self):
+        transport = FlakyTransport(failures=3)
+        outbox = Outbox(
+            "src", transport, policy=RetryPolicy(max_attempts=2)
+        )
+        outbox.enqueue("dst", "note", "first")
+        outbox.enqueue("dst", "note", "second")
+        outbox.drain()
+        assert outbox.dead_count("dst") == 2
+        outbox.enqueue("dst", "note", "third")  # arrives while parked
+        assert outbox.redrive("dst") == 2
+        assert outbox.dead_count("dst") == 0
+        outbox.drain()
+        delivered = [payload for _, _, payload in transport.calls[-3:]]
+        assert delivered == ["first", "second", "third"]
+
+    def test_replay_since_reenqueues_acknowledged_history(self):
+        transport = FlakyTransport()
+        outbox = Outbox("src", transport)
+        for index in range(4):
+            outbox.enqueue("dst", "note", f"payload-{index}")
+        outbox.flush()
+        assert outbox.replay_since("dst", after_seq=2) == 2
+        outbox.flush()
+        replayed = [payload for _, _, payload in transport.calls[-2:]]
+        assert replayed == ["payload-2", "payload-3"]
+
+    def test_lag_report_shows_backlog_and_last_error(self):
+        transport = FlakyTransport(failures=10**9)
+        outbox = Outbox("src", transport)
+        outbox.enqueue("dst", "note", "stuck")
+        outbox.flush()
+        report = outbox.lag_report()
+        assert report["dst"]["pending"] == 1
+        assert "flaked" in report["dst"]["last_error"]
+        assert "ok" not in report  # destinations without backlog omitted
+
+    def test_own_clock_advances_without_wall_time(self):
+        transport = FlakyTransport(failures=1)
+        outbox = Outbox(
+            "src",
+            transport,
+            policy=RetryPolicy(base_delay_ms=40.0, jitter_ms=0.0),
+        )
+        outbox.enqueue("dst", "note", "payload")
+        outbox.drain()
+        assert outbox._read_own_clock() == pytest.approx(40.0)
+
+
+class TestDedupIndex:
+    def test_first_delivery_applies_then_duplicates_ignored(self):
+        dedup = DedupIndex()
+        assert dedup.check_and_record("mdp", 1)
+        assert not dedup.check_and_record("mdp", 1)
+        assert not dedup.check_and_record("mdp", 1)
+        assert dedup.applied == 1
+        assert dedup.duplicates_ignored == 2
+
+    def test_sources_are_independent(self):
+        dedup = DedupIndex()
+        assert dedup.check_and_record("a", 1)
+        assert dedup.check_and_record("b", 1)
+        assert dedup.duplicates_ignored == 0
+
+    def test_highest_and_watermarks(self):
+        dedup = DedupIndex()
+        for seq in (1, 3, 2):
+            dedup.check_and_record("mdp", seq)
+        assert dedup.highest("mdp") == 3
+        assert dedup.highest("unknown") == 0
+        assert dedup.watermarks() == {"mdp": 3}
+        assert dedup.seen_count("mdp") == 3

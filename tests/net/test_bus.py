@@ -29,23 +29,39 @@ def test_message_metadata():
     assert message.kind == "kind-x"
 
 
-def test_latency_accounting_default():
+def test_latency_accounting_round_trip():
+    """A request/response exchange costs two traversals."""
     bus = NetworkBus(default_latency_ms=10.0)
     bus.register("b", lambda m: None)
     bus.send("a", "b", "x", "payload")
     bus.send("a", "b", "x", "payload")
-    assert bus.simulated_ms == 20.0
+    assert bus.simulated_ms == 40.0
     assert bus.total_messages == 2
+    # The response trips are charged on the reverse link.
+    assert bus.links[("a", "b")].latency_ms == 20.0
+    assert bus.links[("b", "a")].latency_ms == 20.0
+
+
+def test_one_way_charges_single_traversal():
+    """Fire-and-forget notifications cost one traversal, not two."""
+    bus = NetworkBus(default_latency_ms=10.0)
+    bus.register("b", lambda m: None)
+    bus.send_one_way("a", "b", "note", "payload")
+    assert bus.simulated_ms == 10.0
+    assert bus.total_messages == 1
+    assert ("b", "a") not in bus.links
 
 
 def test_per_link_latency_overrides_default():
     bus = NetworkBus(default_latency_ms=100.0)
     bus.register("lan-peer", lambda m: None)
     bus.set_latency("a", "lan-peer", 0.5)
-    bus.send("a", "lan-peer", "x", "p")
+    bus.send_one_way("a", "lan-peer", "x", "p")
     assert bus.simulated_ms == 0.5
-    # Symmetric by default.
+    # Symmetric by default; a round trip charges both directions.
     assert bus.latency("lan-peer", "a") == 0.5
+    bus.send("a", "lan-peer", "x", "p")
+    assert bus.simulated_ms == 1.5
 
 
 def test_asymmetric_latency():

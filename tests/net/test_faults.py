@@ -1,0 +1,207 @@
+"""Unit tests for the deterministic fault-injection plane."""
+
+import pytest
+
+from repro.errors import DeliveryError, EndpointDownError, NetworkError
+from repro.net.bus import NetworkBus
+from repro.net.faults import FaultDecision, FaultPlan, LinkFaults
+
+
+class TestLinkFaults:
+    def test_rates_are_validated(self):
+        with pytest.raises(ValueError):
+            LinkFaults(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            LinkFaults(duplicate_rate=-0.1)
+        with pytest.raises(ValueError):
+            LinkFaults(error_rate=2.0)
+        with pytest.raises(ValueError):
+            LinkFaults(delay_ms=-1.0)
+        with pytest.raises(ValueError):
+            LinkFaults(delay_jitter_ms=-0.5)
+
+    def test_defaults_are_clean(self):
+        faults = LinkFaults()
+        assert faults.drop_rate == 0.0
+        assert faults.duplicate_rate == 0.0
+        assert faults.error_rate == 0.0
+        assert faults.delay_ms == 0.0
+
+
+class TestFaultPlanDeterminism:
+    def _decision_stream(self, seed, count=200):
+        plan = FaultPlan(seed=seed)
+        plan.set_default_faults(
+            LinkFaults(drop_rate=0.2, duplicate_rate=0.2, error_rate=0.1,
+                       delay_jitter_ms=4.0)
+        )
+        return [plan.decide("a", "b") for _ in range(count)]
+
+    def test_same_seed_same_decisions(self):
+        assert self._decision_stream(42) == self._decision_stream(42)
+
+    def test_different_seed_different_decisions(self):
+        assert self._decision_stream(1) != self._decision_stream(2)
+
+    def test_reachability_checks_consume_no_randomness(self):
+        """Crashed-endpoint rulings must not advance the random stream."""
+        plan = FaultPlan(seed=7)
+        plan.set_default_faults(LinkFaults(drop_rate=0.3))
+        plan.crash("down")
+        for _ in range(50):
+            plan.decide("a", "down")  # all unreachable, zero draws
+        tail = [plan.decide("a", "b") for _ in range(100)]
+
+        fresh = FaultPlan(seed=7)
+        fresh.set_default_faults(LinkFaults(drop_rate=0.3))
+        assert tail == [fresh.decide("a", "b") for _ in range(100)]
+
+    def test_clean_links_consume_no_randomness(self):
+        """Fault-free links reuse the shared CLEAN decision, no draws."""
+        plan = FaultPlan(seed=7)
+        plan.set_link_faults("a", "b", LinkFaults(drop_rate=0.3))
+        for _ in range(50):
+            assert plan.decide("x", "y") == FaultDecision()
+        tail = [plan.decide("a", "b") for _ in range(100)]
+
+        fresh = FaultPlan(seed=7)
+        fresh.set_link_faults("a", "b", LinkFaults(drop_rate=0.3))
+        assert tail == [fresh.decide("a", "b") for _ in range(100)]
+
+
+class TestFaultPlanScripting:
+    def test_link_faults_symmetric_by_default(self):
+        plan = FaultPlan()
+        faults = LinkFaults(drop_rate=0.5)
+        plan.set_link_faults("a", "b", faults)
+        assert plan.link_faults("a", "b") is faults
+        assert plan.link_faults("b", "a") is faults
+
+    def test_link_faults_asymmetric(self):
+        plan = FaultPlan()
+        faults = LinkFaults(drop_rate=0.5)
+        plan.set_link_faults("a", "b", faults, symmetric=False)
+        assert plan.link_faults("a", "b") is faults
+        assert plan.link_faults("b", "a") == LinkFaults()
+
+    def test_crash_and_restart(self):
+        plan = FaultPlan()
+        plan.crash("x")
+        assert plan.crashed("x")
+        assert not plan.is_reachable("a", "x")
+        assert not plan.is_reachable("x", "a")
+        plan.restart("x")
+        assert plan.is_reachable("a", "x")
+
+    def test_partition_cuts_both_directions(self):
+        plan = FaultPlan()
+        plan.partition({"a", "b"}, {"c"})
+        assert not plan.is_reachable("a", "c")
+        assert not plan.is_reachable("c", "b")
+        assert plan.is_reachable("a", "b")  # same side stays connected
+        plan.heal()
+        assert plan.is_reachable("a", "c")
+
+    def test_overlapping_partition_rejected(self):
+        plan = FaultPlan()
+        with pytest.raises(ValueError):
+            plan.partition({"a", "b"}, {"b", "c"})
+
+    def test_heal_does_not_restart_crashed_endpoints(self):
+        plan = FaultPlan()
+        plan.crash("x")
+        plan.partition({"a"}, {"b"})
+        plan.heal()
+        assert plan.is_reachable("a", "b")
+        assert not plan.is_reachable("a", "x")
+
+    def test_fault_counters(self):
+        plan = FaultPlan(seed=1)
+        plan.set_default_faults(LinkFaults(drop_rate=1.0))
+        plan.decide("a", "b")
+        plan.crash("x")
+        plan.decide("a", "x")
+        assert plan.decisions == 2
+        assert plan.faults_injected == 2
+
+
+class TestBusIntegration:
+    def _bus(self, plan):
+        bus = NetworkBus(default_latency_ms=10.0, fault_plan=plan)
+        bus.register("b", lambda m: "pong")
+        return bus
+
+    def test_dropped_message_raises_delivery_error_and_counts(self):
+        plan = FaultPlan(seed=1)
+        plan.set_link_faults("a", "b", LinkFaults(drop_rate=1.0))
+        bus = self._bus(plan)
+        with pytest.raises(DeliveryError):
+            bus.send("a", "b", "x", "p")
+        stats = bus.links[("a", "b")]
+        assert stats.dropped == 1
+        assert stats.faults == 1
+        # The message travelled before being lost: latency was charged.
+        assert stats.latency_ms == 10.0
+
+    def test_errored_link_raises_network_error(self):
+        plan = FaultPlan(seed=1)
+        plan.set_link_faults("a", "b", LinkFaults(error_rate=1.0))
+        bus = self._bus(plan)
+        with pytest.raises(NetworkError):
+            bus.send("a", "b", "x", "p")
+        assert bus.links[("a", "b")].errored == 1
+
+    def test_duplicate_delivers_twice_and_charges_twice(self):
+        plan = FaultPlan(seed=1)
+        plan.set_link_faults("a", "b", LinkFaults(duplicate_rate=1.0))
+        calls = []
+        bus = NetworkBus(default_latency_ms=10.0, fault_plan=plan)
+        bus.register("b", calls.append)
+        bus.send_one_way("a", "b", "x", "p")
+        assert len(calls) == 2
+        stats = bus.links[("a", "b")]
+        assert stats.duplicated == 1
+        assert stats.messages == 2
+        assert stats.latency_ms == 20.0
+
+    def test_crashed_destination_times_out(self):
+        plan = FaultPlan(seed=1)
+        plan.crash("b")
+        bus = self._bus(plan)
+        with pytest.raises(EndpointDownError) as excinfo:
+            bus.send("a", "b", "x", "p")
+        assert excinfo.value.endpoint == "b"
+        assert excinfo.value.reason == "crashed"
+        stats = bus.links[("a", "b")]
+        assert stats.timeouts == 1
+        # A timeout still costs the sender a full traversal of waiting.
+        assert stats.latency_ms == 10.0
+
+    def test_partitioned_destination_reports_partition(self):
+        plan = FaultPlan(seed=1)
+        plan.partition({"a"}, {"b"})
+        bus = self._bus(plan)
+        with pytest.raises(EndpointDownError) as excinfo:
+            bus.send("a", "b", "x", "p")
+        assert "partitioned" in excinfo.value.reason
+        plan.heal()
+        assert bus.send("a", "b", "x", "p") == "pong"
+
+    def test_injected_delay_is_accounted(self):
+        plan = FaultPlan(seed=1)
+        plan.set_link_faults(
+            "a", "b", LinkFaults(delay_ms=5.0), symmetric=False
+        )
+        bus = self._bus(plan)
+        bus.send_one_way("a", "b", "x", "p")
+        stats = bus.links[("a", "b")]
+        assert stats.fault_delay_ms == 5.0
+        assert stats.latency_ms == 15.0
+        assert bus.simulated_ms == 15.0
+
+    def test_sleep_advances_simulated_clock(self):
+        bus = NetworkBus()
+        bus.sleep(25.0)
+        assert bus.simulated_ms == 25.0
+        with pytest.raises(ValueError):
+            bus.sleep(-1.0)

@@ -21,6 +21,31 @@ def test_hierarchy_shape():
     assert issubclass(errors.NormalizationError, errors.RuleError)
     assert issubclass(errors.DecompositionError, errors.RuleError)
     assert issubclass(errors.DocumentNotFoundError, errors.RepositoryError)
+    assert issubclass(errors.EndpointDownError, errors.NetworkError)
+    assert issubclass(errors.DeliveryError, errors.NetworkError)
+    assert issubclass(errors.NetworkError, errors.MDVError)
+
+
+def test_network_errors_are_not_storage_or_rule_errors():
+    """The retryable branch is disjoint from the fail-fast branches."""
+    assert not issubclass(errors.NetworkError, errors.StorageError)
+    assert not issubclass(errors.NetworkError, errors.RuleError)
+    assert not issubclass(errors.StorageError, errors.NetworkError)
+
+
+def test_endpoint_down_carries_endpoint_and_reason():
+    err = errors.EndpointDownError("mdp-1")
+    assert err.endpoint == "mdp-1"
+    assert err.reason == "unreachable"
+    assert "mdp-1" in str(err)
+    crashed = errors.EndpointDownError("lmr-2", "crashed")
+    assert crashed.reason == "crashed"
+    assert "crashed" in str(crashed)
+
+
+def test_delivery_error_is_catchable_as_network_error():
+    with pytest.raises(errors.NetworkError):
+        raise errors.DeliveryError("dropped in transit")
 
 
 def test_unknown_class_message():

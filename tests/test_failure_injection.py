@@ -1,12 +1,21 @@
-"""Failure-injection tests: errors must surface, state must stay sound."""
+"""Failure-injection tests: faults must be survivable, state must stay sound.
+
+Local failures (storage, bad input) still surface immediately; *network*
+failures are recovered from — the reliable delivery layer retries,
+dead-letters and resynchronizes until the system converges to the state
+a fault-free run would have produced.
+"""
 
 import pytest
 
 from repro.errors import MDVError, StorageError, SubscriptionError
+from repro.mdv.backbone import Backbone
 from repro.mdv.provider import MetadataProvider
 from repro.mdv.repository import LocalMetadataRepository
 from repro.net.bus import NetworkBus
+from repro.net.faults import FaultPlan, LinkFaults
 from repro.rdf.model import Document, URIRef
+from repro.workload.chaos import run_chaos_scenario
 
 
 def make_doc(index, memory=92):
@@ -33,7 +42,15 @@ class TestBusFailures:
         # The message was still accounted (it did travel).
         assert bus.total_messages == 1
 
-    def test_subscriber_crash_surfaces_to_publisher(self, schema):
+    def test_subscriber_crash_dead_letters_instead_of_propagating(
+        self, schema
+    ):
+        """A crashing subscriber no longer fails the publisher.
+
+        The batch is poison (the receiver rejected it), so it moves to
+        the dead-letter queue; the registration itself succeeds and the
+        MDP keeps serving everyone else.
+        """
         bus = NetworkBus()
         mdp = MetadataProvider(schema, name="mdp", bus=bus)
         lmr = LocalMetadataRepository("lmr", mdp, bus=bus)
@@ -47,10 +64,13 @@ class TestBusFailures:
 
         lmr.apply_batch = broken  # simulate a crashing LMR
         bus.register("lmr", lmr._handle_message)
-        with pytest.raises(RuntimeError):
-            mdp.register_document(make_doc(1))
-        # The MDP's own state committed before publishing.
+        mdp.register_document(make_doc(1))
         assert mdp.document_count() == 1
+        assert mdp.outbox is not None
+        assert mdp.outbox.dead_count("lmr") == 1
+        (letter,) = mdp.outbox.dead_letters
+        assert letter.poison
+        assert "cache corrupted" in letter.error
 
 
 class TestTransactionalSoundness:
@@ -135,3 +155,141 @@ class TestInvalidInputs:
         with pytest.raises(DocumentParseError):
             mdp.register_document("<rdf:RDF", document_uri="x.rdf")
         assert mdp.document_count() == 0
+
+
+def _three_tier(schema, plan=None):
+    """Backbone of two MDPs with one LMR each, over one faulty bus."""
+    bus = NetworkBus(fault_plan=plan)
+    backbone = Backbone(schema, bus=bus)
+    backbone.add_provider("mdp-a")
+    backbone.add_provider("mdp-b")
+    lmr_a = LocalMetadataRepository("lmr-a", backbone.provider("mdp-a"),
+                                    bus=bus)
+    lmr_b = LocalMetadataRepository("lmr-b", backbone.provider("mdp-b"),
+                                    bus=bus)
+    return bus, backbone, lmr_a, lmr_b
+
+
+RULE = ("search CycleProvider c register c "
+        "where c.serverHost contains 'passau'")
+
+
+class TestPartitionRecovery:
+    def test_partitioned_backbone_tracks_lag_and_recovers(self, schema):
+        plan = FaultPlan(seed=3)
+        bus, backbone, lmr_a, lmr_b = _three_tier(schema, plan)
+        lmr_b.subscribe(RULE)
+        plan.partition({"mdp-a"}, {"mdp-b"})
+        backbone.register_document(make_doc(1), at="mdp-a")
+        # The registration committed locally; replication is lagging.
+        assert backbone.provider("mdp-a").document_count() == 1
+        assert backbone.provider("mdp-b").document_count() == 0
+        assert not backbone.is_synchronized()
+        assert backbone.replication_lag() >= 1
+        lag = backbone.lag_report()["mdp-a->mdp-b"]
+        assert lag["pending"] + lag["dead"] >= 1
+        assert lag["last_error"] is not None
+        plan.heal()
+        backbone.recover()
+        assert backbone.is_synchronized()
+        assert backbone.provider("mdp-b").document_count() == 1
+        # The peer's own subscribers got the change after the heal.
+        assert "doc1.rdf#host" in lmr_b.cache
+
+    def test_query_during_partition_served_stale_not_raising(self, schema):
+        plan = FaultPlan(seed=5)
+        bus, backbone, lmr_a, lmr_b = _three_tier(schema, plan)
+        lmr_a.subscribe(RULE)
+        backbone.register_document(make_doc(1), at="mdp-a")
+        assert "doc1.rdf#host" in lmr_a.cache
+        plan.partition({"lmr-a"}, {"mdp-a", "mdp-b"})
+        result = lmr_a.query_with_status("search CycleProvider c")
+        assert result.stale
+        assert [str(r.uri) for r in result] == ["doc1.rdf#host"]
+        plan.heal()
+        fresh = lmr_a.query_with_status("search CycleProvider c")
+        assert not fresh.stale
+
+    def test_crashed_lmr_resyncs_after_restart(self, schema):
+        plan = FaultPlan(seed=11)
+        bus, backbone, lmr_a, lmr_b = _three_tier(schema, plan)
+        lmr_a.subscribe(RULE)
+        plan.crash("lmr-a")
+        backbone.register_document(make_doc(1), at="mdp-a")
+        backbone.register_document(make_doc(2), at="mdp-a")
+        assert "doc1.rdf#host" not in lmr_a.cache
+        plan.restart("lmr-a")
+        lmr_a.resync()
+        mdp_a = backbone.provider("mdp-a")
+        assert mdp_a.outbox is not None
+        mdp_a.outbox.drain()
+        assert "doc1.rdf#host" in lmr_a.cache
+        assert "doc2.rdf#host" in lmr_a.cache
+        # Nothing was applied twice.
+        assert (lmr_a.batches_received - lmr_a.dedup.applied
+                == lmr_a.dedup.duplicates_ignored)
+
+    def test_duplicated_notifications_applied_exactly_once(self, schema):
+        plan = FaultPlan(seed=2)
+        plan.set_link_faults(
+            "mdp-a", "lmr-a", LinkFaults(duplicate_rate=1.0), symmetric=False
+        )
+        bus, backbone, lmr_a, lmr_b = _three_tier(schema, plan)
+        lmr_a.subscribe(RULE)
+        backbone.register_document(make_doc(1), at="mdp-a")
+        assert "doc1.rdf#host" in lmr_a.cache
+        assert lmr_a.dedup.duplicates_ignored >= 1
+        assert (lmr_a.batches_received - lmr_a.dedup.applied
+                == lmr_a.dedup.duplicates_ignored)
+        assert bus.links[("mdp-a", "lmr-a")].duplicated >= 1
+
+    def test_conflicting_partition_writes_converge_last_writer_wins(
+        self, schema
+    ):
+        """Cross-site writes to one document during a partition resolve
+        deterministically by the (counter, origin) version order."""
+        plan = FaultPlan(seed=7)
+        bus, backbone, lmr_a, lmr_b = _three_tier(schema, plan)
+        backbone.register_document(make_doc(1, memory=92), at="mdp-a")
+        assert backbone.is_synchronized()
+        plan.partition({"mdp-a"}, {"mdp-b"})
+        backbone.register_document(make_doc(1, memory=128), at="mdp-a")
+        backbone.register_document(make_doc(1, memory=256), at="mdp-b")
+        plan.heal()
+        backbone.recover()
+        assert backbone.is_synchronized()
+        # Both wrote version counter 2; "mdp-b" wins the origin tiebreak.
+        values = {
+            name: provider.resource("doc1.rdf#info").get_one("memory").value
+            for name, provider in backbone.providers.items()
+        }
+        assert values == {"mdp-a": 256, "mdp-b": 256}
+
+
+class TestSeededChaos:
+    """The acceptance contract: faulty runs converge to the clean run."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_chaos_converges_to_fault_free_fixpoint(self, seed):
+        faulty = run_chaos_scenario(seed, faulty=True)
+        clean = run_chaos_scenario(seed, faulty=False)
+        # The plan really injected faults, and a read during the
+        # partition was served stale instead of raising.
+        assert faulty.faults_injected > 0
+        assert faulty.stale_read_observed
+        assert faulty.lag_during_partition > 0
+        # Convergence: every MDP and every LMR cache is byte-identical
+        # to the fault-free run of the same workload.
+        assert faulty.provider_snapshots == clean.provider_snapshots
+        assert faulty.lmr_snapshots == clean.lmr_snapshots
+        assert faulty.backbone_synchronized
+        # Exactly-once application: every received-but-not-applied batch
+        # is accounted as an ignored duplicate, nothing applied twice.
+        assert (faulty.batches_received - faulty.batches_applied
+                == faulty.duplicates_ignored)
+
+    def test_clean_scenario_reports_no_faults(self):
+        clean = run_chaos_scenario(1, faulty=False)
+        assert clean.faults_injected == 0
+        assert clean.duplicates_ignored == 0
+        assert clean.backbone_synchronized
