@@ -5,17 +5,26 @@ Examples::
     python -m repro.bench fig11
     python -m repro.bench all --full
     python -m repro.bench fig15 --csv fig15.csv
+    python -m repro.bench fig12 --metrics            # writes BENCH_fig12.json
+    python -m repro.bench all --metrics --metrics-dir artifacts/
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from repro.bench.ablations import ABLATIONS
 from repro.bench.figures import FIGURES
-from repro.bench.reporting import render_chart, render_claims, render_figure
+from repro.bench.reporting import (
+    render_chart,
+    render_claims,
+    render_figure,
+    write_bench_json,
+)
+from repro.obs.metrics import default_registry, reset_default_registry
 
 __all__ = ["main"]
 
@@ -54,7 +63,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also render an ASCII chart of each figure",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="write BENCH_<figure>.json (wall time + hot-path counters "
+        "per point) and dump the metrics registry snapshot",
+    )
+    parser.add_argument(
+        "--metrics-dir",
+        default=".",
+        help="directory for BENCH_*.json artifacts (default: cwd)",
+    )
     args = parser.parse_args(argv)
+    # Fresh registry per invocation: the run's metrics, nothing else's.
+    reset_default_registry()
 
     if args.figure == "ablations":
         failures = 0
@@ -81,8 +103,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"(wall time: {elapsed:.1f}s)\n")
         if args.csv:
             _write_csv(figure, args.csv if len(names) == 1 else f"{name}.csv")
+        if args.metrics:
+            path = write_bench_json(
+                figure,
+                args.metrics_dir,
+                extra={
+                    "elapsed_seconds": round(elapsed, 6),
+                    "mode": "full" if args.full else "quick",
+                },
+            )
+            print(f"(wrote {path})")
         if not figure.all_claims_hold:
             failures += 1
+    if args.metrics:
+        print(json.dumps(default_registry().snapshot(), indent=2))
     return 1 if failures else 0
 
 

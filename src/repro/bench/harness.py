@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.filter.engine import FilterEngine
+from repro.obs.metrics import default_registry
 from repro.rdf.schema import Schema, objectglobe_schema
 from repro.rules.decompose import decompose_rule
 from repro.rules.normalize import normalize_rule
@@ -54,6 +55,10 @@ class MeasurementPoint:
     #: single GC pause or scheduler hiccup cannot distort sub-millisecond
     #: points (small batches are repeated up to 10 times).
     repeat_seconds: tuple[float, ...] = ()
+    #: Counter deltas accumulated while measuring this point (sorted
+    #: ``(name, delta)`` pairs from the default metrics registry, e.g.
+    #: atoms scanned, rule-group evaluations, SQL statements).
+    counters: tuple[tuple[str, float], ...] = ()
 
     @property
     def documents_registered(self) -> int:
@@ -173,6 +178,7 @@ class FilterBench:
             durations: list[float] = []
             hits = 0
             iterations = 0
+            before = default_registry().counter_values()
             for repeat in range(repeats):
                 documents = self.spec.documents(
                     batch_size, start_index=repeat * batch_size
@@ -183,6 +189,9 @@ class FilterBench:
                 durations.append(time.perf_counter() - started)
                 hits += engine.result_count()
                 iterations = max(iterations, outcome.passes[0].iterations)
+            counters = tuple(
+                default_registry().counters_since(before).items()
+            )
             return MeasurementPoint(
                 spec=self.spec,
                 batch_size=batch_size,
@@ -191,6 +200,7 @@ class FilterBench:
                 hits=hits,
                 iterations=iterations,
                 repeat_seconds=tuple(durations),
+                counters=counters,
             )
         finally:
             db.close()

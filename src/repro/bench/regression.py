@@ -1,0 +1,150 @@
+"""Perf-regression gate over ``BENCH_*.json`` artifacts.
+
+``python -m repro.bench.regression --baseline-dir benchmarks/baselines``
+compares freshly produced ``BENCH_<figure>.json`` files against the
+checked-in baselines and fails (exit 1) when any figure's wall time
+regressed by more than the tolerance (default 25%).
+
+Wall time on shared CI runners is noisy, so the gate compares the
+*figure-level* wall time (the sum over every measured point — tens of
+filter runs), not individual points, and the deterministic hot-path
+counters are reported alongside: a wall-time regression with unchanged
+counters is likely runner noise; moving counters indicate a real
+behavioural change (more statements, more rows, more rule-group
+evaluations).
+
+Overriding: a genuinely intended slowdown (e.g. a correctness fix that
+costs work) is landed by refreshing the baselines in the same PR
+(re-run the sweeps, commit the new ``benchmarks/baselines/*.json``) or
+by applying the ``perf-override`` label to the PR, which skips this
+gate in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["compare", "main"]
+
+#: A figure may be this much slower than its baseline before the gate
+#: trips (1.25 = +25%).
+DEFAULT_TOLERANCE = 1.25
+
+
+def _counter_totals(payload: dict) -> dict[str, float]:
+    totals: dict[str, float] = {}
+    for series in payload.get("series", []):
+        for point in series.get("points", []):
+            for name, value in point.get("counters", {}).items():
+                totals[name] = totals.get(name, 0.0) + value
+    return totals
+
+
+def compare(
+    baseline: dict, current: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[str]:
+    """Compare one figure's run against its baseline.
+
+    Returns a list of failure messages (empty = within tolerance).
+    """
+    failures: list[str] = []
+    figure = current.get("figure", "?")
+    base_wall = float(baseline.get("wall_time_seconds", 0.0))
+    curr_wall = float(current.get("wall_time_seconds", 0.0))
+    if base_wall > 0 and curr_wall > base_wall * tolerance:
+        failures.append(
+            f"{figure}: wall time regressed "
+            f"{base_wall:.3f}s -> {curr_wall:.3f}s "
+            f"(+{(curr_wall / base_wall - 1) * 100:.0f}%, "
+            f"tolerance +{(tolerance - 1) * 100:.0f}%)"
+        )
+        base_counters = _counter_totals(baseline)
+        curr_counters = _counter_totals(current)
+        moved = sorted(
+            name
+            for name in set(base_counters) | set(curr_counters)
+            if abs(curr_counters.get(name, 0.0) - base_counters.get(name, 0.0))
+            > 0.5
+        )
+        if moved:
+            failures.append(
+                f"{figure}: counters moved too (behavioural change?): "
+                + ", ".join(
+                    f"{name} {base_counters.get(name, 0):.0f}"
+                    f"->{curr_counters.get(name, 0):.0f}"
+                    for name in moved[:8]
+                )
+            )
+        else:
+            failures.append(
+                f"{figure}: hot-path counters are unchanged — if this is "
+                f"runner noise, re-run; if intended, refresh the baseline "
+                f"or apply the perf-override label"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regression",
+        description="Fail when BENCH_*.json wall times regressed past "
+        "the tolerance vs the checked-in baselines.",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default="benchmarks/baselines",
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--current-dir",
+        default=".",
+        help="directory holding the freshly produced BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed wall-time ratio current/baseline (default 1.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_dir = Path(args.baseline_dir)
+    current_dir = Path(args.current_dir)
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no baselines under {baseline_dir}/", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    compared = 0
+    for baseline_path in baselines:
+        current_path = current_dir / baseline_path.name
+        if not current_path.exists():
+            failures.append(
+                f"{baseline_path.name}: no current run found in "
+                f"{current_dir}/ (did the perf job produce it?)"
+            )
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        current = json.loads(current_path.read_text())
+        compared += 1
+        wall = (
+            f"{float(baseline.get('wall_time_seconds', 0.0)):.3f}s -> "
+            f"{float(current.get('wall_time_seconds', 0.0)):.3f}s"
+        )
+        print(f"{baseline_path.name}: {wall}")
+        failures.extend(compare(baseline, current, args.tolerance))
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"ok: {compared} figure(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

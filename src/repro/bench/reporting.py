@@ -1,12 +1,29 @@
-"""Plain-text rendering of benchmark results (the paper's figures)."""
+"""Rendering of benchmark results (the paper's figures).
+
+Plain-text tables and ASCII charts for humans, plus machine-readable
+``BENCH_<figure>.json`` artifacts (wall time and hot-path counters per
+measured point) for the CI perf-regression gate
+(:mod:`repro.bench.regression`).
+"""
 
 from __future__ import annotations
 
+import json
+import re
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.bench.harness import SweepResult
 
-__all__ = ["FigureResult", "render_figure", "render_claims"]
+__all__ = [
+    "FigureResult",
+    "figure_slug",
+    "figure_to_dict",
+    "render_chart",
+    "render_claims",
+    "render_figure",
+    "write_bench_json",
+]
 
 
 @dataclass
@@ -103,3 +120,77 @@ def render_chart(figure: FigureResult, width: int = 60, height: int = 12) -> str
             f" {markers[series_index % len(markers)]} = {sweep.label}"
         )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Machine-readable artifacts (BENCH_<figure>.json)
+# ----------------------------------------------------------------------
+def figure_slug(figure_id: str) -> str:
+    """``"Figure 12"`` → ``"fig12"`` (artifact/CLI naming)."""
+    match = re.search(r"(\d+)", figure_id)
+    if match is None:
+        return re.sub(r"[^a-z0-9]+", "_", figure_id.lower()).strip("_")
+    return f"fig{match.group(1)}"
+
+
+def figure_to_dict(figure: FigureResult) -> dict:
+    """The JSON shape of one figure's measurements.
+
+    Every measured point carries its wall time (``total_seconds`` and
+    the derived ``ms_per_document``) plus the hot-path counter deltas
+    captured while measuring it, so regressions can be localized (wall
+    time moved but counters did not → environment noise; counters moved
+    → a behavioural change).
+    """
+    total_seconds = sum(
+        point.total_seconds for sweep in figure.series for point in sweep.points
+    )
+    return {
+        "figure": figure_slug(figure.figure_id),
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "wall_time_seconds": round(total_seconds, 6),
+        "claims": [
+            {"text": text, "holds": holds} for text, holds in figure.claims
+        ],
+        "series": [
+            {
+                "label": sweep.label,
+                "prepare_seconds": round(sweep.prepare_seconds, 6),
+                "points": [
+                    {
+                        "batch_size": point.batch_size,
+                        "repeats": point.repeats,
+                        "total_seconds": round(point.total_seconds, 6),
+                        "ms_per_document": round(point.ms_per_document, 6),
+                        "hits": point.hits,
+                        "iterations": point.iterations,
+                        "counters": {
+                            name: value for name, value in point.counters
+                        },
+                    }
+                    for point in sweep.points
+                ],
+            }
+            for sweep in figure.series
+        ],
+    }
+
+
+def write_bench_json(
+    figure: FigureResult,
+    directory: str | Path = ".",
+    extra: dict | None = None,
+) -> Path:
+    """Write ``BENCH_<figure>.json`` into ``directory``; returns the path.
+
+    ``extra`` entries (e.g. the CLI's end-to-end elapsed time) are merged
+    into the top level of the payload.
+    """
+    target = Path(directory) / f"BENCH_{figure_slug(figure.figure_id)}.json"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = figure_to_dict(figure)
+    if extra:
+        payload.update(extra)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target

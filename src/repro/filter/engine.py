@@ -26,6 +26,8 @@ from __future__ import annotations
 import time
 from collections.abc import Iterable, Sequence
 
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import Tracer
 from repro.rdf.diff import DocumentDiff
 from repro.rdf.model import Resource, URIRef
 from repro.rules.atoms import AtomNode, TriggeringAtom
@@ -66,7 +68,8 @@ class FilterEngine:
         db: Database,
         registry: RuleRegistry,
         use_rule_groups: bool = True,
-        join_evaluation: str = "scan",
+        join_evaluation: str = "probe",
+        metrics: MetricsRegistry | None = None,
     ):
         if join_evaluation not in ("scan", "probe"):
             raise ValueError(
@@ -79,11 +82,22 @@ class FilterEngine:
         self._filter_input = FilterInputTable(db)
         self._materialized = MaterializedTable(db)
         self.use_rule_groups = use_rule_groups
-        #: "scan" = the paper's combined member evaluation; "probe" = the
-        #: delta-driven optimization (see repro.filter.joins).
+        #: "probe" (the default) = the delta-driven optimization, 10×
+        #: faster and independent of the rule base size on PATH/JOIN
+        #: workloads (EXPERIMENTS.md, ablations); "scan" = the paper's
+        #: combined member evaluation, kept for the figure reproductions
+        #: and ablations (see repro.filter.joins).
         self.join_evaluation = join_evaluation
         #: Total filter runs executed (diagnostics).
         self.runs_executed = 0
+        self.metrics = metrics if metrics is not None else default_registry()
+        #: Span tree of every run (``trace.filter.*`` histograms).
+        self.tracer = Tracer(registry=self.metrics)
+        self._m_runs = self.metrics.counter("filter.runs")
+        self._m_atoms = self.metrics.counter("filter.atoms_scanned")
+        self._m_triggered = self.metrics.counter("filter.rules_triggered")
+        self._m_iterations = self.metrics.counter("filter.iterations")
+        self._m_result_rows = self.metrics.counter("filter.result_rows")
 
     # ------------------------------------------------------------------
     # One filter execution
@@ -106,7 +120,7 @@ class FilterEngine:
         are some subscription's end rule) or ``"none"``.
         """
         result = FilterRunResult()
-        with self._db.transaction():
+        with self._db.transaction(), self.tracer.span("filter.run") as run_span:
             self._filter_input.clear()
             self._db.execute("DELETE FROM result_objects")
             if input_atoms is not None:
@@ -118,40 +132,59 @@ class FilterEngine:
                     "FROM filter_data WHERE uri_reference = ?",
                     ((uri,) for uri in set(input_uris)),
                 )
+            atoms_scanned = self._db.count("filter_input")
+            self._m_atoms.inc(atoms_scanned)
+            run_span.set("atoms", atoms_scanned)
             started = time.perf_counter()
-            result.triggering_hits = match_triggering_rules(self._db)
+            with self.tracer.span("filter.triggering"):
+                result.triggering_hits = match_triggering_rules(self._db)
             result.triggering_seconds = time.perf_counter() - started
+            self._m_triggered.inc(result.triggering_hits)
             started = time.perf_counter()
             iteration = 0
+            inserted_total = result.triggering_hits
             while iteration < _MAX_ITERATIONS:
-                inserted = evaluate_groups_at(
-                    self._db,
-                    iteration,
-                    iteration + 1,
-                    self.use_rule_groups,
-                    self.join_evaluation,
-                )
+                with self.tracer.span(
+                    "filter.iteration", iteration=iteration
+                ) as iteration_span:
+                    inserted = evaluate_groups_at(
+                        self._db,
+                        iteration,
+                        iteration + 1,
+                        self.use_rule_groups,
+                        self.join_evaluation,
+                        metrics=self.metrics,
+                    )
+                    iteration_span.set("inserted", inserted)
                 if inserted == 0:
                     break
+                inserted_total += inserted
                 iteration += 1
             result.iterations = iteration
             result.join_seconds = time.perf_counter() - started
-            if materialize:
-                # The paper materializes "the results of atomic rules
-                # join rules depend on"; end rules are materialized too,
-                # since new subscriptions and the update algorithm read
-                # a rule's current matches from there.
-                self._db.execute(
-                    "INSERT OR IGNORE INTO materialized "
-                    "(rule_id, uri_reference) "
-                    "SELECT DISTINCT ro.rule_id, ro.uri_reference "
-                    "FROM result_objects ro "
-                    "WHERE EXISTS (SELECT 1 FROM rule_dependencies rd "
-                    "              WHERE rd.source_rule = ro.rule_id) "
-                    "   OR ro.rule_id IN (SELECT end_rule FROM subscriptions)"
-                )
-            result.pairs = self._collect(collect)
+            self._m_iterations.inc(iteration)
+            self._m_result_rows.inc(inserted_total)
+            run_span.set("iterations", iteration)
+            run_span.set("triggering_hits", result.triggering_hits)
+            with self.tracer.span("filter.closure"):
+                if materialize:
+                    # The paper materializes "the results of atomic rules
+                    # join rules depend on"; end rules are materialized too,
+                    # since new subscriptions and the update algorithm read
+                    # a rule's current matches from there.
+                    self._db.execute(
+                        "INSERT OR IGNORE INTO materialized "
+                        "(rule_id, uri_reference) "
+                        "SELECT DISTINCT ro.rule_id, ro.uri_reference "
+                        "FROM result_objects ro "
+                        "WHERE EXISTS (SELECT 1 FROM rule_dependencies rd "
+                        "              WHERE rd.source_rule = ro.rule_id) "
+                        "   OR ro.rule_id IN "
+                        "(SELECT end_rule FROM subscriptions)"
+                    )
+                result.pairs = self._collect(collect)
         self.runs_executed += 1
+        self._m_runs.inc()
         return result
 
     def _collect(self, mode: str) -> set[tuple[int, URIRef]]:

@@ -36,6 +36,7 @@ from __future__ import annotations
 import sqlite3
 from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.engine import Database
 
 __all__ = ["GroupSpec", "load_group", "evaluate_groups_at", "initialize_join_rule"]
@@ -327,6 +328,7 @@ def evaluate_groups_at(
     iteration: int,
     use_rule_groups: bool = True,
     member_order: str = "scan",
+    metrics: MetricsRegistry | None = None,
 ) -> int:
     """Evaluate every join rule depending on the previous iteration.
 
@@ -355,20 +357,26 @@ def evaluate_groups_at(
                 db, group, prev_iteration, iteration,
                 "ar.group_id = :group_id", member_order,
             )
-        return inserted
-    rows = db.query_all(
-        "SELECT DISTINCT rd.target_rule, rd.group_id FROM result_objects ro "
-        "JOIN rule_dependencies rd ON rd.source_rule = ro.rule_id "
-        "WHERE ro.iteration = ?",
-        (prev_iteration,),
-    )
-    inserted = 0
-    for row in rows:
-        group = load_group(db, int(row["group_id"]))
-        inserted += _evaluate_spec(
-            db, group, prev_iteration, iteration,
-            f"ar.rule_id = {int(row['target_rule'])}", member_order,
+    else:
+        rows = db.query_all(
+            "SELECT DISTINCT rd.target_rule, rd.group_id "
+            "FROM result_objects ro "
+            "JOIN rule_dependencies rd ON rd.source_rule = ro.rule_id "
+            "WHERE ro.iteration = ?",
+            (prev_iteration,),
         )
+        inserted = 0
+        for row in rows:
+            group = load_group(db, int(row["group_id"]))
+            inserted += _evaluate_spec(
+                db, group, prev_iteration, iteration,
+                f"ar.rule_id = {int(row['target_rule'])}", member_order,
+            )
+    if metrics is not None and rows:
+        metrics.counter(f"filter.groups_evaluated.{member_order}").inc(
+            len(rows)
+        )
+        metrics.counter("filter.join_rows_inserted").inc(inserted)
     return inserted
 
 

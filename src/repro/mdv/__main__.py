@@ -10,11 +10,14 @@ Commands:
 - ``--chaos-seed N`` — fault-tolerance smoke check: run the seeded
   chaos scenario twice (faulty and clean) and verify the faulty run
   converged to the clean one after recovery; exits 1 on divergence.
+- ``--metrics`` — after any command, dump the metrics registry snapshot
+  (counters, gauges, histograms accumulated by the run) as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.errors import MDVError
@@ -22,6 +25,7 @@ from repro.mdv.provider import MetadataProvider
 from repro.mdv.repository import LocalMetadataRepository
 from repro.mdv.stats import collect_statistics
 from repro.net.bus import NetworkBus
+from repro.obs.metrics import default_registry, reset_default_registry
 from repro.rdf.model import Document, URIRef
 from repro.rdf.schema import objectglobe_schema
 from repro.rules.explain import explain_rule
@@ -83,6 +87,7 @@ def run_demo() -> int:
     print(collect_statistics(mdp).summary())
     print("\n--- network accounting ---")
     print(bus.stats_summary())
+    bus.publish_link_metrics()
     return 0
 
 
@@ -141,21 +146,40 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="run the seeded fault-tolerance smoke check and exit",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="dump the metrics registry snapshot as JSON after the run",
+    )
     subparsers = parser.add_subparsers(dest="command")
-    subparsers.add_parser("demo", help="run a scripted 3-tier scenario")
+    demo_parser = subparsers.add_parser(
+        "demo", help="run a scripted 3-tier scenario"
+    )
     explain_parser = subparsers.add_parser(
         "explain", help="explain a subscription rule"
     )
     explain_parser.add_argument("rule", help="the rule text (quote it)")
+    for sub in (demo_parser, explain_parser):
+        # Accepted before or after the subcommand; SUPPRESS keeps the
+        # subparser from overwriting a pre-subcommand --metrics.
+        sub.add_argument(
+            "--metrics", action="store_true", default=argparse.SUPPRESS
+        )
     args = parser.parse_args(argv)
+    # Fresh registry per invocation: the run's metrics, nothing else's.
+    reset_default_registry()
     if args.chaos_seed is not None:
-        return run_chaos(args.chaos_seed)
-    if args.command == "demo":
-        return run_demo()
-    if args.command == "explain":
-        return run_explain(args.rule)
-    parser.error("a command (demo|explain) or --chaos-seed is required")
-    return 2  # pragma: no cover - parser.error raises SystemExit
+        status = run_chaos(args.chaos_seed)
+    elif args.command == "demo":
+        status = run_demo()
+    elif args.command == "explain":
+        status = run_explain(args.rule)
+    else:
+        parser.error("a command (demo|explain) or --chaos-seed is required")
+        return 2  # pragma: no cover - parser.error raises SystemExit
+    if args.metrics:
+        print(json.dumps(default_registry().snapshot(), indent=2))
+    return status
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ from repro.filter.results import PublishOutcome
 from repro.mdv.outbox import Outbox, ReplicaUpdate, RetryPolicy
 from repro.mdv.provider import MetadataProvider
 from repro.net.bus import NetworkBus
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.rdf.model import Document
 from repro.rdf.schema import Schema
 
@@ -44,6 +45,7 @@ class Backbone:
         schema: Schema,
         bus: NetworkBus | None = None,
         retry_policy: RetryPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.schema = schema
         self.bus = bus
@@ -53,6 +55,13 @@ class Backbone:
         #: Outboxes for bus-less backbones (direct peer calls); with a
         #: bus each provider's own outbox carries the replication.
         self._direct_outboxes: dict[str, Outbox] = {}
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_replications = self.metrics.counter("backbone.replications")
+        self._m_repairs = self.metrics.counter(
+            "backbone.anti_entropy_repairs"
+        )
+        self._m_recoveries = self.metrics.counter("backbone.recoveries")
+        self._g_lag = self.metrics.gauge("backbone.replication_lag")
 
     def add_provider(self, name: str) -> MetadataProvider:
         """Create and wire a new MDP into the backbone."""
@@ -125,6 +134,7 @@ class Backbone:
             if name == origin:
                 continue
             self.replications += 1
+            self._m_replications.inc()
             seq = outbox.reserve_seq(name)
             update = ReplicaUpdate(
                 document_uri, document, version, origin, seq
@@ -179,6 +189,7 @@ class Backbone:
         total = 0
         for lag in self.lag_report().values():
             total += int(lag["pending"]) + int(lag["dead"])
+        self._g_lag.set(total)
         return total
 
     def flush_replication(self) -> int:
@@ -206,6 +217,7 @@ class Backbone:
         repaired = self.reconcile() if anti_entropy else 0
         for outbox in self._outboxes().values():
             delivered += outbox.drain()
+        self._m_recoveries.inc()
         return {
             "redriven": redriven,
             "delivered": delivered,
@@ -230,6 +242,8 @@ class Backbone:
             for holder in names:
                 if puller != holder:
                     applied += self._pull(puller, holder)
+        if applied:
+            self._m_repairs.inc(applied)
         return applied
 
     def _pull(self, puller: str, holder: str) -> int:

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import NetworkError
+from repro.obs.metrics import MetricsRegistry, default_registry
 
 if TYPE_CHECKING:
     from repro.rdf.model import Document
@@ -78,6 +79,8 @@ class OutboxEntry:
     #: Simulated time before which no retry is attempted.
     due_ms: float = 0.0
     last_error: str | None = None
+    #: Clock reading at enqueue time (delivery-latency accounting).
+    enqueued_ms: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -135,6 +138,7 @@ class Outbox:
         sleep: Callable[[float], None] | None = None,
         policy: RetryPolicy | None = None,
         seed: int = 0,
+        metrics: MetricsRegistry | None = None,
     ):
         self.source = source
         self.policy = policy or RetryPolicy()
@@ -155,6 +159,25 @@ class Outbox:
         self.enqueued = 0
         self.delivered = 0
         self.retries = 0
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_enqueued = self.metrics.counter("outbox.enqueued")
+        self._m_delivered = self.metrics.counter("outbox.delivered")
+        self._m_retries = self.metrics.counter("outbox.retries")
+        self._m_dead = self.metrics.counter("outbox.dead_letters")
+        self._m_poison = self.metrics.counter("outbox.poison")
+        self._m_redriven = self.metrics.counter("outbox.redriven")
+        self._m_replayed = self.metrics.counter("outbox.replayed")
+        self._m_latency = self.metrics.histogram("outbox.delivery_latency_ms")
+        self._g_pending = self.metrics.gauge(
+            "outbox.pending", {"source": source}
+        )
+        self._g_dead = self.metrics.gauge(
+            "outbox.dead", {"source": source}
+        )
+
+    def _sync_gauges(self) -> None:
+        self._g_pending.set(self.pending_count())
+        self._g_dead.set(len(self.dead_letters))
 
     def _read_own_clock(self) -> float:
         return self._own_clock_ms
@@ -177,9 +200,13 @@ class Outbox:
         """Queue a message; ``seq`` defaults to a freshly reserved one."""
         if seq is None:
             seq = self.reserve_seq(destination)
-        entry = OutboxEntry(destination, kind, payload, seq)
+        entry = OutboxEntry(
+            destination, kind, payload, seq, enqueued_ms=self._clock()
+        )
         self._queues.setdefault(destination, deque()).append(entry)
         self.enqueued += 1
+        self._m_enqueued.inc()
+        self._g_pending.set(self.pending_count())
         return entry
 
     # ------------------------------------------------------------------
@@ -203,6 +230,7 @@ class Outbox:
         delivered = 0
         for name in destinations:
             delivered += self._flush_queue(name)
+        self._sync_gauges()
         return delivered
 
     def _flush_queue(self, destination: str) -> int:
@@ -223,6 +251,7 @@ class Outbox:
                     self._park(destination, queue, str(exc))
                     break
                 self.retries += 1
+                self._m_retries.inc()
                 entry.due_ms = self._clock() + self.policy.delay_for(
                     entry.attempts, self._rng
                 )
@@ -234,11 +263,17 @@ class Outbox:
                 self.dead_letters.append(
                     DeadLetter(entry, str(exc), self._clock(), poison=True)
                 )
+                self._m_dead.inc()
+                self._m_poison.inc()
                 continue
             queue.popleft()
             self._history.setdefault(destination, []).append(entry)
             self.delivered += 1
             delivered += 1
+            self._m_delivered.inc()
+            self._m_latency.observe(
+                max(self._clock() - entry.enqueued_ms, 0.0)
+            )
         if queue is not None and not queue:
             del self._queues[destination]
         return delivered
@@ -253,6 +288,7 @@ class Outbox:
             reason = error if head else f"held back behind dead letter: {error}"
             head = False
             self.dead_letters.append(DeadLetter(entry, reason, now))
+            self._m_dead.inc()
         self._parked.add(destination)
 
     def drain(
@@ -321,6 +357,8 @@ class Outbox:
             ordered = sorted(queue, key=lambda e: e.seq)
             queue.clear()
             queue.extend(ordered)
+        self._m_redriven.inc(len(revived))
+        self._sync_gauges()
         return len(revived)
 
     def replay_since(self, destination: str, after_seq: int) -> int:
@@ -337,17 +375,23 @@ class Outbox:
         ]
         queue = self._queues.setdefault(destination, deque())
         pending_seqs = {entry.seq for entry in queue}
+        replayed = 0
         for entry in entries:
             if entry.seq in pending_seqs:
                 continue
             replay = OutboxEntry(
-                destination, entry.kind, entry.payload, entry.seq
+                destination, entry.kind, entry.payload, entry.seq,
+                enqueued_ms=self._clock(),
             )
             queue.append(replay)
             self.enqueued += 1
+            replayed += 1
         ordered = sorted(queue, key=lambda e: e.seq)
         queue.clear()
         queue.extend(ordered)
+        self._m_enqueued.inc(replayed)
+        self._m_replayed.inc(replayed)
+        self._sync_gauges()
         return len(entries)
 
     # ------------------------------------------------------------------

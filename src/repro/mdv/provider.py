@@ -38,6 +38,7 @@ from repro.filter.engine import FilterEngine
 from repro.filter.results import PublishOutcome
 from repro.mdv.outbox import DedupIndex, Outbox, ReplicaUpdate, RetryPolicy
 from repro.net.bus import NetworkBus
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.pubsub.notifications import NotificationBatch
 from repro.pubsub.publisher import Publisher
 from repro.query.sql import run_query_sql
@@ -81,9 +82,10 @@ class MetadataProvider:
         bus: NetworkBus | None = None,
         use_rule_groups: bool = True,
         consistency: str = "filter",
-        join_evaluation: str = "scan",
+        join_evaluation: str = "probe",
         analyze: str = "off",
         retry_policy: RetryPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if consistency not in ("filter", "resource-list", "ttl"):
             raise ValueError(
@@ -96,11 +98,24 @@ class MetadataProvider:
             )
         self.name = name
         self.schema = schema
-        self.db = db or Database()
+        self.metrics = metrics if metrics is not None else default_registry()
+        labels = {"mdp": name}
+        self._m_registrations = self.metrics.counter(
+            "mdp.registrations", labels
+        )
+        self._m_deletions = self.metrics.counter("mdp.deletions", labels)
+        self._m_batches_sent = self.metrics.counter(
+            "mdp.notification_batches", labels
+        )
+        self._m_stale_replicas = self.metrics.counter(
+            "mdp.stale_replicas_ignored", labels
+        )
+        self.db = db or Database(metrics=self.metrics)
         create_all(self.db)
         self.registry = RuleRegistry(self.db)
         self.engine = FilterEngine(
-            self.db, self.registry, use_rule_groups, join_evaluation
+            self.db, self.registry, use_rule_groups, join_evaluation,
+            metrics=self.metrics,
         )
         self.publisher = Publisher(schema, self.registry, self.resource)
         #: Update-consistency strategy (paper §3.5 and its alternatives);
@@ -138,6 +153,7 @@ class MetadataProvider:
                 clock=lambda: bus.simulated_ms,
                 sleep=bus.sleep,
                 policy=retry_policy,
+                metrics=self.metrics,
             )
         self._load_persisted_documents()
 
@@ -181,6 +197,7 @@ class MetadataProvider:
         self._store_document(document, diff.deleted)
         self._republish_strong_parents(outcome, diff)
         self._publish(outcome)
+        self._m_registrations.inc()
         if not _replicated:
             version = self._next_version(document.uri)
             if self._replication_hook is not None:
@@ -252,6 +269,7 @@ class MetadataProvider:
         self._document_table.delete(document_uri)
         self._resource_table.delete_many(str(r.uri) for r in old)
         self._publish(outcome)
+        self._m_deletions.inc()
         if not _replicated:
             version = self._next_version(document_uri)
             if self._replication_hook is not None:
@@ -541,6 +559,7 @@ class MetadataProvider:
     def _deliver(self, batch: NotificationBatch) -> None:
         if not batch.notifications:
             return
+        self._m_batches_sent.inc()
         handler = self._direct_subscribers.get(batch.subscriber)
         if handler is not None:
             handler(batch)
@@ -639,6 +658,7 @@ class MetadataProvider:
             local = self._doc_versions.get(document_uri)
             if local is not None and local >= version:
                 self.stale_replicas_ignored += 1
+                self._m_stale_replicas.inc()
                 return "stale"
             self._doc_versions[document_uri] = version
         if document is None:

@@ -39,6 +39,7 @@ from repro.mdv.gc import GarbageCollector, GcReport
 from repro.mdv.outbox import DedupIndex
 from repro.mdv.provider import MetadataProvider
 from repro.net.bus import DEFAULT_LAN_LATENCY_MS, Message, NetworkBus
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.pubsub.notifications import (
     DeleteNotification,
     MatchNotification,
@@ -83,6 +84,7 @@ class LocalMetadataRepository:
         schema: Schema | None = None,
         bus: NetworkBus | None = None,
         analyze: str = "off",
+        metrics: MetricsRegistry | None = None,
     ):
         self.name = name
         self.provider = provider
@@ -90,6 +92,22 @@ class LocalMetadataRepository:
         #: Pre-subscription analysis policy ("off", "warn" or "reject").
         self.analyze = analyze
         self.bus = bus
+        self.metrics = metrics if metrics is not None else default_registry()
+        labels = {"lmr": name}
+        self._m_batches_received = self.metrics.counter(
+            "lmr.batches_received", labels
+        )
+        self._m_batches_applied = self.metrics.counter(
+            "lmr.batches_applied", labels
+        )
+        self._m_duplicates = self.metrics.counter(
+            "lmr.duplicates_ignored", labels
+        )
+        self._m_notifications = self.metrics.counter(
+            "lmr.notifications", labels
+        )
+        self._m_resyncs = self.metrics.counter("lmr.resyncs", labels)
+        self._m_stale_reads = self.metrics.counter("lmr.stale_reads", labels)
         self.cache = CacheStore(self.schema)
         self.collector = GarbageCollector(self.schema)
         self._local: dict[URIRef, Resource] = {}
@@ -177,11 +195,15 @@ class LocalMetadataRepository:
         applied, ``False`` for a duplicate.
         """
         self.batches_received += 1
+        self._m_batches_received.inc()
         if batch.source is not None and batch.seq is not None:
             if not self.dedup.check_and_record(batch.source, batch.seq):
+                self._m_duplicates.inc()
                 return False
         self.clock += 1
         self.notifications_received += len(batch)
+        self._m_batches_applied.inc()
+        self._m_notifications.inc(len(batch))
         matches = [n for n in batch if isinstance(n, MatchNotification)]
         unmatches = [n for n in batch if isinstance(n, UnmatchNotification)]
         deletes = [n for n in batch if isinstance(n, DeleteNotification)]
@@ -207,6 +229,7 @@ class LocalMetadataRepository:
         """
         if self.bus is None:
             return
+        self._m_resyncs.inc()
         watermark = self.dedup.highest(self.provider.name)
         for attempt in range(max_attempts):
             try:
@@ -266,6 +289,7 @@ class LocalMetadataRepository:
         try:
             resources = self.query(query_text)
         except NetworkError as exc:
+            self._m_stale_reads.inc()
             return CachedQueryResult(
                 resources=[],
                 stale=True,
@@ -275,6 +299,7 @@ class LocalMetadataRepository:
                 ),
             )
         if not self.provider_reachable():
+            self._m_stale_reads.inc()
             return CachedQueryResult(
                 resources=resources,
                 stale=True,

@@ -31,6 +31,7 @@ from typing import Any
 
 from repro.errors import DeliveryError, EndpointDownError, NetworkError
 from repro.net.faults import FaultDecision, FaultPlan
+from repro.obs.metrics import MetricsRegistry, default_registry
 
 __all__ = ["Message", "LinkStats", "NetworkBus"]
 
@@ -85,6 +86,7 @@ class NetworkBus:
         self,
         default_latency_ms: float = DEFAULT_WAN_LATENCY_MS,
         fault_plan: FaultPlan | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self._handlers: dict[str, Callable[[Message], Any]] = {}
         self._latency: dict[tuple[str, str], float] = {}
@@ -95,6 +97,15 @@ class NetworkBus:
         self.total_messages = 0
         #: Optional fault-injection plan consulted once per message.
         self.faults = fault_plan
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_messages = self.metrics.counter("net.messages")
+        self._m_bytes = self.metrics.counter("net.bytes")
+        self._m_latency = self.metrics.histogram("net.latency_ms")
+        self._m_dropped = self.metrics.counter("net.faults.dropped")
+        self._m_duplicated = self.metrics.counter("net.faults.duplicated")
+        self._m_errored = self.metrics.counter("net.faults.errored")
+        self._m_timeouts = self.metrics.counter("net.faults.timeouts")
+        self._g_simulated = self.metrics.gauge("net.simulated_ms")
 
     # ------------------------------------------------------------------
     # Topology
@@ -131,6 +142,7 @@ class NetworkBus:
         if ms < 0:
             raise ValueError(f"cannot sleep a negative duration: {ms!r}")
         self.simulated_ms += ms
+        self._g_simulated.set(self.simulated_ms)
 
     # ------------------------------------------------------------------
     # Delivery
@@ -163,6 +175,7 @@ class NetworkBus:
         if decision.unreachable:
             # The request is charged — it was sent and timed out.
             link.timeouts += 1
+            self._m_timeouts.inc()
             self._charge(link, latency, message.approximate_size())
             if self.faults is not None and self.faults.crashed(destination):
                 raise EndpointDownError(destination, "crashed")
@@ -179,12 +192,14 @@ class NetworkBus:
         )
         if decision.dropped:
             link.dropped += 1
+            self._m_dropped.inc()
             raise DeliveryError(
                 f"message {kind!r} from {source!r} to {destination!r} "
                 f"was dropped in transit"
             )
         if decision.errored:
             link.errored += 1
+            self._m_errored.inc()
             raise NetworkError(
                 f"link {source!r} -> {destination!r} signalled a transport "
                 f"error for message {kind!r}"
@@ -195,6 +210,7 @@ class NetworkBus:
             # outcome (including receiver-side errors) never affects the
             # original exchange.
             link.duplicated += 1
+            self._m_duplicated.inc()
             self._charge(link, latency, message.approximate_size())
             try:
                 handler(message)
@@ -213,10 +229,33 @@ class NetworkBus:
         link.latency_ms += latency_ms
         self.simulated_ms += latency_ms
         self.total_messages += 1
+        self._m_messages.inc()
+        self._m_bytes.inc(size)
+        self._m_latency.observe(latency_ms)
+        self._g_simulated.set(self.simulated_ms)
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+    def publish_link_metrics(self) -> None:
+        """Fold the per-link accounting into the metrics registry.
+
+        Aggregate counters are maintained live on the hot path; the
+        per-link breakdown (one gauge family per ``source->destination``
+        link) is folded on demand so delivery never pays per-link
+        instrument lookups.  ``--metrics`` dumps call this before
+        snapshotting.
+        """
+        for (source, destination), stats in self.links.items():
+            labels = {"link": f"{source}->{destination}"}
+            self.metrics.gauge("net.link.messages", labels).set(stats.messages)
+            self.metrics.gauge("net.link.bytes", labels).set(stats.bytes)
+            self.metrics.gauge("net.link.latency_ms", labels).set(
+                stats.latency_ms
+            )
+            if stats.faults:
+                self.metrics.gauge("net.link.faults", labels).set(stats.faults)
+
     def stats_summary(self) -> str:
         lines = [
             f"messages={self.total_messages} simulated_ms={self.simulated_ms:.1f}"

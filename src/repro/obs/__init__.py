@@ -1,0 +1,46 @@
+"""Observability: zero-dependency metrics and tracing for the hot paths.
+
+The paper's evaluation (Section 4) is built on *measurement* — per-batch
+filter cost, curve shapes across rule-base sizes — yet a production MDV
+deployment needs the same visibility at runtime: how many atoms the
+filter scanned, how many rule groups each iteration touched, how far a
+replica or a subscriber cache is lagging.  This package supplies that
+layer without any third-party dependency:
+
+- :mod:`repro.obs.metrics` — :class:`Counter`, :class:`Gauge`,
+  :class:`Histogram` (fixed bucket boundaries) collected in a
+  :class:`MetricsRegistry` with a deterministic snapshot API;
+- :mod:`repro.obs.tracing` — a span-based :class:`Tracer` driven by a
+  pluggable clock, so spans measure *simulated* milliseconds in the
+  network tier and wall milliseconds in the filter tier with one
+  implementation.
+
+Every instrumented component (:class:`~repro.filter.engine.FilterEngine`,
+:class:`~repro.storage.engine.Database`, :class:`~repro.mdv.outbox.Outbox`,
+:class:`~repro.net.bus.NetworkBus`, …) accepts an explicit registry and
+falls back to the process-wide :func:`default_registry`, which the
+``--metrics`` flags of ``python -m repro.mdv`` and ``python -m
+repro.bench`` dump as JSON.  docs/OBSERVABILITY.md catalogues the metric
+names and the span taxonomy.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "reset_default_registry",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,293 @@
+"""Counters, gauges and fixed-bucket histograms in a snapshot registry.
+
+Design constraints, in order:
+
+1. **Hot-path cheap.**  The filter engine and the storage layer update
+   these metrics once per SQL statement; an update is one attribute
+   add on a pre-resolved instrument object.  Call sites are expected to
+   resolve instruments once (``self._m_statements =
+   registry.counter("storage.statements")``) and update the cached
+   handle, never to look names up per event.
+2. **Deterministic snapshots.**  :meth:`MetricsRegistry.snapshot`
+   renders instruments sorted by name and label, so two runs performing
+   the same work produce byte-identical JSON — the property the chaos
+   suite and the benchmark baselines rely on.
+3. **Zero dependencies.**  Plain dataclass-free Python; the bucket
+   semantics follow the Prometheus convention (a bucket's upper bound
+   is *inclusive*: ``value <= le``) so the numbers read familiarly, but
+   nothing here speaks any wire protocol.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from collections.abc import Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "default_registry",
+    "reset_default_registry",
+]
+
+#: Default histogram boundaries for latency-shaped observations, in ms.
+#: Geometric-ish spacing from sub-millisecond filter statements to the
+#: multi-second backoff ceiling of the outbox retry policy.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+#: A label set: name → value, rendered sorted into the metric key.
+Labels = Mapping[str, str]
+
+_InstrumentKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _instrument_key(name: str, labels: Labels | None) -> _InstrumentKey:
+    if not name:
+        raise ValueError("metric name must be non-empty")
+    if labels:
+        return name, tuple(sorted(labels.items()))
+    return name, ()
+
+
+def _render_key(key: _InstrumentKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    rendered = ",".join(f"{label}={value}" for label, value in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount!r}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that may go up and down (lag, queue depth, clock)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A fixed-boundary histogram with inclusive upper bounds.
+
+    An observation lands in the first bucket whose boundary is ``>=``
+    the value; values beyond the last boundary land in the implicit
+    overflow bucket reported as ``"+Inf"``.  Boundaries are fixed at
+    construction: merging snapshots across processes or runs never
+    needs bucket realignment.
+    """
+
+    __slots__ = ("boundaries", "bucket_counts", "count", "total")
+
+    def __init__(self, boundaries: Iterable[float]) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError("a histogram needs at least one boundary")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"boundaries must be strictly increasing, got {bounds!r}"
+            )
+        self.boundaries = bounds
+        #: Per-bucket counts; index ``len(boundaries)`` is overflow.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.boundaries, value)
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the boundary of the covering bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                if index < len(self.boundaries):
+                    return self.boundaries[index]
+                return float("inf")
+        return float("inf")  # pragma: no cover - loop always covers count
+
+    def snapshot(self) -> dict[str, object]:
+        buckets: dict[str, int] = {}
+        for boundary, bucket_count in zip(self.boundaries, self.bucket_counts):
+            buckets[f"{boundary:g}"] = bucket_count
+        buckets["+Inf"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store with a deterministic snapshot.
+
+    Instruments are keyed by ``(name, sorted labels)``; asking for an
+    existing name with a different instrument type is an error (one
+    name, one meaning).  A process-wide instance from
+    :func:`default_registry` backs every component that is not handed
+    an explicit registry.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[_InstrumentKey, Counter] = {}
+        self._gauges: dict[_InstrumentKey, Gauge] = {}
+        self._histograms: dict[_InstrumentKey, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access
+    # ------------------------------------------------------------------
+    def counter(self, name: str, labels: Labels | None = None) -> Counter:
+        key = _instrument_key(name, labels)
+        with self._lock:
+            self._check_unique(key, self._counters)
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter()
+            return instrument
+
+    def gauge(self, name: str, labels: Labels | None = None) -> Gauge:
+        key = _instrument_key(name, labels)
+        with self._lock:
+            self._check_unique(key, self._gauges)
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge()
+            return instrument
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Iterable[float] = DEFAULT_LATENCY_BUCKETS_MS,
+        labels: Labels | None = None,
+    ) -> Histogram:
+        key = _instrument_key(name, labels)
+        with self._lock:
+            self._check_unique(key, self._histograms)
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms[key] = Histogram(boundaries)
+            return instrument
+
+    def _check_unique(
+        self,
+        key: _InstrumentKey,
+        own: Mapping[_InstrumentKey, object],
+    ) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not own and key in family:
+                raise ValueError(
+                    f"metric {_render_key(key)!r} already registered with a "
+                    f"different instrument type"
+                )
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """The full registry state, deterministically ordered."""
+        with self._lock:
+            counters = {
+                _render_key(key): self._counters[key].value
+                for key in sorted(self._counters)
+            }
+            gauges = {
+                _render_key(key): self._gauges[key].value
+                for key in sorted(self._gauges)
+            }
+            histograms = {
+                _render_key(key): self._histograms[key].snapshot()
+                for key in sorted(self._histograms)
+            }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def counter_values(self) -> dict[str, float]:
+        """Flat ``name -> value`` view of every counter (delta maths)."""
+        with self._lock:
+            return {
+                _render_key(key): counter.value
+                for key, counter in self._counters.items()
+            }
+
+    def counters_since(self, before: Mapping[str, float]) -> dict[str, float]:
+        """Non-zero counter deltas against an earlier
+        :meth:`counter_values` capture, sorted by name."""
+        now = self.counter_values()
+        delta = {
+            name: value - before.get(name, 0.0)
+            for name, value in now.items()
+            if value != before.get(name, 0.0)
+        }
+        return dict(sorted(delta.items()))
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and CLI isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry used when none is passed explicitly."""
+    return _default_registry
+
+
+def reset_default_registry() -> None:
+    """Clear the process-wide registry (test isolation, CLI runs).
+
+    Components cache instrument handles; instruments are cleared from
+    the registry but cached handles keep functioning — they are simply
+    no longer reported.  Long-lived components should therefore be
+    constructed *after* the reset, which is how the CLIs use it.
+    """
+    _default_registry.reset()

@@ -1,0 +1,134 @@
+"""A span-based tracer on a pluggable clock.
+
+A :class:`Tracer` produces :class:`Span` trees: ``with
+tracer.span("filter.run"):`` opens a span, nested ``span()`` calls
+become children, and closing a span records its duration.  The clock is
+any zero-argument callable returning milliseconds — wall time
+(``time.perf_counter`` scaled) in the filter tier, the network bus's
+*simulated* clock in the delivery tier — so one tracer implementation
+covers both timelines.
+
+Completed root spans are kept in a bounded ring (newest wins) for
+inspection; when the tracer is built over a
+:class:`~repro.obs.metrics.MetricsRegistry`, every completed span also
+feeds a ``trace.<name>.ms`` histogram and a ``trace.<name>.count``
+counter, which is how span timings reach ``--metrics`` dumps and
+``BENCH_*.json`` without anyone walking span trees.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Span", "Tracer", "wall_clock_ms"]
+
+
+def wall_clock_ms() -> float:
+    """Wall time in milliseconds (the default tracer clock)."""
+    return time.perf_counter() * 1000.0
+
+
+class Span:
+    """One traced operation: name, timing, attributes, children."""
+
+    __slots__ = ("name", "start_ms", "end_ms", "attributes", "children")
+
+    def __init__(self, name: str, start_ms: float) -> None:
+        self.name = name
+        self.start_ms = start_ms
+        self.end_ms: float | None = None
+        self.attributes: dict[str, object] = {}
+        self.children: list[Span] = []
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ms is not None
+
+    @property
+    def duration_ms(self) -> float:
+        if self.end_ms is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end_ms - self.start_ms
+
+    def set(self, key: str, value: object) -> None:
+        """Attach an attribute (iteration number, row count, …)."""
+        self.attributes[key] = value
+
+    def tree(self, indent: int = 0) -> str:
+        """A readable rendering of this span and its descendants."""
+        duration = (
+            f"{self.duration_ms:.3f}ms" if self.finished else "(open)"
+        )
+        attributes = (
+            " " + " ".join(f"{k}={v}" for k, v in sorted(self.attributes.items()))
+            if self.attributes
+            else ""
+        )
+        lines = [f"{'  ' * indent}{self.name} {duration}{attributes}"]
+        for child in self.children:
+            lines.append(child.tree(indent + 1))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "start_ms": self.start_ms,
+            "duration_ms": self.duration_ms if self.finished else None,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class Tracer:
+    """Produces nested spans timed by an arbitrary millisecond clock."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = wall_clock_ms,
+        registry: MetricsRegistry | None = None,
+        keep: int = 256,
+    ) -> None:
+        self._clock = clock
+        self._registry = registry
+        self._stack: list[Span] = []
+        #: Completed *root* spans, newest last, bounded to ``keep``.
+        self.finished_roots: deque[Span] = deque(maxlen=keep)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Open a span; nested calls become children of the current one."""
+        opened = Span(name, self._clock())
+        opened.attributes.update(attributes)
+        if self._stack:
+            self._stack[-1].children.append(opened)
+        self._stack.append(opened)
+        try:
+            yield opened
+        finally:
+            closed = self._stack.pop()
+            closed.end_ms = self._clock()
+            if not self._stack:
+                self.finished_roots.append(closed)
+            if self._registry is not None:
+                self._registry.histogram(f"trace.{closed.name}.ms").observe(
+                    closed.duration_ms
+                )
+                self._registry.counter(f"trace.{closed.name}.count").inc()
+
+    def last_root(self) -> Span | None:
+        """The most recently completed root span."""
+        return self.finished_roots[-1] if self.finished_roots else None

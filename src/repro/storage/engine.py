@@ -16,7 +16,11 @@ wants:
   keep call sites one-liners,
 - :meth:`clone` using the SQLite backup API, which the benchmark harness
   uses to restore a prepared rule base between measurements without
-  paying rule registration again.
+  paying rule registration again,
+- statement/row accounting into a :class:`~repro.obs.MetricsRegistry`
+  (``storage.statements``, ``storage.rows_read``,
+  ``storage.rows_written``) so filter cost is attributable to actual
+  database work, not just wall time.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from contextlib import contextmanager
 from typing import Any
 
 from repro.errors import StorageError
+from repro.obs.metrics import MetricsRegistry, default_registry
 
 __all__ = ["Database"]
 
@@ -45,7 +50,9 @@ _PRAGMAS = (
 class Database:
     """A connection to one MDV store (an MDP's or an LMR's database)."""
 
-    def __init__(self, path: str = ":memory:"):
+    def __init__(
+        self, path: str = ":memory:", metrics: MetricsRegistry | None = None
+    ):
         self.path = path
         try:
             self._connection = sqlite3.connect(path)
@@ -55,6 +62,13 @@ class Database:
         for pragma in _PRAGMAS:
             self._connection.execute(pragma)
         self._in_transaction = False
+        # Instrument handles are resolved once; every statement then
+        # pays one attribute-add, keeping the hot path hot.
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_statements = self.metrics.counter("storage.statements")
+        self._m_rows_read = self.metrics.counter("storage.rows_read")
+        self._m_rows_written = self.metrics.counter("storage.rows_written")
+        self._m_transactions = self.metrics.counter("storage.transactions")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -84,7 +98,7 @@ class Database:
         Used by the benchmark harness: prepare an expensive rule base
         once, then restore a pristine copy for every measurement point.
         """
-        duplicate = Database(":memory:")
+        duplicate = Database(":memory:", metrics=self.metrics)
         self.connection.backup(duplicate.connection)
         return duplicate
 
@@ -96,18 +110,26 @@ class Database:
     ) -> sqlite3.Cursor:
         """Execute one statement, translating engine errors."""
         try:
-            return self.connection.execute(sql, parameters)
+            cursor = self.connection.execute(sql, parameters)
         except sqlite3.Error as exc:
             raise StorageError(f"{exc}\nSQL: {sql}") from exc
+        self._m_statements.inc()
+        if cursor.rowcount > 0:  # -1 for SELECTs
+            self._m_rows_written.inc(cursor.rowcount)
+        return cursor
 
     def executemany(
         self, sql: str, parameter_rows: Iterable[Sequence[Any]]
     ) -> sqlite3.Cursor:
         """Execute one statement for many parameter rows."""
         try:
-            return self.connection.executemany(sql, parameter_rows)
+            cursor = self.connection.executemany(sql, parameter_rows)
         except sqlite3.Error as exc:
             raise StorageError(f"{exc}\nSQL: {sql}") from exc
+        self._m_statements.inc()
+        if cursor.rowcount > 0:
+            self._m_rows_written.inc(cursor.rowcount)
+        return cursor
 
     def executescript(self, script: str) -> None:
         """Execute a multi-statement script (DDL)."""
@@ -126,6 +148,7 @@ class Database:
         if self._in_transaction:
             yield self
             return
+        self._m_transactions.inc()
         self._in_transaction = True
         try:
             yield self
@@ -147,13 +170,18 @@ class Database:
         self, sql: str, parameters: Sequence[Any] | dict[str, Any] = ()
     ) -> list[sqlite3.Row]:
         """All rows of a query."""
-        return self.execute(sql, parameters).fetchall()
+        rows = self.execute(sql, parameters).fetchall()
+        self._m_rows_read.inc(len(rows))
+        return rows
 
     def query_one(
         self, sql: str, parameters: Sequence[Any] | dict[str, Any] = ()
     ) -> sqlite3.Row | None:
         """The first row of a query, or ``None``."""
-        return self.execute(sql, parameters).fetchone()
+        row = self.execute(sql, parameters).fetchone()
+        if row is not None:
+            self._m_rows_read.inc()
+        return row
 
     def scalar(
         self, sql: str, parameters: Sequence[Any] | dict[str, Any] = ()

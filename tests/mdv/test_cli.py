@@ -40,3 +40,18 @@ def test_explain_invalid_rule(capsys):
 def test_command_required():
     with pytest.raises(SystemExit):
         cli.main([])
+
+
+def test_demo_metrics_dumps_registry_snapshot(capsys):
+    assert cli.main(["demo", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert '"counters"' in out
+    assert '"mdp.registrations{mdp=mdp-1}": 5.0' in out
+    assert '"lmr.batches_applied{lmr=lmr-passau}"' in out
+    # Per-link gauges are folded in before the dump.
+    assert '"net.link.messages{link=mdp-1->lmr-passau}"' in out
+
+
+def test_metrics_flag_accepted_before_the_command(capsys):
+    assert cli.main(["--metrics", "demo"]) == 0
+    assert '"counters"' in capsys.readouterr().out

@@ -1,0 +1,140 @@
+"""Unit tests for :mod:`repro.obs.metrics`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+
+class TestHistogramBucketing:
+    def test_value_on_boundary_lands_in_that_bucket(self):
+        histogram = Histogram((1.0, 5.0, 10.0))
+        histogram.observe(5.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"]["5"] == 1
+        assert snapshot["buckets"]["10"] == 0
+
+    def test_value_below_first_boundary(self):
+        histogram = Histogram((1.0, 5.0))
+        histogram.observe(0.0)
+        histogram.observe(1.0)
+        assert histogram.snapshot()["buckets"]["1"] == 2
+
+    def test_overflow_goes_to_inf_bucket(self):
+        histogram = Histogram((1.0, 5.0))
+        histogram.observe(5.00001)
+        histogram.observe(1e9)
+        assert histogram.snapshot()["buckets"]["+Inf"] == 2
+
+    def test_count_total_and_mean(self):
+        histogram = Histogram((10.0,))
+        for value in (2.0, 4.0, 6.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(12.0)
+        assert histogram.mean == pytest.approx(4.0)
+
+    def test_quantile_interpolates_bucket_bounds(self):
+        histogram = Histogram((1.0, 2.0, 4.0))
+        for __ in range(99):
+            histogram.observe(0.5)
+        histogram.observe(3.0)
+        assert histogram.quantile(0.5) <= 1.0
+        assert histogram.quantile(0.999) > 2.0
+
+    def test_rejects_unsorted_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram((5.0, 1.0))
+
+    def test_default_boundaries_are_strictly_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_MS) == sorted(
+            set(DEFAULT_LATENCY_BUCKETS_MS)
+        )
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.counter("x", {"a": "1"}) is not registry.counter("x")
+
+    def test_same_name_different_type_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_snapshot_is_deterministic_across_insertion_order(self):
+        first = MetricsRegistry()
+        first.counter("b").inc(2)
+        first.counter("a").inc(1)
+        first.gauge("z", {"k": "v"}).set(9)
+        second = MetricsRegistry()
+        second.gauge("z", {"k": "v"}).set(9)
+        second.counter("a").inc(1)
+        second.counter("b").inc(2)
+        assert first.snapshot() == second.snapshot()
+        assert list(first.snapshot()["counters"]) == ["a", "b"]
+
+    def test_labels_render_sorted_into_key(self):
+        registry = MetricsRegistry()
+        registry.counter("c", {"b": "2", "a": "1"}).inc()
+        assert registry.counter_values() == {"c{a=1,b=2}": 1.0}
+
+    def test_counters_since_returns_nonzero_deltas_only(self):
+        registry = MetricsRegistry()
+        registry.counter("stable").inc(5)
+        before = registry.counter_values()
+        registry.counter("moved").inc(3)
+        registry.counter("stable").inc(0)
+        assert registry.counters_since(before) == {"moved": 3.0}
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_default_registry_is_process_global_and_resettable(self):
+        reset_default_registry()
+        one = default_registry()
+        one.counter("obs.test.global").inc()
+        assert default_registry() is one
+        reset_default_registry()
+        assert "obs.test.global" not in default_registry().counter_values()

@@ -1,0 +1,127 @@
+"""Unit tests for :mod:`repro.obs.tracing`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+
+class FakeClock:
+    """A deterministic millisecond clock advanced by hand."""
+
+    def __init__(self) -> None:
+        self.now_ms = 0.0
+
+    def __call__(self) -> float:
+        return self.now_ms
+
+    def advance(self, ms: float) -> None:
+        self.now_ms += ms
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+class TestSpanNesting:
+    def test_nested_spans_build_a_tree(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer") as outer:
+            clock.advance(5)
+            with tracer.span("inner-a"):
+                clock.advance(2)
+            with tracer.span("inner-b") as inner_b:
+                clock.advance(3)
+                with tracer.span("leaf"):
+                    clock.advance(1)
+        assert [child.name for child in outer.children] == [
+            "inner-a", "inner-b",
+        ]
+        assert [child.name for child in inner_b.children] == ["leaf"]
+        assert outer.duration_ms == pytest.approx(11.0)
+        assert inner_b.duration_ms == pytest.approx(4.0)
+
+    def test_depth_and_current_track_the_stack(self, clock):
+        tracer = Tracer(clock=clock)
+        assert tracer.depth == 0 and tracer.current is None
+        with tracer.span("a"):
+            assert tracer.depth == 1
+            with tracer.span("b"):
+                assert tracer.current.name == "b"
+                assert tracer.depth == 2
+            assert tracer.current.name == "a"
+        assert tracer.depth == 0
+
+    def test_only_roots_land_in_finished_roots(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [span.name for span in tracer.finished_roots] == ["root"]
+        assert tracer.last_root().name == "root"
+
+    def test_finished_roots_ring_is_bounded(self, clock):
+        tracer = Tracer(clock=clock, keep=2)
+        for index in range(4):
+            with tracer.span(f"run{index}"):
+                pass
+        assert [span.name for span in tracer.finished_roots] == [
+            "run2", "run3",
+        ]
+
+    def test_span_survives_exceptions(self, clock):
+        tracer = Tracer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                clock.advance(7)
+                raise RuntimeError("boom")
+        root = tracer.last_root()
+        assert root.name == "failing"
+        assert root.duration_ms == pytest.approx(7.0)
+        assert tracer.depth == 0
+
+
+class TestSpanRendering:
+    def test_open_span_duration_raises(self):
+        span = Span("open", 0.0)
+        with pytest.raises(ValueError):
+            span.duration_ms
+
+    def test_tree_and_to_dict(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("root", iteration=1) as root:
+            clock.advance(2)
+            with tracer.span("child"):
+                clock.advance(1)
+            root.set("rows", 5)
+        rendered = root.tree()
+        assert "root 3.000ms iteration=1 rows=5" in rendered
+        assert "\n  child 1.000ms" in rendered
+        as_dict = root.to_dict()
+        assert as_dict["duration_ms"] == pytest.approx(3.0)
+        assert as_dict["children"][0]["name"] == "child"
+
+
+class TestRegistryIntegration:
+    def test_completed_spans_feed_histograms_and_counters(self, clock):
+        registry = MetricsRegistry()
+        tracer = Tracer(clock=clock, registry=registry)
+        for duration in (3.0, 7.0):
+            with tracer.span("filter.run"):
+                clock.advance(duration)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["trace.filter.run.count"] == 2.0
+        histogram = snapshot["histograms"]["trace.filter.run.ms"]
+        assert histogram["count"] == 2
+        assert histogram["sum"] == pytest.approx(10.0)
+
+    def test_simulated_clock_durations_are_exact(self, clock):
+        registry = MetricsRegistry()
+        tracer = Tracer(clock=clock, registry=registry)
+        with tracer.span("delivery"):
+            clock.advance(250.0)
+        histogram = registry.snapshot()["histograms"]["trace.delivery.ms"]
+        assert histogram["buckets"]["250"] == 1

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.query",
     "repro.pubsub",
     "repro.net",
+    "repro.obs",
     "repro.mdv",
     "repro.analysis",
     "repro.workload",
