@@ -81,10 +81,18 @@ class SweepResult:
     spec: WorkloadSpec
     points: list[MeasurementPoint] = field(default_factory=list)
     prepare_seconds: float = 0.0
+    #: Display label override (the parallel comparison uses it to tell
+    #: ``… parallel=4`` curves apart from the serial baseline).
+    label_override: str | None = None
 
     @property
     def label(self) -> str:
-        return self.spec.label()
+        return self.label_override or self.spec.label()
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total measured batch time across the sweep (speedup metric)."""
+        return sum(point.total_seconds for point in self.points)
 
     def cost_at(self, batch_size: int) -> float:
         for point in self.points:
@@ -106,13 +114,17 @@ class FilterBench:
         use_rule_groups: bool = True,
         deduplicate: bool = True,
         join_evaluation: str = "scan",
+        parallelism: int = 1,
     ):
         self.spec = spec
         self.schema = schema or objectglobe_schema()
         self.use_rule_groups = use_rule_groups
         self.deduplicate = deduplicate
         self.join_evaluation = join_evaluation
+        #: Triggering-stage shard count (1 = the paper's serial filter).
+        self.parallelism = parallelism
         self._template: Database | None = None
+        self._borrowed_template = False
         self.prepare_seconds = 0.0
 
     # ------------------------------------------------------------------
@@ -145,7 +157,8 @@ class FilterBench:
 
     def close(self) -> None:
         if self._template is not None:
-            self._template.close()
+            if not self._borrowed_template:
+                self._template.close()
             self._template = None
 
     def fresh_engine(self) -> tuple[Database, FilterEngine]:
@@ -155,8 +168,29 @@ class FilterBench:
         db = self._template.clone()
         registry = RuleRegistry(db, deduplicate=self.deduplicate)
         return db, FilterEngine(
-            db, registry, self.use_rule_groups, self.join_evaluation
+            db, registry, self.use_rule_groups, self.join_evaluation,
+            parallelism=self.parallelism,
         )
+
+    def variant(self, parallelism: int) -> FilterBench:
+        """A bench sharing this one's prepared template, differing only
+        in ``parallelism`` — the serial/parallel comparison measures both
+        against the *same* rule base.  Close the parent last; the
+        variant borrows the template and must not outlive it.
+        """
+        self.prepare()
+        twin = FilterBench(
+            self.spec,
+            schema=self.schema,
+            use_rule_groups=self.use_rule_groups,
+            deduplicate=self.deduplicate,
+            join_evaluation=self.join_evaluation,
+            parallelism=parallelism,
+        )
+        twin._template = self._template
+        twin._borrowed_template = True
+        twin.prepare_seconds = self.prepare_seconds
+        return twin
 
     # ------------------------------------------------------------------
     # Measurement
@@ -175,6 +209,9 @@ class FilterBench:
             repeats = self.repeats_for(batch_size)
         db, engine = self.fresh_engine()
         try:
+            # Shard construction and rule replication are one-time server
+            # costs, not per-batch costs — keep them out of the timed loop.
+            engine.warm_shards()
             durations: list[float] = []
             hits = 0
             iterations = 0
@@ -203,12 +240,22 @@ class FilterBench:
                 counters=counters,
             )
         finally:
+            engine.close()
             db.close()
 
     def sweep(self, batch_sizes=DEFAULT_BATCH_SIZES) -> SweepResult:
         """Measure every batch size; returns one figure curve."""
         self.prepare()
-        result = SweepResult(spec=self.spec, prepare_seconds=self.prepare_seconds)
+        label = (
+            f"{self.spec.label()} parallel={self.parallelism}"
+            if self.parallelism > 1
+            else None
+        )
+        result = SweepResult(
+            spec=self.spec,
+            prepare_seconds=self.prepare_seconds,
+            label_override=label,
+        )
         for batch_size in batch_sizes:
             if self.spec.rule_type != "COMP" and batch_size > self.spec.rule_count:
                 continue

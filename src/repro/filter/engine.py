@@ -40,6 +40,7 @@ from repro.filter.joins import (
 )
 from repro.filter.matcher import initialize_triggering_rule, match_triggering_rules
 from repro.filter.results import FilterRunResult, PublishOutcome
+from repro.filter.shards import MAX_SHARDS, PendingMatch, ShardPool
 from repro.storage.engine import Database
 from repro.storage.tables import (
     AtomRow,
@@ -70,11 +71,16 @@ class FilterEngine:
         use_rule_groups: bool = True,
         join_evaluation: str = "probe",
         metrics: MetricsRegistry | None = None,
+        parallelism: int = 1,
     ):
         if join_evaluation not in ("scan", "probe"):
             raise ValueError(
                 f"join_evaluation must be 'scan' or 'probe', got "
                 f"{join_evaluation!r}"
+            )
+        if not 1 <= parallelism <= MAX_SHARDS:
+            raise ValueError(
+                f"parallelism must be in 1..{MAX_SHARDS}, got {parallelism}"
             )
         self._db = db
         self._registry = registry
@@ -88,6 +94,13 @@ class FilterEngine:
         #: combined member evaluation, kept for the figure reproductions
         #: and ablations (see repro.filter.joins).
         self.join_evaluation = join_evaluation
+        #: ``1`` (the default) runs the paper's serial triggering stage
+        #: — the correctness oracle.  ``N > 1`` shards the triggering
+        #: joins across ``N`` worker threads, each with its own
+        #: connection (see :mod:`repro.filter.shards`); the join-rule
+        #: closure and all results are unchanged, byte for byte.
+        self.parallelism = parallelism
+        self._shards: ShardPool | None = None
         #: Total filter runs executed (diagnostics).
         self.runs_executed = 0
         self.metrics = metrics if metrics is not None else default_registry()
@@ -108,6 +121,7 @@ class FilterEngine:
         input_uris: Iterable[str] | None = None,
         materialize: bool = True,
         collect: str = "all",
+        prematched: PendingMatch | None = None,
     ) -> FilterRunResult:
         """Execute the filter once.
 
@@ -118,27 +132,38 @@ class FilterEngine:
         ``collect`` controls which ``(rule, resource)`` pairs are read
         back into Python: ``"all"`` (default), ``"end"`` (only rules that
         are some subscription's end rule) or ``"none"``.
+
+        With ``parallelism > 1``, ``prematched`` may carry an
+        already-dispatched shard match (:meth:`ShardPool.dispatch`)
+        whose results are merged instead of evaluating triggering here —
+        :meth:`process_insertions` uses this to overlap shard matching
+        with the ``filter_data`` ingest.
         """
         result = FilterRunResult()
         with self._db.transaction(), self.tracer.span("filter.run") as run_span:
             self._filter_input.clear()
             self._db.execute("DELETE FROM result_objects")
-            if input_atoms is not None:
-                self._filter_input.load(input_atoms)
-            if input_uris is not None:
-                self._db.executemany(
-                    "INSERT INTO filter_input "
-                    "SELECT uri_reference, class, property, value "
-                    "FROM filter_data WHERE uri_reference = ?",
-                    ((uri,) for uri in set(input_uris)),
+            if self.parallelism > 1:
+                atoms_scanned = self._run_triggering_sharded(
+                    result, input_atoms, input_uris, prematched
                 )
-            atoms_scanned = self._db.count("filter_input")
+            else:
+                if input_atoms is not None:
+                    self._filter_input.load(input_atoms)
+                if input_uris is not None:
+                    self._db.executemany(
+                        "INSERT INTO filter_input "
+                        "SELECT uri_reference, class, property, value "
+                        "FROM filter_data WHERE uri_reference = ?",
+                        ((uri,) for uri in set(input_uris)),
+                    )
+                atoms_scanned = self._db.count("filter_input")
+                started = time.perf_counter()
+                with self.tracer.span("filter.triggering"):
+                    result.triggering_hits = match_triggering_rules(self._db)
+                result.triggering_seconds = time.perf_counter() - started
             self._m_atoms.inc(atoms_scanned)
             run_span.set("atoms", atoms_scanned)
-            started = time.perf_counter()
-            with self.tracer.span("filter.triggering"):
-                result.triggering_hits = match_triggering_rules(self._db)
-            result.triggering_seconds = time.perf_counter() - started
             self._m_triggered.inc(result.triggering_hits)
             started = time.perf_counter()
             iteration = 0
@@ -187,6 +212,94 @@ class FilterEngine:
         self._m_runs.inc()
         return result
 
+    def _run_triggering_sharded(
+        self,
+        result: FilterRunResult,
+        input_atoms: Iterable[AtomRow] | None,
+        input_uris: Iterable[str] | None,
+        prematched: PendingMatch | None,
+    ) -> int:
+        """Parallel triggering: fan out, gather, merge into the main run.
+
+        The shards compute the same ``(resource, rule)`` hit set as the
+        serial joins (see :mod:`repro.filter.shards` for the argument);
+        merging inserts them at iteration 0 so the join closure proceeds
+        exactly as in the serial path.  Returns the atom count scanned.
+        """
+        started = time.perf_counter()
+        pending = prematched
+        if pending is None:
+            rows: list[AtomRow] = []
+            if input_atoms is not None:
+                rows.extend(input_atoms)
+            if input_uris is not None:
+                rows.extend(self._input_rows_for(input_uris))
+            pending = self._dispatch_shards(rows)
+        with self.tracer.span(
+            "filter.triggering.parallel", shards=self.parallelism
+        ):
+            hits = pending.gather()
+        with self.tracer.span("filter.shard.merge"):
+            cursor = self._db.executemany(
+                "INSERT OR IGNORE INTO result_objects "
+                "(uri_reference, rule_id, iteration) VALUES (?, ?, 0)",
+                hits,
+            )
+        # Partitioned hits are globally unique, so the insert rowcount
+        # equals the serial sum of per-join rowcounts.
+        result.triggering_hits = max(cursor.rowcount, 0)
+        result.triggering_seconds = time.perf_counter() - started
+        return pending.row_count
+
+    def _input_rows_for(self, uris: Iterable[str]) -> list[AtomRow]:
+        """Current ``filter_data`` rows of the given resources (pass 2).
+
+        Iteration is over the sorted, deduplicated URI set so shard
+        dispatch sees a deterministic row order.
+        """
+        rows: list[AtomRow] = []
+        for uri in sorted({str(uri) for uri in uris}):
+            fetched = self._db.query_all(
+                "SELECT uri_reference, class, property, value "
+                "FROM filter_data WHERE uri_reference = ?",
+                (uri,),
+            )
+            rows.extend(
+                (row[0], row[1], row[2], row[3]) for row in fetched
+            )
+        return rows
+
+    def _shard_pool(self) -> ShardPool:
+        if self._shards is None:
+            self._shards = ShardPool(self.parallelism, metrics=self.metrics)
+        return self._shards
+
+    def _dispatch_shards(self, rows: Iterable[AtomRow]) -> PendingMatch:
+        pool = self._shard_pool()
+        pool.refresh_rules(self._db, self._registry.mutation_version)
+        return pool.dispatch(rows)
+
+    def warm_shards(self) -> None:
+        """Build the shard pool and load rule replicas eagerly.
+
+        A no-op when ``parallelism == 1``.  The benchmark harness calls
+        this before its timing loop so one-time shard construction and
+        rule replication are excluded from the measured region (they
+        amortize over a server's lifetime, not per batch).
+        """
+        if self.parallelism > 1:
+            pool = self._shard_pool()
+            pool.refresh_rules(self._db, self._registry.mutation_version)
+
+    def close(self) -> None:
+        """Release the shard pool and its threads (idempotent).
+
+        The main database belongs to the caller and stays open.
+        """
+        if self._shards is not None:
+            self._shards.close()
+            self._shards = None
+
     def _collect(self, mode: str) -> set[tuple[int, URIRef]]:
         if mode == "none":
             return set()
@@ -221,8 +334,21 @@ class FilterEngine:
         atoms = resources_atoms(resources)
         outcome = PublishOutcome()
         with self._db.transaction():
-            self._filter_data.insert_atoms(atoms)
-            run = self.run(input_atoms=atoms, materialize=True, collect=collect)
+            if self.parallelism > 1:
+                # Overlap: dispatch the shard match first, then ingest
+                # into filter_data while the shards evaluate.  The two
+                # touch disjoint databases; filter_data only has to be
+                # current before join iteration 1 reads it.
+                pending = self._dispatch_shards(atoms)
+                self._filter_data.insert_atoms(atoms)
+                run = self.run(
+                    prematched=pending, materialize=True, collect=collect
+                )
+            else:
+                self._filter_data.insert_atoms(atoms)
+                run = self.run(
+                    input_atoms=atoms, materialize=True, collect=collect
+                )
         outcome.passes.append(run)
         if collect != "none":
             end_ids = self._registry.end_rule_ids()

@@ -27,13 +27,21 @@ from __future__ import annotations
 from repro.rdf.namespaces import RDF_SUBJECT
 from repro.storage.engine import Database
 
-__all__ = ["match_triggering_rules", "initialize_triggering_rule"]
+__all__ = [
+    "TRIGGERING_JOINS",
+    "match_triggering_rules",
+    "select_triggering_hits",
+    "initialize_triggering_rule",
+]
 
 #: ``(index table, SQL condition)`` per matching join.  ``fi`` is the
 #: atom side (``filter_input`` or ``filter_data``), ``fr`` the rule side.
 #: Ordering operators compare numerically — constants are stored as
-#: strings and re-converted, as in the paper's Section 3.3.4.
-_JOIN_CONDITIONS = (
+#: strings and re-converted, as in the paper's Section 3.3.4.  Every
+#: condition requires ``fr.class = fi.class`` and relates one atom row to
+#: one rule row — the property the sharded evaluator
+#: (:mod:`repro.filter.shards`) relies on to partition the input.
+TRIGGERING_JOINS = (
     (
         "filter_rules_class",
         f"fr.class = fi.class AND fi.property = '{RDF_SUBJECT}'",
@@ -83,7 +91,7 @@ def match_triggering_rules(db: Database) -> int:
     number of distinct ``(resource, rule)`` hits inserted.
     """
     inserted = 0
-    for table, condition in _JOIN_CONDITIONS:
+    for table, condition in TRIGGERING_JOINS:
         # CROSS JOIN pins the join order: scan the (small) input batch,
         # probe the rule index per atom.  Left to itself the planner may
         # scan the rule table and probe the input — O(rule base) per
@@ -98,6 +106,24 @@ def match_triggering_rules(db: Database) -> int:
     return inserted
 
 
+def select_triggering_hits(db: Database) -> list[tuple[str, int]]:
+    """The matching joins as plain SELECTs: ``(uri_reference, rule_id)``.
+
+    Same predicates and join order as :func:`match_triggering_rules`, but
+    the hits are returned to the caller instead of being inserted into
+    ``result_objects`` — the shape a worker shard needs, whose database
+    holds the rule replicas but not the run's result table.
+    """
+    hits: list[tuple[str, int]] = []
+    for table, condition in TRIGGERING_JOINS:
+        rows = db.query_all(
+            f"SELECT DISTINCT fi.uri_reference, fr.rule_id "
+            f"FROM filter_input fi CROSS JOIN {table} fr WHERE {condition}"
+        )
+        hits.extend((str(row[0]), int(row[1])) for row in rows)
+    return hits
+
+
 def initialize_triggering_rule(db: Database, rule_id: int) -> int:
     """Materialize a newly registered triggering rule over ``filter_data``.
 
@@ -107,7 +133,7 @@ def initialize_triggering_rule(db: Database, rule_id: int) -> int:
     matching resources found.
     """
     inserted = 0
-    for table, condition in _JOIN_CONDITIONS:
+    for table, condition in TRIGGERING_JOINS:
         # Here the rule side is a single rule and the atom store is the
         # big side — drive from the rule row, probe the atom indexes.
         cursor = db.execute(

@@ -86,6 +86,7 @@ class MetadataProvider:
         analyze: str = "off",
         retry_policy: RetryPolicy | None = None,
         metrics: MetricsRegistry | None = None,
+        parallelism: int = 1,
     ):
         if consistency not in ("filter", "resource-list", "ttl"):
             raise ValueError(
@@ -115,7 +116,7 @@ class MetadataProvider:
         self.registry = RuleRegistry(self.db)
         self.engine = FilterEngine(
             self.db, self.registry, use_rule_groups, join_evaluation,
-            metrics=self.metrics,
+            metrics=self.metrics, parallelism=parallelism,
         )
         self.publisher = Publisher(schema, self.registry, self.resource)
         #: Update-consistency strategy (paper §3.5 and its alternatives);
@@ -160,6 +161,16 @@ class MetadataProvider:
     def _bus_transport(self, destination: str, kind: str, payload: Any) -> Any:
         assert self.bus is not None
         return self.bus.send(self.name, destination, kind, payload)
+
+    def close(self) -> None:
+        """Release the filter engine's worker shards (idempotent).
+
+        Only needed when the provider was built with ``parallelism > 1``
+        — shard threads are non-daemon and otherwise linger until
+        interpreter shutdown.  The database stays open (callers own it
+        when they passed one in).
+        """
+        self.engine.close()
 
     def _load_persisted_documents(self) -> None:
         """Rebuild the in-memory document store from the database.

@@ -91,6 +91,11 @@ class RuleRegistry:
         self._salt_counter = 0
         #: Cache of reconstructed atom nodes, keyed by rule id.
         self._node_cache: dict[int, AtomNode] = {}
+        #: Bumped whenever triggering index rows change (inserts and
+        #: atom garbage collection).  The sharded filter path
+        #: (:mod:`repro.filter.shards`) keys its rule-replica refresh on
+        #: this counter, so unchanged rule bases replicate exactly once.
+        self.mutation_version: int = 0
 
     # ------------------------------------------------------------------
     # Atom persistence (dependency-graph merge)
@@ -144,6 +149,7 @@ class RuleRegistry:
         return self._insert_join(atom, ids)
 
     def _insert_triggering(self, atom: TriggeringAtom) -> int:
+        self.mutation_version += 1
         cursor = self._db.execute(
             "INSERT INTO atomic_rules (kind, rule_text, class) "
             "VALUES ('triggering', ?, ?)",
@@ -352,6 +358,7 @@ class RuleRegistry:
             removed.extend(dead)
 
     def _delete_atom(self, rule_id: int) -> None:
+        self.mutation_version += 1
         self._db.execute(
             "DELETE FROM rule_dependencies WHERE target_rule = ?", (rule_id,)
         )

@@ -51,11 +51,21 @@ class Database:
     """A connection to one MDV store (an MDP's or an LMR's database)."""
 
     def __init__(
-        self, path: str = ":memory:", metrics: MetricsRegistry | None = None
+        self,
+        path: str = ":memory:",
+        metrics: MetricsRegistry | None = None,
+        check_same_thread: bool = True,
     ):
         self.path = path
         try:
-            self._connection = sqlite3.connect(path)
+            # sqlite3 connections are thread-affine; the check stays on
+            # by default.  ``check_same_thread=False`` is for callers
+            # that serialize access themselves (e.g. the concurrency
+            # stress tests) — SQLite objects are still not safe for
+            # unsynchronized concurrent use (docs/CONCURRENCY.md).
+            self._connection = sqlite3.connect(
+                path, check_same_thread=check_same_thread
+            )
         except sqlite3.Error as exc:  # pragma: no cover - environment issue
             raise StorageError(f"cannot open database {path!r}: {exc}") from exc
         self._connection.row_factory = sqlite3.Row

@@ -1,0 +1,81 @@
+"""Tests for the serial-vs-parallel benchmark comparison."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.harness import FilterBench
+from repro.bench.parallel import (
+    PARALLEL_SPECS,
+    parallel_figure,
+    write_parallel_json,
+)
+from repro.workload.scenarios import WorkloadSpec
+
+TINY = WorkloadSpec("OID", 50)
+BATCHES = (1, 5)
+
+
+def test_parallel_figure_compares_serial_and_sharded():
+    figure = parallel_figure("fig11", parallelism=2, batches=BATCHES, spec=TINY)
+    assert len(figure.series) == 2
+    serial, parallel = figure.series
+    assert serial.label == "OID n=50"
+    assert parallel.label == "OID n=50 parallel=2"
+    # Correctness claim must hold and be first.
+    text, holds = figure.claims[0]
+    assert "hit count" in text
+    assert holds
+    summary = figure.parallel_summary
+    assert summary["parallelism"] == 2
+    assert summary["cpu_count"] >= 1
+    assert summary["hits_equal"] is True
+    assert summary["speedup"] > 0
+
+
+def test_parallel_artifact_shape(tmp_path):
+    figure = parallel_figure("fig11", parallelism=2, batches=BATCHES, spec=TINY)
+    path = write_parallel_json(figure, "fig11", tmp_path, extra={"mode": "t"})
+    assert path.name == "BENCH_fig11_parallel.json"
+    payload = json.loads(path.read_text())
+    # The figure key must not collide with the serial fig11 artifact the
+    # regression gate owns.
+    assert payload["figure"] == "fig11_parallel"
+    assert payload["mode"] == "t"
+    for key in (
+        "parallelism",
+        "cpu_count",
+        "speedup",
+        "serial_wall_seconds",
+        "parallel_wall_seconds",
+        "hits_equal",
+    ):
+        assert key in payload
+    assert len(payload["series"]) == 2
+
+
+def test_every_figure_has_a_parallel_spec_shape():
+    for name, (rule_type, count, fraction) in PARALLEL_SPECS.items():
+        assert name.startswith("fig")
+        assert count > 0
+        spec = (
+            WorkloadSpec(rule_type, count)
+            if fraction is None
+            else WorkloadSpec(rule_type, count, match_fraction=fraction)
+        )
+        assert spec.rule_type == rule_type
+
+
+def test_variant_shares_template_and_close_order():
+    bench = FilterBench(TINY)
+    try:
+        twin = bench.variant(3)
+        assert twin.parallelism == 3
+        assert twin._template is bench._template
+        # Closing the variant must not tear down the shared template.
+        twin.close()
+        db, engine = bench.fresh_engine()
+        engine.close()
+        db.close()
+    finally:
+        bench.close()

@@ -23,6 +23,7 @@ def prop_settings(max_examples: int, **kwargs) -> settings:
     )
 
 from repro.filter.engine import FilterEngine
+from repro.obs import reset_default_registry
 from repro.rdf.model import Document, URIRef
 from repro.rdf.schema import (
     PropertyDef,
@@ -37,6 +38,18 @@ from repro.rules.parser import parse_rule
 from repro.rules.registry import RuleRegistry
 from repro.storage.engine import Database
 from repro.storage.schema import create_all
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics_registry():
+    """Give every test a pristine default metrics registry.
+
+    Databases, engines and providers built without an explicit registry
+    record into the process-global default; without this reset, counter
+    assertions would see deltas from whichever tests ran before.
+    """
+    reset_default_registry()
+    yield
 
 
 @pytest.fixture()

@@ -1,0 +1,216 @@
+"""Differential fuzzing: sharded evaluation against the serial oracle.
+
+The serial filter (``parallelism=1``) is the correctness oracle; the
+sharded evaluator (:mod:`repro.filter.shards`) must be *byte-identical*
+to it — same :class:`PublishOutcome` match/unmatch sets, same triggering
+hit counts, same iteration depths, same final materialized state — for
+every workload, shard count and join-evaluation mode.
+
+Each seeded scenario exercises the paths that could diverge:
+
+- initial registrations (the single-pass insert path, with the
+  dispatch/ingest overlap),
+- a mid-stream subscription (forces a shard rule-replica refresh),
+- updates and deletions (the three-pass diff algorithm: pass 2 feeds
+  the shards from ``filter_data`` via ``input_uris``),
+- an unsubscribe (rule garbage collection bumps the registry's
+  mutation version).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.filter.engine import FilterEngine
+from repro.rdf.diff import deletion_diff, diff_documents
+from repro.rdf.model import Document, URIRef
+from repro.rdf.schema import objectglobe_schema
+from repro.rules.decompose import decompose_rule
+from repro.rules.normalize import normalize_rule
+from repro.rules.parser import parse_rule
+from repro.rules.registry import RuleRegistry
+from repro.storage.engine import Database
+from repro.storage.schema import create_all
+
+SEEDS = [1, 7, 42]
+
+_HOST_POOL = ["a.uni-passau.de", "b.tum.de", "c.fu.de", "d.lmu.de"]
+
+_RULE_TEMPLATES = [
+    "search CycleProvider c register c where c.serverHost contains '{frag}'",
+    "search CycleProvider c register c where c.serverInformation.memory > {mem}",
+    "search CycleProvider c register c where c.serverInformation.cpu <= {cpu}",
+    "search ServerInformation s register s where s.memory >= {mem}",
+    "search CycleProvider c register c "
+    "where c.serverHost contains '{frag}' "
+    "and c.serverInformation.cpu > {cpu}",
+    "search CycleProvider c register c",
+]
+
+
+def _random_rules(rng: random.Random, count: int) -> list[str]:
+    rules = []
+    for __ in range(count):
+        template = rng.choice(_RULE_TEMPLATES)
+        rules.append(
+            template.format(
+                frag=rng.choice(["passau", "tum", "de", "uni"]),
+                mem=rng.choice([32, 64, 128]),
+                cpu=rng.choice([400, 500, 600]),
+            )
+        )
+    # Dedup while preserving order; registering the same (subscriber,
+    # rule) pair twice is an error.
+    return list(dict.fromkeys(rules))
+
+
+def _random_document(rng: random.Random, index: int) -> Document:
+    doc = Document(f"doc{index}.rdf")
+    provider = doc.new_resource("host", "CycleProvider")
+    provider.add("serverHost", rng.choice(_HOST_POOL))
+    provider.add("serverInformation", URIRef(f"doc{index}.rdf#info"))
+    info = doc.new_resource("info", "ServerInformation")
+    info.add("memory", rng.choice([16, 64, 92, 128, 256]))
+    info.add("cpu", rng.choice([300, 450, 550, 700]))
+    return doc
+
+
+def _outcome_key(outcome) -> dict:
+    """A canonical, JSON-serializable digest of one PublishOutcome."""
+    return {
+        "matched": sorted(
+            (rule_id, sorted(str(u) for u in uris))
+            for rule_id, uris in outcome.matched.items()
+        ),
+        "unmatched": sorted(
+            (rule_id, sorted(str(u) for u in uris))
+            for rule_id, uris in outcome.unmatched.items()
+        ),
+        "deleted": sorted(str(u) for u in outcome.deleted),
+        "passes": [
+            {"hits": p.triggering_hits, "iterations": p.iterations}
+            for p in outcome.passes
+        ],
+    }
+
+
+def run_scenario(seed: int, parallelism: int, join_evaluation: str) -> bytes:
+    """One seeded publish/subscribe workload; returns a canonical digest."""
+    rng = random.Random(seed)
+    schema = objectglobe_schema()
+    db = Database()
+    create_all(db)
+    registry = RuleRegistry(db)
+    engine = FilterEngine(
+        db, registry, join_evaluation=join_evaluation, parallelism=parallelism
+    )
+
+    def subscribe(index: int, text: str) -> int:
+        normalized = normalize_rule(parse_rule(text), schema)[0]
+        registration = registry.register_subscription(
+            f"lmr{index}", text, decompose_rule(normalized, schema)
+        )
+        engine.initialize_rules(registration.created)
+        return registration.end_rule
+
+    try:
+        rules = _random_rules(rng, 6)
+        late_rule = rules.pop()
+        ends = {text: subscribe(i, text) for i, text in enumerate(rules)}
+
+        documents = [_random_document(rng, i) for i in range(12)]
+        digests = []
+        for doc in documents[:8]:
+            digests.append(
+                _outcome_key(engine.process_diff(diff_documents(None, doc)))
+            )
+
+        # Mid-stream subscription: the sharded path must refresh its
+        # rule replicas before the next publish.
+        ends[late_rule] = subscribe(99, late_rule)
+        for doc in documents[8:]:
+            digests.append(
+                _outcome_key(engine.process_diff(diff_documents(None, doc)))
+            )
+
+        # Updates: flip memory/cpu on a few random documents.
+        for index in rng.sample(range(12), 4):
+            old = documents[index]
+            new = old.copy()
+            info = new.get(f"doc{index}.rdf#info")
+            info.set("memory", rng.choice([8, 96, 512]))
+            info.set("cpu", rng.choice([100, 650]))
+            digests.append(
+                _outcome_key(engine.process_diff(diff_documents(old, new)))
+            )
+            documents[index] = new
+
+        # Unsubscribe (may garbage-collect atoms → version bump), then
+        # one more publish and a deletion.
+        registry.unsubscribe("lmr0", rules[0])
+        del ends[rules[0]]
+        extra = _random_document(rng, 12)
+        digests.append(
+            _outcome_key(engine.process_diff(diff_documents(None, extra)))
+        )
+        digests.append(
+            _outcome_key(engine.process_diff(deletion_diff(documents[3])))
+        )
+
+        final = {
+            text: sorted(str(u) for u in engine.current_matches(end))
+            for text, end in ends.items()
+        }
+        return json.dumps(
+            {"digests": digests, "final": final}, sort_keys=True
+        ).encode()
+    finally:
+        engine.close()
+        db.close()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "parallelism,join_evaluation",
+    [(2, "probe"), (4, "probe"), (8, "probe"), (4, "scan"), (1, "scan")],
+)
+def test_parallel_matches_serial(seed, parallelism, join_evaluation):
+    baseline = run_scenario(seed, parallelism=1, join_evaluation="probe")
+    variant = run_scenario(seed, parallelism, join_evaluation)
+    assert variant == baseline
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_notification_order_matches_serial(seed):
+    """Provider-level check: the ordered notification stream is equal."""
+    from repro.mdv.provider import MetadataProvider
+
+    def run(parallelism: int):
+        rng = random.Random(seed)
+        provider = MetadataProvider(
+            objectglobe_schema(), parallelism=parallelism
+        )
+        received: list[tuple] = []
+
+        def handler(batch) -> None:
+            received.append(
+                (
+                    batch.subscriber,
+                    [(n.kind, str(n.uri)) for n in batch],
+                )
+            )
+
+        try:
+            provider.connect_subscriber("lmr-diff", handler)
+            for text in _random_rules(rng, 4):
+                provider.subscribe("lmr-diff", text)
+            for i in range(6):
+                provider.register_document(_random_document(rng, i))
+            return received
+        finally:
+            provider.close()
+
+    assert run(4) == run(1)

@@ -1,0 +1,129 @@
+"""Unit tests for the sharded triggering evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.filter.engine import FilterEngine
+from repro.filter.shards import MAX_SHARDS, ShardPlan, ShardPool
+from repro.obs.metrics import MetricsRegistry
+from repro.rules.registry import RuleRegistry
+from repro.storage.engine import Database
+from repro.storage.schema import create_all
+
+from tests.conftest import register_rule
+
+
+def test_shard_plan_is_deterministic_and_total():
+    plan = ShardPlan(4)
+    uris = [f"doc{i}.rdf#r" for i in range(100)]
+    routes = [plan.shard_of(uri) for uri in uris]
+    assert routes == [plan.shard_of(uri) for uri in uris]
+    assert all(0 <= r < 4 for r in routes)
+    # Not all resources on one shard (crc32 spreads this keyspace).
+    assert len(set(routes)) > 1
+
+
+def test_shard_plan_partitions_by_resource():
+    plan = ShardPlan(3)
+    rows = [
+        ("a#1", "C", "p", "1"),
+        ("a#1", "C", "q", "2"),
+        ("b#2", "C", "p", "3"),
+        ("a#1", "C", "r", "4"),  # non-contiguous same resource
+    ]
+    parts = plan.partition(rows)
+    assert sum(len(p) for p in parts) == len(rows)
+    for row in rows:
+        assert row in parts[plan.shard_of(row[0])]
+
+
+def test_shard_plan_rejects_bad_counts():
+    with pytest.raises(ValueError):
+        ShardPlan(0)
+    with pytest.raises(ValueError):
+        ShardPlan(MAX_SHARDS + 1)
+
+
+@pytest.fixture()
+def rule_db(schema):
+    db = Database()
+    create_all(db)
+    registry = RuleRegistry(db)
+    engine = FilterEngine(db, registry)
+    register_rule(
+        engine, registry, schema,
+        "search ServerInformation s register s where s.memory > 64",
+    )
+    yield db, registry, engine
+    engine.close()
+    db.close()
+
+
+def test_pool_matches_like_serial_joins(rule_db):
+    db, registry, __ = rule_db
+    rows = [
+        ("x.rdf#i", "ServerInformation", "memory", "128"),
+        ("y.rdf#i", "ServerInformation", "memory", "32"),
+    ]
+    with ShardPool(2, metrics=MetricsRegistry()) as pool:
+        pool.refresh_rules(db, registry.mutation_version)
+        hits = pool.match(rows)
+    assert [uri for uri, __ in hits] == ["x.rdf#i"]
+
+
+def test_refresh_rules_is_version_keyed(rule_db, schema):
+    db, registry, engine = rule_db
+    metrics = MetricsRegistry()
+    with ShardPool(2, metrics=metrics) as pool:
+        assert pool.refresh_rules(db, registry.mutation_version) is True
+        assert pool.refresh_rules(db, registry.mutation_version) is False
+        # A new rule bumps the version → next refresh reloads.
+        register_rule(
+            engine, registry, schema,
+            "search ServerInformation s register s where s.cpu > 0",
+        )
+        assert pool.refresh_rules(db, registry.mutation_version) is True
+        assert metrics.counter("filter.shard.rule_reloads").value == 2
+
+
+def test_dispatch_records_metrics(rule_db):
+    db, registry, __ = rule_db
+    metrics = MetricsRegistry()
+    rows = [("x.rdf#i", "ServerInformation", "memory", "128")]
+    with ShardPool(2, metrics=metrics) as pool:
+        pool.refresh_rules(db, registry.mutation_version)
+        pool.match(rows)
+    assert metrics.counter("filter.shard.dispatches").value == 1
+    assert metrics.counter("filter.shard.rows").value == 1
+    assert metrics.counter("filter.shard.hits").value == 1
+    assert metrics.histogram("filter.shard.batch_ms").count >= 1
+
+
+def test_pool_close_is_idempotent():
+    pool = ShardPool(2, metrics=MetricsRegistry())
+    pool.close()
+    pool.close()
+
+
+def test_engine_parallelism_validation(db, registry):
+    with pytest.raises(ValueError):
+        FilterEngine(db, registry, parallelism=0)
+    with pytest.raises(ValueError):
+        FilterEngine(db, registry, parallelism=MAX_SHARDS + 1)
+
+
+def test_serial_engine_builds_no_pool(engine):
+    assert engine.parallelism == 1
+    engine.warm_shards()
+    assert engine._shards is None
+    engine.close()  # no-op, must not raise
+
+
+def test_parallel_engine_close_is_idempotent(db, registry):
+    engine = FilterEngine(db, registry, parallelism=2)
+    engine.warm_shards()
+    assert engine._shards is not None
+    engine.close()
+    assert engine._shards is None
+    engine.close()

@@ -86,18 +86,23 @@ def test_many_small_documents_equal_one_large_document():
     batch = 40
     small_bench = FilterBench(WorkloadSpec("PATH", 200))
     try:
-        # Many small documents.
-        db_small, engine_small = small_bench.fresh_engine()
-        documents = small_bench.spec.documents(batch)
-        resources = [r for doc in documents for r in doc]
-        started = time.perf_counter()
-        engine_small.process_insertions(resources, collect="none")
-        small_seconds = time.perf_counter() - started
-        small_hits = engine_small.result_count()
-        db_small.close()
+        # Many small documents (best of 3, as in _batch_seconds: a
+        # single timing on a loaded machine can eat a 3x scheduler
+        # hiccup and flip the relative assertion below).
+        small_seconds = float("inf")
+        for __ in range(3):
+            db_small, engine_small = small_bench.fresh_engine()
+            documents = small_bench.spec.documents(batch)
+            resources = [r for doc in documents for r in doc]
+            started = time.perf_counter()
+            engine_small.process_insertions(resources, collect="none")
+            small_seconds = min(
+                small_seconds, time.perf_counter() - started
+            )
+            small_hits = engine_small.result_count()
+            db_small.close()
 
         # One large document with the same resources.
-        db_large, engine_large = small_bench.fresh_engine()
         mega = Document("mega.rdf")
         for index in range(batch):
             host = mega.new_resource(f"host{index}", "CycleProvider")
@@ -107,11 +112,16 @@ def test_many_small_documents_equal_one_large_document():
             info = mega.new_resource(f"info{index}", "ServerInformation")
             info.add("memory", index)
             info.add("cpu", 600)
-        started = time.perf_counter()
-        engine_large.process_insertions(list(mega), collect="none")
-        large_seconds = time.perf_counter() - started
-        large_hits = engine_large.result_count()
-        db_large.close()
+        large_seconds = float("inf")
+        for __ in range(3):
+            db_large, engine_large = small_bench.fresh_engine()
+            started = time.perf_counter()
+            engine_large.process_insertions(list(mega), collect="none")
+            large_seconds = min(
+                large_seconds, time.perf_counter() - started
+            )
+            large_hits = engine_large.result_count()
+            db_large.close()
 
         assert large_hits == small_hits
         # Same work, generous tolerance for timer noise.
