@@ -77,6 +77,9 @@ CODES: dict[str, str] = {
     "MDV036": "dangling reference to a missing atomic rule",
     "MDV037": "iteration-depth bound disagrees between edges and inputs",
     "MDV038": "orphaned materialized-result row (no owning atomic rule)",
+    # -- linter: performance hints (MDV039) ----------------------------
+    "MDV039": "contains needle shorter than a trigram cannot use the "
+    "text index",
 }
 
 

@@ -16,6 +16,12 @@ a Sun E450 there), the curve shapes are what reproduces:
 - **Figure 15 (COMP, varying %)**: "a higher rule percentage results in
   higher registration costs independent of the batch size".
 
+Figures 13 and 15 additionally carry ``contains`` (CON) series beyond
+the paper: the same workload measured with the O(rules) scan join and
+with the :mod:`repro.text` trigram index (``contains_index="trigram"``),
+sharing one prepared rule base per size via :meth:`FilterBench.variant`
+so both curves see identical rules and documents.
+
 ``quick`` mode shrinks rule bases and batch grids so the whole suite
 runs in minutes; ``full`` mode uses the paper's sizes (10k/100k rules).
 """
@@ -45,6 +51,12 @@ _FULL_BATCHES = (1, 2, 5, 10, 20, 50, 100, 200, 500)
 _OID_IDENTICAL_FACTOR = 1.6
 
 
+#: Tokens embedded in every CON document's host value: each document
+#: matches exactly this many ``contains`` rules regardless of the rule
+#: base size, so the CON curves isolate how the *miss* cost scales.
+_CON_TOKENS = 10
+
+
 def _sweep(spec: WorkloadSpec, quick: bool, batches=None) -> SweepResult:
     bench = FilterBench(spec)
     try:
@@ -53,6 +65,24 @@ def _sweep(spec: WorkloadSpec, quick: bool, batches=None) -> SweepResult:
         return bench.sweep(batches)
     finally:
         bench.close()
+
+
+def _con_sweep_pair(
+    size: int, quick: bool, batches=None, tokens: int = _CON_TOKENS
+) -> tuple[SweepResult, SweepResult]:
+    """(scan, trigram) sweeps of one CON workload on a shared rule base."""
+    if batches is None:
+        batches = _QUICK_BATCHES if quick else _FULL_BATCHES
+    spec = WorkloadSpec("CON", size, match_fraction=tokens / size)
+    scan_bench = FilterBench(spec)
+    try:
+        trigram_bench = scan_bench.variant(contains_index="trigram")
+        try:
+            return scan_bench.sweep(batches), trigram_bench.sweep(batches)
+        finally:
+            trigram_bench.close()
+    finally:
+        scan_bench.close()
 
 
 def _mean_cost(sweep: SweepResult) -> float:
@@ -126,9 +156,15 @@ def figure12(quick: bool = True, sizes=None, batches=None) -> FigureResult:
     return figure
 
 
-def figure13(quick: bool = True, sizes=None, batches=None) -> FigureResult:
-    """COMP rules at 10% match rate."""
+def figure13(
+    quick: bool = True, sizes=None, batches=None, con_sizes=None
+) -> FigureResult:
+    """COMP rules at 10% match rate, plus contains scan vs. trigram."""
     sizes = sizes or ((1_000, 5_000) if quick else (1_000, 10_000))
+    # The scan join is O(rules) per document while the probe cost is
+    # nearly flat, so the speedup claim needs a rule base large enough
+    # for the scan to dominate measurement noise.
+    con_sizes = con_sizes or ((4_000, 40_000) if quick else (5_000, 50_000))
     small = _sweep(WorkloadSpec("COMP", sizes[0], match_fraction=0.1), quick, batches)
     large = _sweep(WorkloadSpec("COMP", sizes[1], match_fraction=0.1), quick, batches)
     ratio = _mean_cost(large) / _mean_cost(small)
@@ -137,10 +173,24 @@ def figure13(quick: bool = True, sizes=None, batches=None) -> FigureResult:
     # above timer noise (the small base is nearly flat).
     small_batch = large.points[0].ms_per_document
     big_batch = large.points[-1].ms_per_document
+    con_pairs = [
+        _con_sweep_pair(size, quick, batches) for size in con_sizes
+    ]
+    hits_identical = all(
+        scan.batch_sizes() == trigram.batch_sizes()
+        and [p.hits for p in scan.points] == [p.hits for p in trigram.points]
+        for scan, trigram in con_pairs
+    )
+    big_scan, big_trigram = con_pairs[-1]
+    largest_batch = big_scan.points[-1].batch_size
+    speedup = big_scan.cost_at(largest_batch) / big_trigram.cost_at(largest_batch)
+    growth = _plateau_cost(big_trigram) / _plateau_cost(con_pairs[0][1])
+    size_ratio = con_sizes[1] / con_sizes[0]
     figure = FigureResult(
         "Figure 13",
-        "COMP rules (10% of rule base) — cost vs. batch size",
-        series=[small, large],
+        "COMP rules (10% of rule base) and CON rules (scan vs. trigram "
+        "index) — cost vs. batch size",
+        series=[small, large, *(s for pair in con_pairs for s in pair)],
     )
     figure.claims = [
         (
@@ -153,6 +203,23 @@ def figure13(quick: bool = True, sizes=None, batches=None) -> FigureResult:
             f"registration cost depends on the rule base size "
             f"(mean ratio {ratio:.2f} > 1)",
             ratio > 1.0,
+        ),
+        (
+            "scan and trigram contains paths register identical hit "
+            "counts at every batch size (exactness)",
+            hits_identical,
+        ),
+        (
+            f"the trigram index beats the contains scan at least 5x at "
+            f"the largest batch of the {con_sizes[1]}-rule base "
+            f"(speedup {speedup:.1f}x)",
+            speedup >= 5.0,
+        ),
+        (
+            f"indexed per-document contains cost grows sub-linearly in "
+            f"the rule base size (plateau cost ratio {growth:.1f}x for "
+            f"{size_ratio:.0f}x more rules)",
+            growth < size_ratio / 2,
         ),
     ]
     return figure
@@ -181,21 +248,34 @@ def figure14(quick: bool = True, sizes=None, batches=None) -> FigureResult:
 
 
 def figure15(
-    quick: bool = True, rule_count: int | None = None, batches=None
+    quick: bool = True,
+    rule_count: int | None = None,
+    batches=None,
+    con_rules: int | None = None,
 ) -> FigureResult:
-    """COMP rules: varying triggered percentage of the rule base."""
+    """COMP rules: varying triggered percentage; CON: varying tokens."""
     if rule_count is None:
         rule_count = 2_000 if quick else 10_000
+    if con_rules is None:
+        con_rules = 10_000 if quick else 20_000
     fractions = (0.01, 0.05, 0.1, 0.2)
     series = [
         _sweep(WorkloadSpec("COMP", rule_count, match_fraction=f), quick, batches)
         for f in fractions
     ]
+    # CON at two match levels (k and 4k embedded tokens), each measured
+    # on both contains paths over the same prepared rule base.
+    token_counts = (_CON_TOKENS, 4 * _CON_TOKENS)
+    con_pairs = [
+        _con_sweep_pair(con_rules, quick, batches, tokens=tokens)
+        for tokens in token_counts
+    ]
     figure = FigureResult(
         "Figure 15",
         f"{rule_count} COMP rules — varying batch sizes and triggered "
-        f"rule base percentage",
-        series=series,
+        f"rule base percentage; {con_rules} CON rules — scan vs. "
+        f"trigram index at varying match levels",
+        series=[*series, *(s for pair in con_pairs for s in pair)],
     )
     monotone = True
     for batch_size in series[0].batch_sizes():
@@ -203,12 +283,31 @@ def figure15(
         if any(b < a * 0.95 for a, b in zip(costs, costs[1:])):
             monotone = False
             break
+    (scan_low, trigram_low), (scan_high, trigram_high) = con_pairs
+    con_monotone = (
+        _plateau_cost(scan_high) > _plateau_cost(scan_low)
+        and _plateau_cost(trigram_high) > _plateau_cost(trigram_low)
+    )
+    trigram_below = (
+        _plateau_cost(trigram_low) < _plateau_cost(scan_low)
+        and _plateau_cost(trigram_high) < _plateau_cost(scan_high)
+    )
     figure.claims = [
         (
             "a higher triggered rule percentage results in higher "
             "registration costs, independent of the batch size",
             monotone,
-        )
+        ),
+        (
+            "embedding more contains needles per document raises the "
+            "plateau cost of both the scan and the trigram path",
+            con_monotone,
+        ),
+        (
+            "the trigram path stays cheaper than the contains scan at "
+            "both match levels",
+            trigram_below,
+        ),
     ]
     return figure
 

@@ -115,6 +115,7 @@ class FilterBench:
         deduplicate: bool = True,
         join_evaluation: str = "scan",
         parallelism: int = 1,
+        contains_index: str = "scan",
     ):
         self.spec = spec
         self.schema = schema or objectglobe_schema()
@@ -123,6 +124,9 @@ class FilterBench:
         self.join_evaluation = join_evaluation
         #: Triggering-stage shard count (1 = the paper's serial filter).
         self.parallelism = parallelism
+        #: ``contains`` matching strategy ("scan" = the paper's join,
+        #: "trigram" = the repro.text inverted index).
+        self.contains_index = contains_index
         self._template: Database | None = None
         self._borrowed_template = False
         self.prepare_seconds = 0.0
@@ -170,13 +174,21 @@ class FilterBench:
         return db, FilterEngine(
             db, registry, self.use_rule_groups, self.join_evaluation,
             parallelism=self.parallelism,
+            contains_index=self.contains_index,
         )
 
-    def variant(self, parallelism: int) -> FilterBench:
+    def variant(
+        self,
+        parallelism: int | None = None,
+        contains_index: str | None = None,
+    ) -> FilterBench:
         """A bench sharing this one's prepared template, differing only
-        in ``parallelism`` — the serial/parallel comparison measures both
-        against the *same* rule base.  Close the parent last; the
-        variant borrows the template and must not outlive it.
+        in ``parallelism`` and/or ``contains_index`` (``None`` keeps this
+        bench's value) — ablation comparisons measure both settings
+        against the *same* rule base.  Registration maintains the
+        trigram tables unconditionally, so one template serves either
+        read path.  Close the parent last; the variant borrows the
+        template and must not outlive it.
         """
         self.prepare()
         twin = FilterBench(
@@ -185,7 +197,10 @@ class FilterBench:
             use_rule_groups=self.use_rule_groups,
             deduplicate=self.deduplicate,
             join_evaluation=self.join_evaluation,
-            parallelism=parallelism,
+            parallelism=self.parallelism if parallelism is None else parallelism,
+            contains_index=(
+                self.contains_index if contains_index is None else contains_index
+            ),
         )
         twin._template = self._template
         twin._borrowed_template = True
@@ -198,7 +213,7 @@ class FilterBench:
     def repeats_for(self, batch_size: int) -> int:
         repeats = max(1, _MIN_DOCUMENTS_PER_POINT // batch_size)
         repeats = min(repeats, _MAX_REPEATS)
-        if self.spec.rule_type != "COMP":
+        if self.spec.rule_type not in ("COMP", "CON"):
             # Repeats advance the index range; stay within the rule base.
             repeats = min(repeats, max(1, self.spec.rule_count // batch_size))
         return repeats
@@ -246,10 +261,13 @@ class FilterBench:
     def sweep(self, batch_sizes=DEFAULT_BATCH_SIZES) -> SweepResult:
         """Measure every batch size; returns one figure curve."""
         self.prepare()
+        extras = []
+        if self.parallelism > 1:
+            extras.append(f"parallel={self.parallelism}")
+        if self.contains_index != "scan":
+            extras.append(f"contains={self.contains_index}")
         label = (
-            f"{self.spec.label()} parallel={self.parallelism}"
-            if self.parallelism > 1
-            else None
+            " ".join([self.spec.label(), *extras]) if extras else None
         )
         result = SweepResult(
             spec=self.spec,
@@ -257,7 +275,10 @@ class FilterBench:
             label_override=label,
         )
         for batch_size in batch_sizes:
-            if self.spec.rule_type != "COMP" and batch_size > self.spec.rule_count:
+            if (
+                self.spec.rule_type not in ("COMP", "CON")
+                and batch_size > self.spec.rule_count
+            ):
                 continue
             result.points.append(self.measure(batch_size))
         return result

@@ -41,6 +41,7 @@ from repro.filter.joins import (
 from repro.filter.matcher import initialize_triggering_rule, match_triggering_rules
 from repro.filter.results import FilterRunResult, PublishOutcome
 from repro.filter.shards import MAX_SHARDS, PendingMatch, ShardPool
+from repro.text.index import CONTAINS_INDEX_MODES
 from repro.storage.engine import Database
 from repro.storage.tables import (
     AtomRow,
@@ -72,6 +73,7 @@ class FilterEngine:
         join_evaluation: str = "probe",
         metrics: MetricsRegistry | None = None,
         parallelism: int = 1,
+        contains_index: str = "scan",
     ):
         if join_evaluation not in ("scan", "probe"):
             raise ValueError(
@@ -81,6 +83,11 @@ class FilterEngine:
         if not 1 <= parallelism <= MAX_SHARDS:
             raise ValueError(
                 f"parallelism must be in 1..{MAX_SHARDS}, got {parallelism}"
+            )
+        if contains_index not in CONTAINS_INDEX_MODES:
+            raise ValueError(
+                f"contains_index must be one of {CONTAINS_INDEX_MODES}, got "
+                f"{contains_index!r}"
             )
         self._db = db
         self._registry = registry
@@ -100,6 +107,11 @@ class FilterEngine:
         #: connection (see :mod:`repro.filter.shards`); the join-rule
         #: closure and all results are unchanged, byte for byte.
         self.parallelism = parallelism
+        #: ``"scan"`` (the default) matches ``contains`` rules with the
+        #: paper's O(rule base) join; ``"trigram"`` probes the inverted
+        #: needle index of :mod:`repro.text` instead and verifies the
+        #: candidates — same hits, sub-linear cost (docs/TEXT_INDEX.md).
+        self.contains_index = contains_index
         self._shards: ShardPool | None = None
         #: Total filter runs executed (diagnostics).
         self.runs_executed = 0
@@ -160,7 +172,11 @@ class FilterEngine:
                 atoms_scanned = self._db.count("filter_input")
                 started = time.perf_counter()
                 with self.tracer.span("filter.triggering"):
-                    result.triggering_hits = match_triggering_rules(self._db)
+                    result.triggering_hits = match_triggering_rules(
+                        self._db,
+                        contains_index=self.contains_index,
+                        metrics=self.metrics,
+                    )
                 result.triggering_seconds = time.perf_counter() - started
             self._m_atoms.inc(atoms_scanned)
             run_span.set("atoms", atoms_scanned)
@@ -271,7 +287,11 @@ class FilterEngine:
 
     def _shard_pool(self) -> ShardPool:
         if self._shards is None:
-            self._shards = ShardPool(self.parallelism, metrics=self.metrics)
+            self._shards = ShardPool(
+                self.parallelism,
+                metrics=self.metrics,
+                contains_index=self.contains_index,
+            )
         return self._shards
 
     def _dispatch_shards(self, rows: Iterable[AtomRow]) -> PendingMatch:

@@ -25,7 +25,9 @@ across workers).  Design:
   work is submitted to that executor.
 - **Rule replicas are refreshed by version.**  Shards hold full copies
   of the eight triggering index tables (small relative to the data:
-  one row per triggering rule and extension class).  The
+  one row per triggering rule and extension class) and of the trigram
+  index tables of :mod:`repro.text` (needed when
+  ``contains_index="trigram"``).  The
   :class:`~repro.rules.registry.RuleRegistry` bumps a mutation counter
   whenever index rows change; :meth:`ShardPool.refresh_rules` reloads
   the replicas only when the counter moved, so steady-state publishes
@@ -52,8 +54,9 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from repro.filter.matcher import select_triggering_hits
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.storage.engine import Database
-from repro.storage.schema import COMPARISON_TABLES, TRIGGER_TABLES
+from repro.storage.schema import COMPARISON_TABLES, TEXT_TABLES, TRIGGER_TABLES
 from repro.storage.tables import AtomRow
+from repro.text.ngrams import TRIGRAM_LENGTH
 
 __all__ = ["MAX_SHARDS", "ShardPlan", "TriggerShard", "ShardPool", "PendingMatch"]
 
@@ -95,6 +98,35 @@ CREATE INDEX IF NOT EXISTS idx_{table}
     ON {table}(class, property, value);
 """
 
+#: Shard replica of the trigram index (:mod:`repro.text`), mirroring
+#: the main schema (minus foreign keys, like the other shard replicas)
+#: so the indexed matching SQL runs verbatim against a shard connection.
+_SHARD_TEXT_DDL = """
+CREATE TABLE IF NOT EXISTS filter_rules_con_tri (
+    rule_id       INTEGER NOT NULL,
+    class         TEXT NOT NULL,
+    property      TEXT NOT NULL,
+    value         TEXT NOT NULL,
+    trigram_count INTEGER NOT NULL,
+    PRIMARY KEY (rule_id, class)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_frct_class_prop
+    ON filter_rules_con_tri(class, property);
+
+CREATE TABLE IF NOT EXISTS text_postings (
+    trigram TEXT NOT NULL,
+    rule_id INTEGER NOT NULL,
+    PRIMARY KEY (trigram, rule_id)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_tp_rule ON text_postings(rule_id);
+
+-- Same partial index as the main schema: keeps the trigram mode's
+-- short-needle fallback join from scanning every contains rule.
+CREATE INDEX IF NOT EXISTS idx_frcon_short
+    ON filter_rules_con(class, property, value)
+    WHERE length(value) < {length};
+"""
+
 
 class ShardPlan:
     """Deterministic routing of atom rows to shards, by resource."""
@@ -132,8 +164,15 @@ class ShardPlan:
 class TriggerShard:
     """One worker: a dedicated thread owning one shard database."""
 
-    def __init__(self, index: int, metrics: MetricsRegistry):
+    def __init__(
+        self,
+        index: int,
+        metrics: MetricsRegistry,
+        contains_index: str = "scan",
+    ):
         self.index = index
+        self._metrics = metrics
+        self._contains_index = contains_index
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"mdv-shard-{index}"
         )
@@ -148,6 +187,7 @@ class TriggerShard:
         db.executescript(_SHARD_INPUT_DDL)
         for table in COMPARISON_TABLES.values():
             db.executescript(_SHARD_OP_TABLE_DDL.format(table=table))
+        db.executescript(_SHARD_TEXT_DDL.format(length=TRIGRAM_LENGTH))
         self._db = db
 
     def load_rules(
@@ -182,7 +222,11 @@ class TriggerShard:
                 "(uri_reference, class, property, value) VALUES (?, ?, ?, ?)",
                 rows,
             )
-            hits = select_triggering_hits(db)
+            hits = select_triggering_hits(
+                db,
+                contains_index=self._contains_index,
+                metrics=self._metrics,
+            )
             db.commit()
             return hits, time.perf_counter() - started
 
@@ -232,8 +276,14 @@ class PendingMatch:
 class ShardPool:
     """``N`` trigger shards plus the routing plan and rule replication."""
 
-    def __init__(self, shard_count: int, metrics: MetricsRegistry | None = None):
+    def __init__(
+        self,
+        shard_count: int,
+        metrics: MetricsRegistry | None = None,
+        contains_index: str = "scan",
+    ):
         self.plan = ShardPlan(shard_count)
+        self.contains_index = contains_index
         self.metrics = metrics if metrics is not None else default_registry()
         self._m_dispatches = self.metrics.counter("filter.shard.dispatches")
         self._m_rows = self.metrics.counter("filter.shard.rows")
@@ -241,7 +291,8 @@ class ShardPool:
         self._m_reloads = self.metrics.counter("filter.shard.rule_reloads")
         self.batch_latency = self.metrics.histogram("filter.shard.batch_ms")
         self.shards = [
-            TriggerShard(index, self.metrics) for index in range(shard_count)
+            TriggerShard(index, self.metrics, contains_index=contains_index)
+            for index in range(shard_count)
         ]
         #: Registry mutation version the replicas were loaded at.
         self.rules_version: int | None = None
@@ -260,9 +311,12 @@ class ShardPool:
         """
         if version == self.rules_version:
             return False
+        # The trigram replicas ride along with the triggering tables:
+        # both change only on registry mutations, so one version counter
+        # covers them.
         table_rows = {
             table: [tuple(row) for row in db.query_all(f"SELECT * FROM {table}")]
-            for table in TRIGGER_TABLES
+            for table in (*TRIGGER_TABLES, *TEXT_TABLES)
         }
         for future in [shard.load_rules(table_rows) for shard in self.shards]:
             future.result()

@@ -87,6 +87,7 @@ class MetadataProvider:
         retry_policy: RetryPolicy | None = None,
         metrics: MetricsRegistry | None = None,
         parallelism: int = 1,
+        contains_index: str = "scan",
     ):
         if consistency not in ("filter", "resource-list", "ttl"):
             raise ValueError(
@@ -117,7 +118,11 @@ class MetadataProvider:
         self.engine = FilterEngine(
             self.db, self.registry, use_rule_groups, join_evaluation,
             metrics=self.metrics, parallelism=parallelism,
+            contains_index=contains_index,
         )
+        #: Selected contains matching strategy, also applied to browse
+        #: queries (the engine constructor validates the mode).
+        self.contains_index = contains_index
         self.publisher = Publisher(schema, self.registry, self.resource)
         #: Update-consistency strategy (paper §3.5 and its alternatives);
         #: instantiated lazily to avoid a circular import.
@@ -495,7 +500,9 @@ class MetadataProvider:
         }
         if definitions:
             query = inline_named_query(query, definitions)
-        uris = run_query_sql(self.db, query, self.schema)
+        uris = run_query_sql(
+            self.db, query, self.schema, contains_index=self.contains_index
+        )
         resources = []
         for uri in uris:
             content = self.resource(uri)

@@ -34,14 +34,20 @@ from repro.rules.normalize import (
     NormalizedRule,
     normalize_rule,
 )
+from repro.text.ngrams import contains_match
 
 __all__ = ["evaluate_query", "evaluate_normalized", "compare_values"]
 
 
 def compare_values(left: str, operator: str, right: str, numeric: bool) -> bool:
-    """Compare two canonical (string) values under a rule operator."""
+    """Compare two canonical (string) values under a rule operator.
+
+    ``contains`` delegates to the canonical substring semantics of
+    :mod:`repro.text.ngrams`, shared with the SQL paths —
+    ``tests/query/test_contains_crosspath.py`` asserts the agreement.
+    """
     if operator == "contains":
-        return right in left
+        return contains_match(left, right)
     if numeric:
         try:
             left_num = float(left)

@@ -29,6 +29,7 @@ from repro.rules.atoms import AtomNode, JoinAtom, TriggeringAtom
 from repro.rules.decompose import DecomposedRule
 from repro.storage.engine import Database
 from repro.storage.schema import COMPARISON_TABLES, filter_rules_table
+from repro.text.index import drop_contains_rule, index_contains_rule
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.analysis.diagnostics import Diagnostic
@@ -171,6 +172,18 @@ class RuleRegistry:
                     for cls in atom.extension_classes
                 ),
             )
+            if atom.operator == "contains":
+                # Maintain the trigram index (repro.text) alongside the
+                # scan table.  Index maintenance is unconditional — the
+                # engine's ``contains_index`` knob only selects the read
+                # path, so scan and trigram engines can share one store.
+                index_contains_rule(
+                    self._db,
+                    rule_id,
+                    atom.extension_classes,
+                    str(atom.prop),
+                    str(atom.value),
+                )
         return rule_id
 
     def _insert_join(self, atom: JoinAtom, ids: dict[str, int]) -> int:
@@ -367,6 +380,7 @@ class RuleRegistry:
         )
         for table in COMPARISON_TABLES.values():
             self._db.execute(f"DELETE FROM {table} WHERE rule_id = ?", (rule_id,))
+        drop_contains_rule(self._db, rule_id)
         self._db.execute(
             "DELETE FROM materialized WHERE rule_id = ?", (rule_id,)
         )

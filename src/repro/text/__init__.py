@@ -1,0 +1,41 @@
+"""Full-text support for ``contains`` triggering rules.
+
+The paper concedes that ``contains`` (and range) rules cannot use the
+``(class, property, value)`` index: their triggering cost grows with the
+rule base size and the match percentage (Section 3.4, Figures 13 and
+15).  This package removes that scan for text predicates, in the
+direction of Zervakis et al. (*Full-text Support for Publish/Subscribe
+Ontology Systems*): the *needles* of registered ``contains`` rules are
+tokenized into trigrams (:mod:`repro.text.ngrams`) and kept in an
+inverted index (:mod:`repro.text.index`), so a published value probes
+the postings for candidate rules instead of scanning every rule sharing
+``(class, property)``.  Candidates are verified against the exact
+substring semantics, so results are always identical to the scan —
+see docs/TEXT_INDEX.md for the exactness argument.
+"""
+
+from repro.text.index import (
+    CONTAINS_INDEX_MODES,
+    drop_contains_rule,
+    index_contains_rule,
+    match_contains_indexed,
+)
+from repro.text.ngrams import (
+    TRIGRAM_LENGTH,
+    contains_match,
+    contains_sql_condition,
+    is_indexable,
+    trigrams,
+)
+
+__all__ = [
+    "CONTAINS_INDEX_MODES",
+    "TRIGRAM_LENGTH",
+    "contains_match",
+    "contains_sql_condition",
+    "drop_contains_rule",
+    "index_contains_rule",
+    "is_indexable",
+    "match_contains_indexed",
+    "trigrams",
+]

@@ -1,0 +1,167 @@
+"""The trigram inverted index over ``contains``-rule needles.
+
+Two tables (DDL in :mod:`repro.storage.schema`) mirror the paper's
+``FilterRulesCON`` for the indexable subset of the rules:
+
+- ``filter_rules_con_tri`` — one row per (rule, extension class) whose
+  needle has at least one trigram, carrying the needle and its distinct
+  trigram count;
+- ``text_postings`` — the inverted index proper: ``(trigram, rule_id)``.
+
+Matching one published value then works like any text index probe: the
+value's trigram set (shipped as one ``json_each`` parameter, so a probe
+writes nothing) is joined against the postings, and the rules whose
+*entire* trigram set was found survive (``COUNT(*) = trigram_count``).
+Candidates are verified with the canonical substring check, so false
+positives (needle trigrams scattered through the value without the
+needle occurring contiguously) are filtered out and the result is
+exactly the scan's — the probe cost scales with the value's trigram
+postings, not with the rule base size.
+
+Rules with needles shorter than a trigram never enter these tables;
+the matcher keeps them on the paper's scan join
+(:data:`repro.filter.matcher.TRIGGERING_JOINS` restricted to
+``length(fr.value) < 3`` in trigram mode), so the union of both paths is
+complete.  The registry maintains postings on registration *and*
+unregistration regardless of any engine's ``contains_index`` mode — the
+index is a property of the store, the knob only selects the read path.
+
+Instruments (in the caller's registry): ``text.candidates``,
+``text.verified``, ``text.false_positives``, ``text.fallback_rules``
+(needles registered too short to index) and the per-probe latency
+histogram ``text.probe_ms``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Iterable
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.storage.engine import Database
+from repro.text.ngrams import contains_match, is_indexable, trigrams
+
+__all__ = [
+    "CONTAINS_INDEX_MODES",
+    "index_contains_rule",
+    "drop_contains_rule",
+    "match_contains_indexed",
+]
+
+#: Valid values of the ``contains_index=`` knob on the filter engine and
+#: the query translator: ``"scan"`` is the paper's O(rules) join (the
+#: default, for fidelity), ``"trigram"`` the indexed probe.
+CONTAINS_INDEX_MODES = ("scan", "trigram")
+
+#: The probe: postings matched by the value's trigrams, grouped per
+#: rule, kept when the whole needle-trigram set was found.  The value's
+#: trigrams arrive as a JSON array parameter (``json_each``) — no
+#: scratch table, no writes.  ``CROSS JOIN`` pins the join order to
+#: *probe the postings per value trigram*; left to cost estimates the
+#: planner prefers scanning all postings against the (statistics-free)
+#: trigram set, which is O(postings) per probe — measured 5× slower.
+_PROBE_SQL = (
+    "SELECT fr.rule_id, fr.value FROM ("
+    "  SELECT tp.rule_id AS rule_id, COUNT(*) AS matched"
+    "  FROM json_each(?) g CROSS JOIN text_postings tp"
+    "  WHERE tp.trigram = g.value"
+    "  GROUP BY tp.rule_id"
+    ") c JOIN filter_rules_con_tri fr ON fr.rule_id = c.rule_id "
+    "WHERE fr.class = ? AND fr.property = ? "
+    "AND fr.trigram_count = c.matched"
+)
+
+
+def index_contains_rule(
+    db: Database,
+    rule_id: int,
+    classes: Iterable[str],
+    prop: str,
+    needle: str,
+    metrics: MetricsRegistry | None = None,
+) -> bool:
+    """Add index rows for one registered ``contains`` rule.
+
+    Returns ``False`` (and counts ``text.fallback_rules``) when the
+    needle is too short to index — the rule stays scan-only.
+    """
+    registry = metrics if metrics is not None else default_registry()
+    if not is_indexable(needle):
+        registry.counter("text.fallback_rules").inc()
+        return False
+    grams = sorted(trigrams(needle))
+    db.executemany(
+        "INSERT INTO filter_rules_con_tri "
+        "(rule_id, class, property, value, trigram_count) "
+        "VALUES (?, ?, ?, ?, ?)",
+        ((rule_id, cls, prop, needle, len(grams)) for cls in classes),
+    )
+    db.executemany(
+        "INSERT INTO text_postings (trigram, rule_id) VALUES (?, ?)",
+        ((gram, rule_id) for gram in grams),
+    )
+    return True
+
+
+def drop_contains_rule(db: Database, rule_id: int) -> None:
+    """Remove a rule's index rows (no-op for never-indexed rules)."""
+    db.execute(
+        "DELETE FROM filter_rules_con_tri WHERE rule_id = ?", (rule_id,)
+    )
+    db.execute("DELETE FROM text_postings WHERE rule_id = ?", (rule_id,))
+
+
+def match_contains_indexed(
+    db: Database, metrics: MetricsRegistry | None = None
+) -> list[tuple[str, int]]:
+    """Match ``filter_input`` against the indexed ``contains`` rules.
+
+    Returns deduplicated ``(uri_reference, rule_id)`` hits, exactly the
+    pairs the scan join over the indexable rules would produce.  The
+    outer loop runs once per *distinct* ``(class, property, value)``
+    triple that any indexed rule could possibly see — verification cost
+    scales with distinct values times candidates, not with input rows.
+    """
+    registry = metrics if metrics is not None else default_registry()
+    m_candidates = registry.counter("text.candidates")
+    m_verified = registry.counter("text.verified")
+    m_false = registry.counter("text.false_positives")
+    m_probe = registry.histogram("text.probe_ms")
+
+    values = db.query_all(
+        "SELECT DISTINCT fi.class, fi.property, fi.value "
+        "FROM filter_input fi "
+        "WHERE EXISTS (SELECT 1 FROM filter_rules_con_tri fr "
+        "WHERE fr.class = fi.class AND fr.property = fi.property)"
+    )
+    hits: dict[tuple[str, int], None] = {}
+    for row in values:
+        cls, prop, value = str(row[0]), str(row[1]), str(row[2])
+        started = time.perf_counter()
+        verified: list[int] = []
+        grams = trigrams(value)
+        # A value shorter than a trigram cannot contain any indexable
+        # needle (every indexed needle is at least trigram-length).
+        if grams:
+            payload = json.dumps(sorted(grams))
+            candidates = db.query_all(_PROBE_SQL, (payload, cls, prop))
+            m_candidates.inc(len(candidates))
+            for candidate in candidates:
+                if contains_match(value, str(candidate[1])):
+                    verified.append(int(candidate[0]))
+                else:
+                    m_false.inc()
+            m_verified.inc(len(verified))
+        m_probe.observe((time.perf_counter() - started) * 1000.0)
+        if verified:
+            uri_rows = db.query_all(
+                "SELECT DISTINCT uri_reference FROM filter_input "
+                "WHERE class = ? AND property = ? AND value = ?",
+                (cls, prop, value),
+            )
+            for uri_row in uri_rows:
+                uri = str(uri_row[0])
+                for matched_rule in verified:
+                    hits[(uri, matched_rule)] = None
+    return list(hits)

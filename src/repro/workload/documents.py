@@ -21,6 +21,8 @@ matched by a fixed fraction of the rule base (see
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 from repro.rdf.model import Document, URIRef
 
 __all__ = [
@@ -56,15 +58,21 @@ def benchmark_document(
     synth_value: int = 0,
     memory: int | None = None,
     cpu: int = JOIN_CPU,
+    server_host: str | None = None,
 ) -> Document:
     """One Figure-1-shaped document.
 
     ``memory`` defaults to ``index`` — the unique value PATH and JOIN
-    rules key on.  ``synth_value`` is the COMP workload knob.
+    rules key on.  ``synth_value`` is the COMP workload knob;
+    ``server_host`` overrides the default host name (the CON workload
+    embeds its matched tokens there).
     """
     doc = Document(document_uri(index))
     host = doc.new_resource("host", "CycleProvider")
-    host.add("serverHost", f"host{index}.{HOST_DOMAIN}")
+    host.add(
+        "serverHost",
+        f"host{index}.{HOST_DOMAIN}" if server_host is None else server_host,
+    )
     host.add("serverPort", 5000 + (index % 1000))
     host.add("synthValue", synth_value)
     host.add("serverInformation", info_uri(index))
@@ -78,9 +86,18 @@ def benchmark_batch(
     batch_size: int,
     start_index: int = 0,
     synth_value: int = 0,
+    server_host: Callable[[int], str | None] | None = None,
 ) -> list[Document]:
-    """A batch of consecutive benchmark documents."""
+    """A batch of consecutive benchmark documents.
+
+    ``server_host`` maps a document index to its host name override
+    (``None`` keeps the default).
+    """
     return [
-        benchmark_document(index, synth_value=synth_value)
+        benchmark_document(
+            index,
+            synth_value=synth_value,
+            server_host=None if server_host is None else server_host(index),
+        )
         for index in range(start_index, start_index + batch_size)
     ]

@@ -10,6 +10,8 @@
           where c.serverHost contains 'uni-passau.de'
             and c.serverInformation.cpu = 600
             and c.serverInformation.memory = INT
+    CON:  search CycleProvider c register c
+          where c.serverHost contains TOKEN
 
 Matching contracts (paper, Section 4):
 
@@ -26,9 +28,18 @@ Matching contracts (paper, Section 4):
   ``synthValue = v`` is matched by exactly ``v`` rules, so
   ``synth_value_for_fraction`` picks the value that triggers the desired
   percentage of the rule base.
+- **CON** rule ``j`` tests ``serverHost contains`` a pseudo-random
+  8-letter token unique to ``j`` (:func:`con_token`); a document whose
+  host embeds the tokens ``0 … k-1`` is matched by exactly ``k`` rules
+  — the pure-``contains`` analogue of the COMP contract, used by the
+  trigram-index experiments (docs/TEXT_INDEX.md).  Tokens are drawn
+  from 26^8 combinations; uniqueness over the generated range is
+  asserted by the workload tests.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 from repro.workload.documents import HOST_DOMAIN, JOIN_CPU, host_uri
 
@@ -37,12 +48,14 @@ __all__ = [
     "comp_rule",
     "path_rule",
     "join_rule",
+    "con_rule",
+    "con_token",
     "rules_of_type",
     "synth_value_for_fraction",
     "RULE_TYPES",
 ]
 
-RULE_TYPES = ("OID", "COMP", "PATH", "JOIN")
+RULE_TYPES = ("OID", "COMP", "PATH", "JOIN", "CON")
 
 
 def oid_rule(index: int) -> str:
@@ -73,11 +86,30 @@ def join_rule(index: int) -> str:
     )
 
 
+def con_token(index: int) -> str:
+    """A deterministic pseudo-random 8-letter token for CON rule ``index``.
+
+    Lowercase letters only, so a token can never straddle the ``.``
+    separators of a benchmark host name — token ``j`` is a substring of
+    the host exactly when the host embeds token ``j`` whole.
+    """
+    digest = hashlib.md5(f"con{index}".encode()).digest()
+    return "".join(chr(97 + byte % 26) for byte in digest[:8])
+
+
+def con_rule(index: int) -> str:
+    return (
+        f"search CycleProvider c register c "
+        f"where c.serverHost contains '{con_token(index)}'"
+    )
+
+
 _GENERATORS = {
     "OID": oid_rule,
     "COMP": comp_rule,
     "PATH": path_rule,
     "JOIN": join_rule,
+    "CON": con_rule,
 }
 
 

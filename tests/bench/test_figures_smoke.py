@@ -27,8 +27,14 @@ def test_figure12_structure():
 
 
 def test_figure13_structure():
-    figure = figure13(sizes=(20, 40), batches=TINY_BATCHES)
-    assert all(s.spec.match_fraction == 0.1 for s in figure.series)
+    figure = figure13(sizes=(20, 40), batches=TINY_BATCHES, con_sizes=(20, 40))
+    comp = [s for s in figure.series if s.spec.rule_type == "COMP"]
+    con = [s for s in figure.series if s.spec.rule_type == "CON"]
+    assert all(s.spec.match_fraction == 0.1 for s in comp)
+    # Per CON size: one scan sweep and one trigram sweep, same workload.
+    assert len(con) == 4
+    assert sum("contains=trigram" in s.label for s in con) == 2
+    assert len(figure.claims) == 5
 
 
 def test_figure14_structure():
@@ -37,14 +43,18 @@ def test_figure14_structure():
 
 
 def test_figure15_structure():
-    figure = figure15(rule_count=40, batches=TINY_BATCHES)
-    assert [s.spec.match_fraction for s in figure.series] == [
+    figure = figure15(rule_count=40, batches=TINY_BATCHES, con_rules=40)
+    comp = [s for s in figure.series if s.spec.rule_type == "COMP"]
+    con = [s for s in figure.series if s.spec.rule_type == "CON"]
+    assert [s.spec.match_fraction for s in comp] == [
         0.01,
         0.05,
         0.1,
         0.2,
     ]
-    assert len(figure.claims) == 1
+    assert len(con) == 4
+    assert sum("contains=trigram" in s.label for s in con) == 2
+    assert len(figure.claims) == 3
 
 
 def test_figure_batches_exceeding_rule_base_skipped():

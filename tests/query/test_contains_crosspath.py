@@ -1,0 +1,181 @@
+"""One ``contains`` semantics across every evaluation path.
+
+Five consumers evaluate ``contains`` predicates: the in-memory query
+evaluator, the SQL browse translator in scan and trigram mode, and the
+filter's triggering join in scan and trigram mode.  All five must agree
+— exact, case-sensitive substring over canonical string values (see
+:mod:`repro.text.ngrams`) — on every value/needle shape the language
+can produce: case variants, numeric-looking text, unicode, and needles
+shorter than a trigram (the index fallback).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.filter.engine import FilterEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.query.evaluator import evaluate_query
+from repro.query.sql import run_query_sql
+from repro.rdf.diff import diff_documents
+from repro.rdf.model import Document, URIRef
+from repro.rdf.schema import objectglobe_schema
+from repro.rules.parser import parse_query
+from repro.rules.registry import RuleRegistry
+from repro.storage.engine import Database
+from repro.storage.schema import create_all
+from repro.text.index import index_contains_rule, match_contains_indexed
+from repro.text.ngrams import contains_match
+from tests.conftest import prop_settings, register_rule
+
+SCHEMA = objectglobe_schema()
+
+_HOSTS = [
+    "a.uni-passau.de",
+    "A.UNI-PASSAU.DE",
+    "b.tum.de",
+    "münchen.de",
+    "12345",
+    "abc-xbc-cde.org",  # trigram false-positive bait for needle "abcde"
+    "abcde.org",
+    "pa",
+]
+
+_NEEDLES = [
+    "uni",          # plain indexable needle
+    "UNI",          # case variant — must NOT match the lowercase hosts
+    "234",          # numeric-looking text; affinity must not kick in
+    "ünch",         # unicode codepoints
+    "de",           # shorter than a trigram — scan fallback
+    "abcde",        # scattered-trigram false positive on one host
+    "passau",
+    ".org",
+]
+
+
+def _documents() -> list[Document]:
+    documents = []
+    for index, host in enumerate(_HOSTS):
+        doc = Document(f"doc{index}.rdf")
+        provider = doc.new_resource("host", "CycleProvider")
+        provider.add("serverHost", host)
+        documents.append(doc)
+    return documents
+
+
+def _expected(needle: str) -> list[str]:
+    return sorted(
+        f"doc{index}.rdf#host"
+        for index, host in enumerate(_HOSTS)
+        if contains_match(host, needle)
+    )
+
+
+def _rule(needle: str) -> str:
+    return (
+        "search CycleProvider c register c "
+        f"where c.serverHost contains '{needle}'"
+    )
+
+
+@pytest.fixture(scope="module")
+def filter_state():
+    """Both engines fed the same documents, rules registered per needle."""
+    state = {}
+    for mode in ("scan", "trigram"):
+        db = Database()
+        create_all(db)
+        registry = RuleRegistry(db)
+        engine = FilterEngine(db, registry, contains_index=mode)
+        ends = {
+            needle: register_rule(
+                engine, registry, SCHEMA, _rule(needle), subscriber=f"s{i}"
+            )
+            for i, needle in enumerate(_NEEDLES)
+        }
+        for doc in _documents():
+            engine.process_diff(diff_documents(None, doc))
+        state[mode] = (db, engine, ends)
+    yield state
+    for db, engine, __ in state.values():
+        engine.close()
+        db.close()
+
+
+@pytest.mark.parametrize("needle", _NEEDLES)
+def test_evaluator_agrees(needle):
+    resources = [r for doc in _documents() for r in doc]
+    query = parse_query(
+        f"search CycleProvider c where c.serverHost contains '{needle}'"
+    )
+    matches = evaluate_query(query, resources, SCHEMA)
+    assert [str(r.uri) for r in matches] == _expected(needle)
+
+
+@pytest.mark.parametrize("mode", ["scan", "trigram"])
+@pytest.mark.parametrize("needle", _NEEDLES)
+def test_sql_browse_agrees(filter_state, needle, mode):
+    db, __, __ends = filter_state["scan"]
+    query = parse_query(
+        f"search CycleProvider c where c.serverHost contains '{needle}'"
+    )
+    uris = run_query_sql(db, query, SCHEMA, contains_index=mode)
+    assert [str(u) for u in uris] == _expected(needle)
+
+
+@pytest.mark.parametrize("mode", ["scan", "trigram"])
+@pytest.mark.parametrize("needle", _NEEDLES)
+def test_triggering_agrees(filter_state, needle, mode):
+    __, engine, ends = filter_state[mode]
+    matches = engine.current_matches(ends[needle])
+    assert sorted(str(u) for u in matches) == _expected(needle)
+
+
+# -- the superset property ------------------------------------------------
+
+_value = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs",), blacklist_characters="\x00"
+    ),
+    max_size=12,
+)
+
+
+@prop_settings(60)
+@given(
+    values=st.lists(_value, min_size=1, max_size=8, unique=True),
+    needle=st.text(alphabet="abcde.", min_size=3, max_size=6),
+)
+def test_trigram_candidates_superset_of_true_matches(values, needle):
+    """Probe candidates ⊇ true matches; verification restores equality."""
+    metrics = MetricsRegistry()
+    db = Database()
+    try:
+        create_all(db)
+        db.execute(
+            "INSERT INTO atomic_rules (rule_id, kind, rule_text, class) "
+            "VALUES (1, 'triggering', 'synthetic', 'CycleProvider')"
+        )
+        index_contains_rule(
+            db, 1, ["CycleProvider"], "serverHost", needle, metrics=metrics
+        )
+        for index, value in enumerate(values):
+            db.execute(
+                "INSERT INTO filter_input "
+                "(uri_reference, class, property, value) "
+                "VALUES (?, 'CycleProvider', 'serverHost', ?)",
+                (f"doc{index}.rdf#host", value),
+            )
+        hits = match_contains_indexed(db, metrics=metrics)
+        truth = sorted(
+            (f"doc{index}.rdf#host", 1)
+            for index, value in enumerate(values)
+            if contains_match(value, needle)
+        )
+        assert sorted(hits) == truth
+        counters = metrics.counter_values()
+        assert counters.get("text.candidates", 0) >= len(truth)
+        assert counters.get("text.verified", 0) == len(truth)
+    finally:
+        db.close()

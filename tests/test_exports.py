@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.obs",
     "repro.mdv",
     "repro.analysis",
+    "repro.text",
     "repro.workload",
     "repro.bench",
     "repro.xmlext",
@@ -104,6 +105,8 @@ MODULES_WITH_DOCSTRINGS = [
     "repro.mdv.consistency",
     "repro.mdv.batching",
     "repro.mdv.stats",
+    "repro.text.ngrams",
+    "repro.text.index",
     "repro.workload.documents",
     "repro.workload.rules",
     "repro.workload.scenarios",

@@ -1,0 +1,133 @@
+"""Postings maintenance and the probe/verify loop (repro.text.index).
+
+The registry maintains the trigram index regardless of any engine's
+``contains_index`` mode (the knob only selects the read path), so these
+tests register through a plain scan-mode engine and observe the index
+tables directly via :class:`~repro.storage.tables.TextIndexTable`.
+"""
+
+from repro.obs.metrics import default_registry
+from repro.storage.tables import TextIndexTable
+from repro.text.index import (
+    CONTAINS_INDEX_MODES,
+    drop_contains_rule,
+    index_contains_rule,
+    match_contains_indexed,
+)
+from repro.text.ngrams import trigrams
+from tests.conftest import register_rule
+
+RULE = (
+    "search CycleProvider c register c "
+    "where c.serverHost contains 'uni-passau.de'"
+)
+SHORT_RULE = (
+    "search CycleProvider c register c where c.serverHost contains 'de'"
+)
+
+
+def test_modes_constant():
+    assert CONTAINS_INDEX_MODES == ("scan", "trigram")
+
+
+class TestRegistryMaintenance:
+    def test_registration_populates_index(self, db, registry, engine, schema):
+        register_rule(engine, registry, schema, RULE)
+        table = TextIndexTable(db)
+        (rule_id,) = table.indexed_rule_ids()
+        assert table.needle_of(rule_id) == "uni-passau.de"
+        postings = table.postings_of(rule_id)
+        assert postings == sorted(trigrams("uni-passau.de"))
+        stored_count = db.scalar(
+            "SELECT trigram_count FROM filter_rules_con_tri "
+            "WHERE rule_id = ?",
+            (rule_id,),
+        )
+        assert stored_count == len(postings)
+        assert table.rules_for_trigram("pas") == [rule_id]
+
+    def test_short_needle_stays_scan_only(self, db, registry, engine, schema):
+        register_rule(engine, registry, schema, SHORT_RULE)
+        table = TextIndexTable(db)
+        assert table.indexed_rule_ids() == set()
+        assert table.posting_count() == 0
+        # The scan join still holds the rule — both paths together are
+        # complete.
+        assert db.count("filter_rules_con") == 1
+        assert default_registry().counter("text.fallback_rules").value == 1
+
+    def test_unsubscribe_drops_postings(self, db, registry, engine, schema):
+        register_rule(engine, registry, schema, RULE)
+        register_rule(engine, registry, schema, SHORT_RULE, subscriber="lmr2")
+        registry.unsubscribe("lmr", RULE)
+        table = TextIndexTable(db)
+        assert table.indexed_rule_ids() == set()
+        assert table.posting_count() == 0
+
+
+def _publish_value(db, uri: str, value: str) -> None:
+    db.execute(
+        "INSERT INTO filter_input (uri_reference, class, property, value) "
+        "VALUES (?, 'CycleProvider', 'serverHost', ?)",
+        (uri, value),
+    )
+
+
+def _index_rule(db, rule_id: int, needle: str) -> None:
+    """Index one synthetic rule (the con_tri table references atomic_rules)."""
+    db.execute(
+        "INSERT INTO atomic_rules (rule_id, kind, rule_text, class) "
+        "VALUES (?, 'triggering', ?, 'CycleProvider')",
+        (rule_id, f"synthetic contains {needle!r}"),
+    )
+    index_contains_rule(db, rule_id, ["CycleProvider"], "serverHost", needle)
+
+
+class TestProbe:
+    def test_candidates_verified_and_false_positives_counted(self, db):
+        # "abcxbcd" carries both trigrams of the needle "abcd" without
+        # containing it contiguously: a candidate the verifier must kill.
+        assert trigrams("abcd") <= trigrams("abcxbcd")
+        _index_rule(db, 7, "abcd")
+        _publish_value(db, "doc0.rdf#host", "abcxbcd")
+        _publish_value(db, "doc1.rdf#host", "zz-abcd-zz")
+        hits = match_contains_indexed(db)
+        assert hits == [("doc1.rdf#host", 7)]
+        counters = default_registry().counter_values()
+        assert counters["text.candidates"] == 2
+        assert counters["text.verified"] == 1
+        assert counters["text.false_positives"] == 1
+
+    def test_value_shorter_than_trigram_cannot_match(self, db):
+        _index_rule(db, 7, "abcd")
+        _publish_value(db, "doc0.rdf#host", "ab")
+        assert match_contains_indexed(db) == []
+        assert default_registry().counter_values()["text.candidates"] == 0
+
+    def test_duplicate_values_deduplicate_probes(self, db):
+        _index_rule(db, 7, "abcd")
+        for index in range(3):
+            _publish_value(db, f"doc{index}.rdf#host", "has-abcd-inside")
+        hits = match_contains_indexed(db)
+        assert sorted(hits) == [
+            ("doc0.rdf#host", 7),
+            ("doc1.rdf#host", 7),
+            ("doc2.rdf#host", 7),
+        ]
+        # One distinct value → one probe → one candidate row.
+        assert default_registry().counter_values()["text.candidates"] == 1
+
+    def test_class_and_property_scope_the_probe(self, db):
+        _index_rule(db, 7, "abcd")
+        db.execute(
+            "INSERT INTO filter_input (uri_reference, class, property, value)"
+            " VALUES ('doc0.rdf#info', 'ServerInformation', 'serverHost',"
+            " 'has-abcd-inside')"
+        )
+        assert match_contains_indexed(db) == []
+
+    def test_drop_removes_rule_from_probe(self, db):
+        _index_rule(db, 7, "abcd")
+        drop_contains_rule(db, 7)
+        _publish_value(db, "doc0.rdf#host", "has-abcd-inside")
+        assert match_contains_indexed(db) == []
