@@ -1,24 +1,32 @@
 """Static analysis for subscription rules and persisted filter state.
 
-Three analyzers over the rule pipeline, all reporting structured
-:class:`~repro.analysis.diagnostics.Diagnostic` findings instead of
-raising on the first problem:
+Five analyzers over the rule pipeline and its source tree, all
+reporting structured :class:`~repro.analysis.diagnostics.Diagnostic`
+findings instead of raising on the first problem:
 
 - :mod:`repro.analysis.lint` — schema, typing and satisfiability checks
   on the parsed rule AST (``MDV00x``/``MDV01x``);
 - :mod:`repro.analysis.subsume` — duplication and subsumption of a
   candidate rule against the live registry (``MDV02x``);
 - :mod:`repro.analysis.invariants` — storage and dependency-graph
-  invariant auditing of an MDP database (``MDV03x``).
+  invariant auditing of an MDP database (``MDV03x``);
+- :mod:`repro.analysis.rulebase` — whole-registry optimizer: canonical
+  forms, equivalence classes, scalable subsumption and the index
+  advisor (``MDV05x``);
+- :mod:`repro.analysis.code` — AST lint pack over the package source
+  for concurrency/determinism hygiene (``MDV06x``).
 
-``python -m repro.analysis`` exposes all three from the command line;
+``python -m repro.analysis`` exposes all five from the command line;
 the registration paths (:meth:`RuleRegistry.register_subscription`,
 ``MetadataProvider.subscribe``) accept an ``analyze`` policy that turns
-findings into warnings or registration rejections.
+findings into warnings or registration rejections, and the registry's
+``dedupe`` knob uses the canonicalizer to share triggering work between
+semantically equivalent subscriptions.
 """
 
 from __future__ import annotations
 
+from repro.analysis.code import lint_file, lint_paths
 from repro.analysis.diagnostics import (
     CODES,
     AnalysisReport,
@@ -27,15 +35,39 @@ from repro.analysis.diagnostics import (
 )
 from repro.analysis.invariants import audit_database
 from repro.analysis.lint import lint_rule, lint_rule_text
+from repro.analysis.rulebase import (
+    CanonicalRule,
+    CoveringEdge,
+    IndexAdvice,
+    RegistryAudit,
+    advise_indexes,
+    audit_registry,
+    canonical_hash,
+    canonicalize,
+    find_covering_edges,
+    load_registry_atoms,
+)
 from repro.analysis.subsume import check_subsumption
 
 __all__ = [
     "AnalysisReport",
     "CODES",
+    "CanonicalRule",
+    "CoveringEdge",
     "Diagnostic",
+    "IndexAdvice",
+    "RegistryAudit",
     "Severity",
+    "advise_indexes",
     "audit_database",
+    "audit_registry",
+    "canonical_hash",
+    "canonicalize",
     "check_subsumption",
+    "find_covering_edges",
+    "lint_file",
+    "lint_paths",
     "lint_rule",
     "lint_rule_text",
+    "load_registry_atoms",
 ]

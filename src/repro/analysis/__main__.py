@@ -7,17 +7,27 @@ Commands:
   ``#`` starts a comment line).  With ``--db`` the rules are also
   checked for duplication/subsumption against the registry stored in
   that MDP database.
-- ``audit --db PATH`` — audit a live MDP database for storage and
-  dependency-graph invariant violations.
+- ``audit --db PATH [--analysis-json PATH]`` — audit a live MDP
+  database: storage/graph invariants (``MDV03x``) plus the
+  whole-registry rule-base audit (``MDV05x`` — equivalence classes,
+  shadowed and dead rules, index-advisor recommendations).
+  ``--analysis-json`` dumps the full ``ANALYSIS.json`` payload.
+- ``code [PATH ...] [--root DIR]`` — run the source-code lint pack
+  (``MDV06x``) over Python files; defaults to the installed ``repro``
+  package tree.
 - ``codes`` — list every diagnostic code with its meaning.
 
-Exit status: 0 when clean, 1 when only warnings were found, 2 on any
-error (including unreadable inputs).
+Every command takes ``--format text|json``; ``json`` prints one
+machine-readable object on stdout (used by the CI lint-pack job).
+
+Exit status: 0 when clean (infos allowed), 1 when warnings were found,
+2 on any error (including unreadable inputs).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -26,9 +36,11 @@ from repro.rdf.schema import Schema, objectglobe_schema
 from repro.rules.registry import RuleRegistry
 from repro.storage.engine import Database
 
+from repro.analysis.code import lint_paths
 from repro.analysis.diagnostics import CODES, EXIT_ERRORS, AnalysisReport
 from repro.analysis.invariants import audit_database
 from repro.analysis.lint import lint_rule_text
+from repro.analysis.rulebase import audit_registry
 from repro.analysis.subsume import check_subsumption
 
 __all__ = ["main"]
@@ -68,7 +80,10 @@ def _provider_schema(db: Database) -> Schema:
 
 
 def run_lint(
-    files: list[str], rule: str | None, db_path: str | None
+    files: list[str],
+    rule: str | None,
+    db_path: str | None,
+    fmt: str = "text",
 ) -> int:
     """Lint rules from files and/or ``--rule``; print findings."""
     sources: list[tuple[str, str]] = []
@@ -99,14 +114,25 @@ def run_lint(
         schema = _provider_schema(db)
 
     total = AnalysisReport()
+    inputs: list[dict[str, object]] = []
     for label, rule_text in sources:
         named_types = registry.named_rule_types() if registry else None
         report = lint_rule_text(rule_text, schema, named_types)
         if registry is not None and not report.has_errors:
             report.extend(_subsumption_report(rule_text, schema, registry))
-        _print_findings(label, rule_text, report)
+        if fmt == "json":
+            inputs.append(
+                {"source": label, "rule": rule_text, **report.to_dict()}
+            )
+        else:
+            _print_findings(label, rule_text, report)
         total.extend(report)
-    _print_summary(total, len(sources))
+    if fmt == "json":
+        print(json.dumps(
+            {"inputs": inputs, **_summary_dict(total)}, indent=2
+        ))
+    else:
+        _print_summary(total, len(sources))
     return total.exit_code()
 
 
@@ -135,7 +161,9 @@ def _subsumption_report(
     return report
 
 
-def run_audit(db_path: str) -> int:
+def run_audit(
+    db_path: str, fmt: str = "text", analysis_json: str | None = None
+) -> int:
     """Audit one MDP database; print findings."""
     try:
         db = _open_database(db_path)
@@ -143,14 +171,55 @@ def run_audit(db_path: str) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERRORS
     report = audit_database(db)
-    for diagnostic in report:
-        where = f" [{diagnostic.source}]" if diagnostic.source else ""
-        print(f"{db_path}{where}: {diagnostic.render()}")
-    _print_summary(report, 1)
+    rulebase = audit_registry(db, _provider_schema(db))
+    report.extend(rulebase.report)
+    if analysis_json is not None:
+        Path(analysis_json).write_text(
+            json.dumps(rulebase.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+    if fmt == "json":
+        print(json.dumps(
+            {
+                "database": db_path,
+                "rulebase": rulebase.to_dict(),
+                **report.to_dict(),
+            },
+            indent=2,
+        ))
+    else:
+        for diagnostic in report:
+            where = f" [{diagnostic.source}]" if diagnostic.source else ""
+            print(f"{db_path}{where}: {diagnostic.render()}")
+        _print_summary(report, 1)
     return report.exit_code()
 
 
-def run_codes() -> int:
+def run_code(paths: list[str], root: str | None, fmt: str = "text") -> int:
+    """Run the source-code lint pack (``MDV06x``) and print findings."""
+    targets = [Path(p) for p in paths] or None
+    try:
+        report, files_checked = lint_paths(
+            targets, root=Path(root) if root else None
+        )
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERRORS
+    if fmt == "json":
+        print(json.dumps(
+            {"files_checked": files_checked, **report.to_dict()}, indent=2
+        ))
+    else:
+        for diagnostic in report:
+            where = f"{diagnostic.source}: " if diagnostic.source else ""
+            print(f"{where}{diagnostic.render()}")
+        _print_summary(report, files_checked)
+    return report.exit_code()
+
+
+def run_codes(fmt: str = "text") -> int:
+    if fmt == "json":
+        print(json.dumps(dict(sorted(CODES.items())), indent=2))
+        return 0
     for code, meaning in sorted(CODES.items()):
         print(f"{code}  {meaning}")
     return 0
@@ -167,6 +236,11 @@ def _print_findings(
             print(f"    {' ' * start}{'^' * max(end - start, 1)}")
 
 
+def _summary_dict(report: AnalysisReport) -> dict[str, object]:
+    payload = report.to_dict()
+    return {"summary": payload["summary"], "exit_code": payload["exit_code"]}
+
+
 def _print_summary(report: AnalysisReport, analyzed: int) -> None:
     errors = len(report.errors())
     warnings = len(report.warnings())
@@ -176,7 +250,7 @@ def _print_summary(report: AnalysisReport, analyzed: int) -> None:
                         (infos, "info")):
         if count:
             parts.append(f"{count} {word}(s)")
-    if report.is_clean:
+    if not errors and not warnings:
         parts.append("clean")
     print(", ".join(parts))
 
@@ -202,18 +276,40 @@ def main(argv: list[str] | None = None) -> int:
         "MDP database",
     )
     audit_parser = subparsers.add_parser(
-        "audit", help="audit an MDP database for invariant violations"
+        "audit", help="audit an MDP database (invariants + rule base)"
     )
     audit_parser.add_argument(
         "--db", required=True, help="path to the MDP SQLite database"
     )
+    audit_parser.add_argument(
+        "--analysis-json", metavar="PATH",
+        help="dump the whole-registry ANALYSIS.json payload to PATH",
+    )
+    code_parser = subparsers.add_parser(
+        "code", help="run the MDV06x source-code lint pack"
+    )
+    code_parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the repro package)",
+    )
+    code_parser.add_argument(
+        "--root", help="directory the relative source labels are "
+        "computed against",
+    )
     subparsers.add_parser("codes", help="list all diagnostic codes")
+    for sub in subparsers.choices.values():
+        sub.add_argument(
+            "--format", choices=("text", "json"), default="text",
+            help="output format (default: text)",
+        )
     args = parser.parse_args(argv)
     if args.command == "lint":
-        return run_lint(args.files, args.rule, args.db)
+        return run_lint(args.files, args.rule, args.db, args.format)
     if args.command == "audit":
-        return run_audit(args.db)
-    return run_codes()
+        return run_audit(args.db, args.format, args.analysis_json)
+    if args.command == "code":
+        return run_code(args.paths, args.root, args.format)
+    return run_codes(args.format)
 
 
 if __name__ == "__main__":

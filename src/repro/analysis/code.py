@@ -1,0 +1,404 @@
+"""AST lint pack enforcing the repository's concurrency/determinism rules.
+
+The sharded triggering pipeline (PR 4) introduced invariants that were
+previously enforced only by convention and code review:
+
+- **MDV060** — ``sqlite3.connect`` may only be called inside the storage
+  engine (:mod:`repro.storage.engine`).  Raw connections bypass the
+  statement/row accounting and the thread-affinity policy.
+- **MDV061** — ``check_same_thread=False`` and thread/executor creation
+  are restricted to the concurrency allowlist (currently the shard pool,
+  whose replicas are provably thread-bound; see docs/CONCURRENCY.md).
+- **MDV062** — wall-clock reads (``time.time``, ``datetime.now``,
+  ``datetime.utcnow``, ``date.today``) are banned outside clock-waived
+  sites: simulated/replayed paths must be deterministic, and benchmarks
+  must use the monotonic ``time.perf_counter``.  A line may carry an
+  explicit waiver comment ``# mdv: allow(MDV062)``.
+- **MDV063** — registered hot paths (:data:`HOT_PATHS`) must carry
+  ``obs`` instrumentation: a function on the list has to touch a
+  metrics/tracer handle (``self._m_*``, ``metrics``, ``tracer``)
+  somewhere in its body, so filter cost stays attributable.
+- **MDV064** — every module must declare ``__all__`` as a literal list
+  or tuple of strings naming top-level definitions.
+
+``python -m repro.analysis code`` runs the pack over ``src/repro`` (CI
+wires it up with ``--format json``).  The checks are deliberately
+syntactic — no imports are executed — so the pack runs on any tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.diagnostics import AnalysisReport, Severity
+
+__all__ = [
+    "lint_file",
+    "lint_paths",
+    "default_root",
+    "HOT_PATHS",
+    "CONNECT_ALLOWLIST",
+    "CONCURRENCY_ALLOWLIST",
+    "WAIVER_MARK",
+]
+
+#: Files (by ``/``-joined path suffix) allowed to call ``sqlite3.connect``.
+CONNECT_ALLOWLIST = ("repro/storage/engine.py",)
+
+#: Files allowed to create threads/executors or unbind thread affinity.
+CONCURRENCY_ALLOWLIST = ("repro/filter/shards.py",)
+
+#: Functions (file suffix, qualified name) that must reference an ``obs``
+#: handle somewhere in their body.
+HOT_PATHS: tuple[tuple[str, str], ...] = (
+    ("repro/storage/engine.py", "Database.execute"),
+    ("repro/filter/engine.py", "FilterEngine.run"),
+    ("repro/text/index.py", "match_contains_indexed"),
+)
+
+#: Inline waiver comment; must name the code it waives.
+WAIVER_MARK = "# mdv: allow("
+
+#: ``(module, attribute)`` calls that read the wall clock.
+_WALL_CLOCK_TIME_ATTRS = frozenset({"time", "time_ns"})
+_WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+_THREAD_FACTORIES = frozenset(
+    {"Thread", "ThreadPoolExecutor", "ProcessPoolExecutor", "Timer"}
+)
+
+_OBS_MARKERS = frozenset({"metrics", "tracer"})
+
+
+def default_root() -> Path:
+    """The ``repro`` package directory (self-locating for CI)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _suffix_match(path: Path, suffixes: tuple[str, ...]) -> bool:
+    normalized = path.as_posix()
+    return any(normalized.endswith(suffix) for suffix in suffixes)
+
+
+def _waived(source_lines: list[str], node: ast.AST, code: str) -> bool:
+    lineno = getattr(node, "lineno", None)
+    if lineno is None or lineno > len(source_lines):
+        return False
+    line = source_lines[lineno - 1]
+    return f"{WAIVER_MARK}{code})" in line
+
+
+def _span(source_lines: list[str], node: ast.AST) -> tuple[int, int] | None:
+    lineno = getattr(node, "lineno", None)
+    col = getattr(node, "col_offset", None)
+    if lineno is None or col is None:
+        return None
+    offset = sum(len(line) + 1 for line in source_lines[: lineno - 1]) + col
+    end_col = getattr(node, "end_col_offset", col + 1)
+    end_lineno = getattr(node, "end_lineno", lineno)
+    end_offset = (
+        sum(len(line) + 1 for line in source_lines[: end_lineno - 1]) + end_col
+    )
+    return offset, end_offset
+
+
+class _ImportOrigins(ast.NodeVisitor):
+    """Map local names to ``module`` / ``module.attr`` import origins."""
+
+    def __init__(self) -> None:
+        self.origins: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.origins[alias.asname or alias.name.split(".")[0]] = (
+                alias.name
+            )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None:
+            return
+        for alias in node.names:
+            self.origins[alias.asname or alias.name] = (
+                f"{node.module}.{alias.name}"
+            )
+
+
+def _call_target(node: ast.Call, origins: dict[str, str]) -> str | None:
+    """The dotted origin of a call, resolved through the import map."""
+    func = node.func
+    parts: list[str] = []
+    while isinstance(func, ast.Attribute):
+        parts.append(func.attr)
+        func = func.value
+    if not isinstance(func, ast.Name):
+        return None
+    base = origins.get(func.id, func.id)
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def lint_file(path: Path, relative_to: Path | None = None) -> AnalysisReport:
+    """Run every MDV06x check over one Python source file."""
+    report = AnalysisReport()
+    source = path.read_text(encoding="utf-8")
+    source_lines = source.splitlines()
+    label = (
+        path.relative_to(relative_to).as_posix()
+        if relative_to is not None and path.is_relative_to(relative_to)
+        else path.as_posix()
+    )
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        report.add(
+            Severity.ERROR,
+            "MDV064",
+            f"file does not parse: {exc.msg}",
+            source=label,
+        )
+        return report
+
+    origins_visitor = _ImportOrigins()
+    origins_visitor.visit(tree)
+    origins = origins_visitor.origins
+
+    connect_ok = _suffix_match(path, CONNECT_ALLOWLIST)
+    concurrency_ok = _suffix_match(path, CONCURRENCY_ALLOWLIST)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            target = _call_target(node, origins)
+            if target is not None:
+                _check_call(
+                    report, source_lines, label, node, target,
+                    connect_ok, concurrency_ok,
+                )
+        if isinstance(node, ast.keyword):
+            if (
+                node.arg == "check_same_thread"
+                and isinstance(node.value, ast.Constant)
+                and node.value.value is False
+                and not concurrency_ok
+                and not _waived(source_lines, node.value, "MDV061")
+            ):
+                report.add(
+                    Severity.ERROR,
+                    "MDV061",
+                    "check_same_thread=False unbinds sqlite thread "
+                    "affinity outside the concurrency allowlist",
+                    span=_span(source_lines, node.value),
+                    source=label,
+                )
+
+    _check_hot_paths(report, tree, path, label)
+    _check_exports(report, tree, label)
+    return report
+
+
+def _check_call(
+    report: AnalysisReport,
+    source_lines: list[str],
+    label: str,
+    node: ast.Call,
+    target: str,
+    connect_ok: bool,
+    concurrency_ok: bool,
+) -> None:
+    parts = target.split(".")
+    if target == "sqlite3.connect" and not connect_ok:
+        if not _waived(source_lines, node, "MDV060"):
+            report.add(
+                Severity.ERROR,
+                "MDV060",
+                "raw sqlite3.connect bypasses the storage engine's "
+                "accounting and affinity policy",
+                span=_span(source_lines, node),
+                hint="go through repro.storage.engine.Database",
+                source=label,
+            )
+        return
+    if len(parts) >= 2 and parts[0] == "time":
+        if parts[-1] in _WALL_CLOCK_TIME_ATTRS:
+            if not _waived(source_lines, node, "MDV062"):
+                report.add(
+                    Severity.ERROR,
+                    "MDV062",
+                    f"wall-clock call {target} breaks determinism; use "
+                    "time.perf_counter for intervals",
+                    span=_span(source_lines, node),
+                    source=label,
+                )
+            return
+    if parts[0] == "datetime" and parts[-1] in _WALL_CLOCK_DATETIME_ATTRS:
+        if not _waived(source_lines, node, "MDV062"):
+            report.add(
+                Severity.ERROR,
+                "MDV062",
+                f"wall-clock call {target} breaks determinism",
+                span=_span(source_lines, node),
+                source=label,
+            )
+        return
+    factory = parts[-1]
+    if factory in _THREAD_FACTORIES and not concurrency_ok:
+        origin = ".".join(parts[:-1])
+        if origin in ("threading", "concurrent.futures") or target in (
+            "threading.Thread",
+            "threading.Timer",
+            "concurrent.futures.ThreadPoolExecutor",
+            "concurrent.futures.ProcessPoolExecutor",
+        ):
+            if not _waived(source_lines, node, "MDV061"):
+                report.add(
+                    Severity.ERROR,
+                    "MDV061",
+                    f"{factory} created outside the concurrency "
+                    "allowlist (shard pool owns all threads)",
+                    span=_span(source_lines, node),
+                    source=label,
+                )
+
+
+def _function_qualnames(
+    tree: ast.Module,
+) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+    functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    functions[f"{node.name}.{member.name}"] = member
+    return functions
+
+
+def _references_obs(function: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for node in ast.walk(function):
+        if isinstance(node, ast.Attribute):
+            if node.attr.startswith("_m_") or node.attr in _OBS_MARKERS:
+                return True
+        elif isinstance(node, ast.Name) and node.id in _OBS_MARKERS:
+            return True
+    return False
+
+
+def _check_hot_paths(
+    report: AnalysisReport, tree: ast.Module, path: Path, label: str
+) -> None:
+    wanted = [
+        qualname
+        for suffix, qualname in HOT_PATHS
+        if path.as_posix().endswith(suffix)
+    ]
+    if not wanted:
+        return
+    functions = _function_qualnames(tree)
+    for qualname in wanted:
+        function = functions.get(qualname)
+        if function is None:
+            report.add(
+                Severity.WARNING,
+                "MDV063",
+                f"registered hot path {qualname} not found",
+                source=label,
+            )
+        elif not _references_obs(function):
+            report.add(
+                Severity.ERROR,
+                "MDV063",
+                f"hot path {qualname} lacks obs instrumentation "
+                "(no metrics/tracer reference in its body)",
+                source=label,
+            )
+
+
+def _check_exports(
+    report: AnalysisReport, tree: ast.Module, label: str
+) -> None:
+    top_level: set[str] = set()
+    exported: list[str] | None = None
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            top_level.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                top_level.add(
+                    alias.asname or alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    top_level.add(target.id)
+                    if target.id == "__all__":
+                        exported = _literal_strings(node.value)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                top_level.add(node.target.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            for sub in ast.walk(node):
+                if isinstance(
+                    sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    top_level.add(sub.name)
+                elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    for alias in sub.names:
+                        top_level.add(alias.asname or alias.name.split(".")[0])
+                elif isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name):
+                            top_level.add(target.id)
+    if exported is None:
+        report.add(
+            Severity.ERROR,
+            "MDV064",
+            "module does not declare __all__ as a literal list/tuple",
+            source=label,
+        )
+        return
+    for name in exported:
+        if name not in top_level:
+            report.add(
+                Severity.ERROR,
+                "MDV064",
+                f"__all__ exports {name!r} which is not defined at the "
+                "top level",
+                source=label,
+            )
+
+
+def _literal_strings(node: ast.expr) -> list[str]:
+    if isinstance(node, (ast.List, ast.Tuple)):
+        values = []
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                values.append(element.value)
+        return values
+    return []
+
+
+def lint_paths(
+    paths: list[Path] | None = None, root: Path | None = None
+) -> tuple[AnalysisReport, int]:
+    """Lint every ``.py`` file under ``paths`` (default: the package).
+
+    Returns ``(report, files_checked)``.
+    """
+    base = root if root is not None else default_root()
+    targets = paths if paths else [base]
+    files: list[Path] = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(sorted(target.rglob("*.py")))
+        else:
+            files.append(target)
+    report = AnalysisReport()
+    relative_root = base.parent
+    for file_path in files:
+        report.extend(lint_file(file_path, relative_to=relative_root))
+    return report, len(files)

@@ -11,7 +11,11 @@ Code blocks:
 - ``MDV00x`` — schema and typing errors found by the linter;
 - ``MDV01x`` — satisfiability findings (contradictions, redundancies);
 - ``MDV02x`` — subsumption/duplication against the live registry;
-- ``MDV03x`` — storage/graph invariant violations found by the auditor.
+- ``MDV03x`` — storage/graph invariant violations found by the auditor;
+- ``MDV05x`` — whole-registry rule-base findings (equivalence classes,
+  shadowing/covering, dead rules, index-advisor recommendations);
+- ``MDV06x`` — source-code lint pack (connection affinity, wall-clock
+  discipline, instrumentation and export hygiene).
 """
 
 from __future__ import annotations
@@ -80,6 +84,22 @@ CODES: dict[str, str] = {
     # -- linter: performance hints (MDV039) ----------------------------
     "MDV039": "contains needle shorter than a trigram cannot use the "
     "text index",
+    # -- whole-registry rule-base audit (MDV05x) -----------------------
+    "MDV050": "multiple subscriptions share one triggering entry "
+    "(duplicate rule registrations)",
+    "MDV051": "registered rules are semantically equivalent "
+    "(same canonical form, different spelling)",
+    "MDV052": "registered rule is shadowed by a more general registered "
+    "rule (covering edge)",
+    "MDV053": "registered rule is unsatisfiable (dead triggering entry)",
+    "MDV054": "index-advisor recommendation for an engine knob",
+    # -- source-code lint pack (MDV06x) --------------------------------
+    "MDV060": "raw sqlite3.connect outside the storage engine",
+    "MDV061": "thread-affinity hazard (check_same_thread=False or "
+    "thread/executor creation outside the concurrency allowlist)",
+    "MDV062": "wall-clock call outside the clock abstraction",
+    "MDV063": "registered hot path lacks obs instrumentation",
+    "MDV064": "module lacks __all__ or exports an undefined name",
 }
 
 
@@ -116,6 +136,17 @@ class Diagnostic:
         if self.hint:
             text += f" (hint: {self.hint})"
         return text
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serializable rendering (``--format json``)."""
+        return {
+            "severity": str(self.severity),
+            "code": self.code,
+            "message": self.message,
+            "span": list(self.span) if self.span is not None else None,
+            "hint": self.hint,
+            "source": self.source,
+        }
 
     def __str__(self) -> str:
         return self.render()
@@ -176,6 +207,18 @@ class AnalysisReport:
         if not self.diagnostics:
             return "no findings"
         return "\n".join(d.render() for d in self.diagnostics)
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serializable rendering (``--format json``)."""
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "summary": {
+                "errors": len(self.errors()),
+                "warnings": len(self.warnings()),
+                "total": len(self.diagnostics),
+            },
+            "exit_code": self.exit_code(),
+        }
 
     def __len__(self) -> int:
         return len(self.diagnostics)

@@ -28,6 +28,7 @@ runs in minutes; ``full`` mode uses the paper's sizes (10k/100k rules).
 
 from __future__ import annotations
 
+from repro.bench.analysis import figure_analysis
 from repro.bench.harness import FilterBench, SweepResult
 from repro.bench.reporting import FigureResult
 from repro.workload.scenarios import WorkloadSpec
@@ -318,6 +319,9 @@ FIGURES = {
     "fig13": figure13,
     "fig14": figure14,
     "fig15": figure15,
+    # Beyond the paper: the whole-registry rule-base audit sweep
+    # (BENCH_analysis.json; see repro.bench.analysis).
+    "analysis": figure_analysis,
 }
 
 

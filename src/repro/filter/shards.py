@@ -191,8 +191,8 @@ class TriggerShard:
         self._db = db
 
     def load_rules(
-        self, table_rows: dict[str, list[tuple]]
-    ) -> Future:
+        self, table_rows: dict[str, list[tuple[object, ...]]]
+    ) -> Future[None]:
         """Replace the shard's rule replicas (runs on the shard thread)."""
 
         def work() -> None:
@@ -209,7 +209,9 @@ class TriggerShard:
 
         return self._executor.submit(work)
 
-    def match(self, rows: Sequence[AtomRow]) -> Future:
+    def match(
+        self, rows: Sequence[AtomRow]
+    ) -> Future[tuple[list[tuple[str, int]], float]]:
         """Match an input partition; resolves to ``(hits, seconds)``."""
 
         def work() -> tuple[list[tuple[str, int]], float]:
@@ -251,7 +253,10 @@ class PendingMatch:
     """
 
     def __init__(
-        self, pool: ShardPool, futures: list[Future], row_count: int
+        self,
+        pool: ShardPool,
+        futures: list[Future[tuple[list[tuple[str, int]], float]]],
+        row_count: int,
     ):
         self._pool = pool
         self._futures = futures

@@ -88,6 +88,7 @@ class MetadataProvider:
         metrics: MetricsRegistry | None = None,
         parallelism: int = 1,
         contains_index: str = "scan",
+        dedupe: str = "off",
     ):
         if consistency not in ("filter", "resource-list", "ttl"):
             raise ValueError(
@@ -114,7 +115,7 @@ class MetadataProvider:
         )
         self.db = db or Database(metrics=self.metrics)
         create_all(self.db)
-        self.registry = RuleRegistry(self.db)
+        self.registry = RuleRegistry(self.db, dedupe=dedupe)
         self.engine = FilterEngine(
             self.db, self.registry, use_rule_groups, join_evaluation,
             metrics=self.metrics, parallelism=parallelism,

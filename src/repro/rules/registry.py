@@ -39,6 +39,7 @@ __all__ = [
     "RegisteredSubscription",
     "Subscription",
     "ANALYZE_POLICIES",
+    "DEDUPE_MODES",
 ]
 
 #: Valid values for the ``analyze=`` registration policy: ``"off"``
@@ -46,6 +47,15 @@ __all__ = [
 #: result, ``"reject"`` additionally refuses to register when the
 #: analyzer reports errors.
 ANALYZE_POLICIES = ("off", "warn", "reject")
+
+#: Valid values for the ``dedupe=`` knob: ``"off"`` registers every
+#: decomposition as-is (atoms still share by exact key), ``"report"``
+#: additionally records an MDV051 diagnostic when a semantically
+#: equivalent rule is already stored, and ``"merge"`` lets the new
+#: subscription share the equivalent rule's triggering entry outright —
+#: fan-out is restored per subscription at notification time, so the
+#: delivered streams are identical to the undeduped path.
+DEDUPE_MODES = ("off", "report", "merge")
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,12 +93,25 @@ class RegisteredSubscription:
 class RuleRegistry:
     """Catalogue of atomic rules, dependencies, groups and subscriptions."""
 
-    def __init__(self, db: Database, deduplicate: bool = True):
+    def __init__(
+        self, db: Database, deduplicate: bool = True, dedupe: str = "off"
+    ):
         self._db = db
         #: Merge equal atomic rules across subscriptions (the paper's
         #: design).  ``False`` disables the dependency-graph merge — an
         #: ablation knob: every subscription gets private atoms.
         self.deduplicate = deduplicate
+        if dedupe not in DEDUPE_MODES:
+            raise ValueError(
+                f"unknown dedupe mode {dedupe!r}; expected one of "
+                f"{DEDUPE_MODES}"
+            )
+        if dedupe != "off" and not deduplicate:
+            raise ValueError(
+                "dedupe requires atom deduplication (deduplicate=True)"
+            )
+        #: Semantic deduplication by canonical form (see DEDUPE_MODES).
+        self.dedupe = dedupe
         self._salt_counter = 0
         #: Cache of reconstructed atom nodes, keyed by rule id.
         self._node_cache: dict[int, AtomNode] = {}
@@ -260,7 +283,28 @@ class RuleRegistry:
         diagnostics = self._analyze_candidate(
             subscriber, rule_text, decomposed, analyze
         )
-        end_id, all_ids, created = self.ensure_atoms(decomposed)
+        canon_hash: str | None = None
+        equivalent_end: int | None = None
+        if self.dedupe != "off":
+            canon_hash, equivalent_end, dedupe_diagnostics = (
+                self._dedupe_candidate(decomposed)
+            )
+            diagnostics.extend(dedupe_diagnostics)
+        if equivalent_end is not None and self.dedupe == "merge":
+            # Share the equivalent rule's triggering entry: no new atoms,
+            # no index mutation — the subscription rides the stored tree.
+            end_id = equivalent_end
+            all_ids = self._tree_rule_ids(equivalent_end)
+            created: list[int] = []
+            self._db.metrics.counter("analysis.dedupe_merged").inc()
+        else:
+            end_id, all_ids, created = self.ensure_atoms(decomposed)
+            if canon_hash is not None:
+                self._db.execute(
+                    "INSERT OR IGNORE INTO rule_canon (canon_hash, rule_id) "
+                    "VALUES (?, ?)",
+                    (canon_hash, end_id),
+                )
         with self._db.transaction():
             duplicate = self._db.query_one(
                 "SELECT sub_id FROM subscriptions WHERE subscriber = ? AND "
@@ -320,6 +364,74 @@ class RuleRegistry:
                 diagnostics=report.diagnostics,
             )
         return list(report.diagnostics)
+
+    def _dedupe_candidate(
+        self, decomposed: DecomposedRule
+    ) -> tuple[str, int | None, list["Diagnostic"]]:
+        """Look the candidate's canonical form up in ``rule_canon``.
+
+        Returns ``(canon_hash, equivalent_end_rule_or_None, diagnostics)``.
+        A stored rule only counts as *equivalent* (not identical) when
+        its end-rule key differs from the candidate's — identical keys
+        already share atoms through :meth:`ensure_atoms`.
+        """
+        from repro.analysis.diagnostics import Diagnostic, Severity
+        from repro.analysis.rulebase import canonicalize
+
+        canon = canonicalize(decomposed.end)
+        row = self._db.query_one(
+            "SELECT rule_id FROM rule_canon WHERE canon_hash = ?",
+            (canon.hash,),
+        )
+        if row is None:
+            return canon.hash, None, []
+        existing_id = int(row["rule_id"])
+        diagnostics: list[Diagnostic] = []
+        if self.load_atom(existing_id).key != decomposed.end.key:
+            if self.dedupe == "report":
+                diagnostics.append(
+                    Diagnostic(
+                        Severity.WARNING,
+                        "MDV051",
+                        f"rule is semantically equivalent to stored end "
+                        f"rule {existing_id} (different spelling)",
+                        hint="dedupe='merge' would share one triggering "
+                        "entry",
+                        source=decomposed.end.key,
+                    )
+                )
+            else:
+                diagnostics.append(
+                    Diagnostic(
+                        Severity.INFO,
+                        "MDV051",
+                        f"rule merged into equivalent stored end rule "
+                        f"{existing_id}",
+                        source=decomposed.end.key,
+                    )
+                )
+        return canon.hash, existing_id, diagnostics
+
+    def _tree_rule_ids(self, end_id: int) -> list[int]:
+        """All rule ids of the stored dependency tree under ``end_id``."""
+        seen: set[int] = set()
+        stack = [end_id]
+        while stack:
+            rule_id = stack.pop()
+            if rule_id in seen:
+                continue
+            seen.add(rule_id)
+            row = self._db.query_one(
+                "SELECT left_rule, right_rule FROM atomic_rules "
+                "WHERE rule_id = ?",
+                (rule_id,),
+            )
+            if row is None:
+                raise SubscriptionError(f"no atomic rule with id {rule_id}")
+            for child in (row["left_rule"], row["right_rule"]):
+                if child is not None:
+                    stack.append(int(child))
+        return sorted(seen)
 
     def unsubscribe(self, subscriber: str, rule_text: str) -> list[int]:
         """Remove a subscription; returns the ids of atoms garbage-collected."""
@@ -383,6 +495,9 @@ class RuleRegistry:
         drop_contains_rule(self._db, rule_id)
         self._db.execute(
             "DELETE FROM materialized WHERE rule_id = ?", (rule_id,)
+        )
+        self._db.execute(
+            "DELETE FROM rule_canon WHERE rule_id = ?", (rule_id,)
         )
         self._db.execute(
             "DELETE FROM atomic_rules WHERE rule_id = ?", (rule_id,)

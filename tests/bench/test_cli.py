@@ -67,7 +67,14 @@ def test_unknown_figure_rejected(fake_figures):
 def test_real_figures_registered():
     from repro.bench.figures import FIGURES
 
-    assert set(FIGURES) == {"fig11", "fig12", "fig13", "fig14", "fig15"}
+    assert set(FIGURES) == {
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "analysis",
+    }
 
 
 def test_chart_flag(fake_figures, capsys):

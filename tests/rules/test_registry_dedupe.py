@@ -1,0 +1,182 @@
+"""The registry's ``dedupe`` knob: off / report / merge.
+
+``report`` surfaces semantically equivalent registrations as MDV051
+warnings but stores them separately; ``merge`` shares the stored
+triggering entry outright — fan-out is restored per subscription at
+notification time (the differential oracle in
+``tests/filter/test_dedupe_differential.py`` proves the delivered
+streams identical).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.filter.engine import FilterEngine
+from repro.rules.registry import DEDUPE_MODES, RuleRegistry
+from tests.conftest import register_rule
+
+RULE = "search CycleProvider c register c where c.synthValue > 5"
+#: Same match set as RULE, different atoms (extra redundant bound).
+EQUIVALENT = (
+    "search CycleProvider c register c "
+    "where c.synthValue > 5.0 and c.synthValue > -1"
+)
+
+
+@pytest.fixture()
+def setup(db, schema):
+    def build(dedupe: str):
+        registry = RuleRegistry(db, dedupe=dedupe)
+        engine = FilterEngine(db, registry)
+        return registry, engine
+
+    return build
+
+
+class TestKnobValidation:
+    def test_modes(self):
+        assert DEDUPE_MODES == ("off", "report", "merge")
+
+    def test_unknown_mode_rejected(self, db):
+        with pytest.raises(ValueError, match="unknown dedupe mode"):
+            RuleRegistry(db, dedupe="aggressive")
+
+    def test_requires_atom_dedup(self, db):
+        with pytest.raises(ValueError, match="deduplicate"):
+            RuleRegistry(db, deduplicate=False, dedupe="merge")
+
+
+class TestReportMode:
+    def test_equivalent_spelling_warned_but_stored(self, setup, schema):
+        registry, engine = setup("report")
+        first = register_rule(engine, registry, schema, RULE, "a")
+        from repro.rules.decompose import decompose_rule
+        from repro.rules.normalize import normalize_rule
+        from repro.rules.parser import parse_rule
+
+        decomposed = decompose_rule(
+            normalize_rule(parse_rule(EQUIVALENT), schema)[0], schema
+        )
+        registration = registry.register_subscription("b", EQUIVALENT, decomposed)
+        engine.initialize_rules(registration.created)
+        codes = {d.code for d in registration.diagnostics}
+        assert "MDV051" in codes
+        warning = next(
+            d for d in registration.diagnostics if d.code == "MDV051"
+        )
+        assert warning.severity.name == "WARNING"
+        # Stored separately: a different end rule, atoms were created.
+        assert registration.end_rule != first
+        assert registration.created
+
+    def test_identical_spelling_not_warned(self, setup, schema):
+        registry, engine = setup("report")
+        from repro.rules.decompose import decompose_rule
+        from repro.rules.normalize import normalize_rule
+        from repro.rules.parser import parse_rule
+
+        register_rule(engine, registry, schema, RULE, "a")
+        decomposed = decompose_rule(
+            normalize_rule(parse_rule(RULE), schema)[0], schema
+        )
+        registration = registry.register_subscription("b", RULE, decomposed)
+        # Identical keys already share atoms via ensure_atoms; that is
+        # not an equivalence finding.
+        assert not [d for d in registration.diagnostics if d.code == "MDV051"]
+
+
+class TestMergeMode:
+    def _register(self, registry, engine, schema, text, subscriber):
+        from repro.rules.decompose import decompose_rule
+        from repro.rules.normalize import normalize_rule
+        from repro.rules.parser import parse_rule
+
+        decomposed = decompose_rule(
+            normalize_rule(parse_rule(text), schema)[0], schema
+        )
+        registration = registry.register_subscription(
+            subscriber, text, decomposed
+        )
+        engine.initialize_rules(registration.created)
+        return registration
+
+    def test_equivalent_rule_shares_triggering_entry(
+        self, db, setup, schema
+    ):
+        registry, engine = setup("merge")
+        first = self._register(registry, engine, schema, RULE, "a")
+        second = self._register(registry, engine, schema, EQUIVALENT, "b")
+        assert second.end_rule == first.end_rule
+        assert second.created == []
+        infos = [d for d in second.diagnostics if d.code == "MDV051"]
+        assert infos and infos[0].severity.name == "INFO"
+        # Both subscriptions ride the one entry; fan-out data is intact.
+        subs = registry.subscriptions_for({first.end_rule})
+        assert {(s.subscriber, s.rule_text) for s in subs} == {
+            ("a", RULE),
+            ("b", EQUIVALENT),
+        }
+        refcount = db.scalar(
+            "SELECT refcount FROM atomic_rules WHERE rule_id = ?",
+            (first.end_rule,),
+        )
+        assert refcount == 2
+
+    def test_unsubscribe_keeps_shared_tree_alive(self, db, setup, schema):
+        registry, engine = setup("merge")
+        first = self._register(registry, engine, schema, RULE, "a")
+        self._register(registry, engine, schema, EQUIVALENT, "b")
+        assert registry.unsubscribe("a", RULE) == []
+        assert registry.subscriptions_for({first.end_rule})
+        # Last rider gone: the tree and its canon entry are collected.
+        removed = registry.unsubscribe("b", EQUIVALENT)
+        assert first.end_rule in removed
+        assert db.count("rule_canon") == 0
+        assert db.count("atomic_rules") == 0
+
+    def test_reregister_after_gc_starts_fresh(self, setup, schema):
+        registry, engine = setup("merge")
+        first = self._register(registry, engine, schema, RULE, "a")
+        registry.unsubscribe("a", RULE)
+        again = self._register(registry, engine, schema, EQUIVALENT, "b")
+        # No stale canon row: the new registration created atoms.
+        assert again.created
+        assert again.end_rule != first.end_rule
+
+    def test_late_merge_subscription_sees_existing_matches(
+        self, db, setup, schema, figure1
+    ):
+        registry, engine = setup("merge")
+        rule = (
+            "search CycleProvider c register c where c.serverPort > 5"
+        )
+        equivalent = (
+            "search CycleProvider c register c "
+            "where c.serverPort > 5.0 and c.serverPort > -1"
+        )
+        first = self._register(registry, engine, schema, rule, "a")
+        engine.process_insertions(list(figure1))
+        # A later equivalent subscription shares the entry — and the
+        # already-materialized matches come with it.
+        second = self._register(registry, engine, schema, equivalent, "b")
+        assert second.end_rule == first.end_rule
+        matches = engine.current_matches(second.end_rule)
+        assert matches
+
+
+def test_dedupe_counter_incremented(db, schema):
+    registry = RuleRegistry(db, dedupe="merge")
+    engine = FilterEngine(db, registry)
+    register_rule(engine, registry, schema, RULE, "a")
+    from repro.obs.metrics import default_registry
+    from repro.rules.decompose import decompose_rule
+    from repro.rules.normalize import normalize_rule
+    from repro.rules.parser import parse_rule
+
+    decomposed = decompose_rule(
+        normalize_rule(parse_rule(EQUIVALENT), schema)[0], schema
+    )
+    registry.register_subscription("b", EQUIVALENT, decomposed)
+    counters = default_registry().counter_values()
+    assert counters.get("analysis.dedupe_merged") == 1

@@ -96,6 +96,8 @@ MODULES_WITH_DOCSTRINGS = [
     "repro.analysis.lint",
     "repro.analysis.subsume",
     "repro.analysis.invariants",
+    "repro.analysis.rulebase",
+    "repro.analysis.code",
     "repro.mdv.provider",
     "repro.mdv.repository",
     "repro.mdv.cache",
@@ -110,10 +112,12 @@ MODULES_WITH_DOCSTRINGS = [
     "repro.workload.documents",
     "repro.workload.rules",
     "repro.workload.scenarios",
+    "repro.workload.registry",
     "repro.bench.harness",
     "repro.bench.figures",
     "repro.bench.ablations",
     "repro.bench.reporting",
+    "repro.bench.analysis",
     "repro.xmlext.adapter",
 ]
 
