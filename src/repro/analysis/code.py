@@ -20,6 +20,14 @@ previously enforced only by convention and code review:
   somewhere in its body, so filter cost stays attributable.
 - **MDV064** — every module must declare ``__all__`` as a literal list
   or tuple of strings naming top-level definitions.
+- **MDV065** — durability hygiene for the write path
+  (:data:`DURABILITY_SCOPE`: ``repro/mdv``, ``repro/rules``): no raw
+  ``.commit()`` calls (atomicity belongs to ``with db.transaction()``
+  blocks, which compose through savepoints), and no function may mutate
+  two or more distinct tables outside such a block — a crash between
+  the statements would tear related state (docs/DURABILITY.md).  A line
+  may carry ``# mdv: allow(MDV065)`` to waive a site that is provably
+  crash-safe (e.g. single-row idempotent writes).
 
 ``python -m repro.analysis code`` runs the pack over ``src/repro`` (CI
 wires it up with ``--format json``).  The checks are deliberately
@@ -29,6 +37,7 @@ syntactic — no imports are executed — so the pack runs on any tree.
 from __future__ import annotations
 
 import ast
+import re
 from pathlib import Path
 
 from repro.analysis.diagnostics import AnalysisReport, Severity
@@ -40,6 +49,7 @@ __all__ = [
     "HOT_PATHS",
     "CONNECT_ALLOWLIST",
     "CONCURRENCY_ALLOWLIST",
+    "DURABILITY_SCOPE",
     "WAIVER_MARK",
 ]
 
@@ -57,8 +67,18 @@ HOT_PATHS: tuple[tuple[str, str], ...] = (
     ("repro/text/index.py", "match_contains_indexed"),
 )
 
+#: Path fragments whose files get the MDV065 durability checks.
+DURABILITY_SCOPE = ("repro/mdv/", "repro/rules/")
+
 #: Inline waiver comment; must name the code it waives.
 WAIVER_MARK = "# mdv: allow("
+
+#: Leading SQL of a statement that mutates a table.
+_MUTATION_RE = re.compile(
+    r"^\s*(?:INSERT(?:\s+OR\s+\w+)?\s+INTO|REPLACE\s+INTO|DELETE\s+FROM"
+    r"|UPDATE)\s+([A-Za-z_][A-Za-z0-9_]*)?",
+    re.IGNORECASE,
+)
 
 #: ``(module, attribute)`` calls that read the wall clock.
 _WALL_CLOCK_TIME_ATTRS = frozenset({"time", "time_ns"})
@@ -167,6 +187,9 @@ def lint_file(path: Path, relative_to: Path | None = None) -> AnalysisReport:
 
     connect_ok = _suffix_match(path, CONNECT_ALLOWLIST)
     concurrency_ok = _suffix_match(path, CONCURRENCY_ALLOWLIST)
+    durability_scoped = any(
+        fragment in path.as_posix() for fragment in DURABILITY_SCOPE
+    )
 
     for node in ast.walk(tree):
         if isinstance(node, ast.Call):
@@ -175,6 +198,22 @@ def lint_file(path: Path, relative_to: Path | None = None) -> AnalysisReport:
                 _check_call(
                     report, source_lines, label, node, target,
                     connect_ok, concurrency_ok,
+                )
+            if (
+                durability_scoped
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "commit"
+                and not node.args
+                and not _waived(source_lines, node, "MDV065")
+            ):
+                report.add(
+                    Severity.ERROR,
+                    "MDV065",
+                    "raw .commit() call in the durability scope; wrap "
+                    "the writes in `with db.transaction()` so they "
+                    "commit or vanish atomically",
+                    span=_span(source_lines, node),
+                    source=label,
                 )
         if isinstance(node, ast.keyword):
             if (
@@ -195,6 +234,8 @@ def lint_file(path: Path, relative_to: Path | None = None) -> AnalysisReport:
 
     _check_hot_paths(report, tree, path, label)
     _check_exports(report, tree, label)
+    if durability_scoped:
+        _check_multi_table_mutations(report, tree, source_lines, label)
     return report
 
 
@@ -260,6 +301,108 @@ def _check_call(
                     span=_span(source_lines, node),
                     source=label,
                 )
+
+
+def _mutated_table(node: ast.Call) -> str | None:
+    """The table an ``execute``/``executemany`` call mutates, if any.
+
+    Dynamic SQL (f-strings) is matched on its leading literal part; an
+    interpolated table name maps to a per-line sentinel so two dynamic
+    mutations still count as distinct tables.
+    """
+    if not (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("execute", "executemany")
+        and node.args
+    ):
+        return None
+    sql_node = node.args[0]
+    if isinstance(sql_node, ast.Constant) and isinstance(sql_node.value, str):
+        sql = sql_node.value
+    elif isinstance(sql_node, ast.JoinedStr):
+        first = sql_node.values[0] if sql_node.values else None
+        if not (
+            isinstance(first, ast.Constant) and isinstance(first.value, str)
+        ):
+            return None
+        sql = first.value
+    else:
+        return None
+    match = _MUTATION_RE.match(sql)
+    if match is None:
+        return None
+    return match.group(1) or f"<dynamic:{node.lineno}>"
+
+
+class _MutationScanner(ast.NodeVisitor):
+    """Collect table mutations made outside ``with *.transaction()``."""
+
+    def __init__(self) -> None:
+        self.in_transaction = 0
+        #: ``(call node, table)`` for every unprotected mutation.
+        self.unprotected: list[tuple[ast.Call, str]] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        is_transaction = any(
+            isinstance(item.context_expr, ast.Call)
+            and isinstance(item.context_expr.func, ast.Attribute)
+            and item.context_expr.func.attr == "transaction"
+            for item in node.items
+        )
+        if is_transaction:
+            self.in_transaction += 1
+        self.generic_visit(node)
+        if is_transaction:
+            self.in_transaction -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.in_transaction == 0:
+            table = _mutated_table(node)
+            if table is not None:
+                self.unprotected.append((node, table))
+        self.generic_visit(node)
+
+    # Nested scopes are analysed as their own functions.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def _check_multi_table_mutations(
+    report: AnalysisReport,
+    tree: ast.Module,
+    source_lines: list[str],
+    label: str,
+) -> None:
+    """MDV065: two+ tables mutated in one function with no transaction."""
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        scanner = _MutationScanner()
+        for statement in node.body:
+            scanner.visit(statement)
+        tables = {table for _, table in scanner.unprotected}
+        if len(tables) < 2:
+            continue
+        first = scanner.unprotected[0][0]
+        if _waived(source_lines, first, "MDV065") or _waived(
+            source_lines, node, "MDV065"
+        ):
+            continue
+        report.add(
+            Severity.ERROR,
+            "MDV065",
+            f"{node.name} mutates {len(tables)} tables "
+            f"({', '.join(sorted(tables))}) outside a transaction() "
+            "block; a crash between the statements would tear them",
+            span=_span(source_lines, first),
+            source=label,
+        )
 
 
 def _function_qualnames(

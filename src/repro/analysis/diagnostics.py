@@ -100,6 +100,8 @@ CODES: dict[str, str] = {
     "MDV062": "wall-clock call outside the clock abstraction",
     "MDV063": "registered hot path lacks obs instrumentation",
     "MDV064": "module lacks __all__ or exports an undefined name",
+    "MDV065": "raw commit or multi-table mutation outside a "
+    "transaction() block in the durability scope",
 }
 
 

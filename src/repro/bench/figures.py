@@ -29,6 +29,7 @@ runs in minutes; ``full`` mode uses the paper's sizes (10k/100k rules).
 from __future__ import annotations
 
 from repro.bench.analysis import figure_analysis
+from repro.bench.recovery import figure_recovery
 from repro.bench.harness import FilterBench, SweepResult
 from repro.bench.reporting import FigureResult
 from repro.workload.scenarios import WorkloadSpec
@@ -322,6 +323,9 @@ FIGURES = {
     # Beyond the paper: the whole-registry rule-base audit sweep
     # (BENCH_analysis.json; see repro.bench.analysis).
     "analysis": figure_analysis,
+    # Startup recovery (audit + repair) wall time vs. store size
+    # (BENCH_recovery.json; see repro.bench.recovery).
+    "recovery": figure_recovery,
 }
 
 

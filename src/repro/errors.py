@@ -38,6 +38,7 @@ __all__ = [
     "DecompositionError",
     "RuleAnalysisError",
     "StorageError",
+    "CrashError",
     "SubscriptionError",
     "PublishError",
     "RepositoryError",
@@ -136,6 +137,29 @@ class RuleAnalysisError(RuleError):
 
 class StorageError(MDVError):
     """A failure in the relational storage engine."""
+
+
+class CrashError(StorageError):
+    """An injected process crash (fault injection, never spontaneous).
+
+    Raised by :class:`~repro.storage.engine.Database` when an armed
+    :class:`~repro.storage.durability.CrashPlan` fires at a statement or
+    commit boundary.  The open transaction is rolled back before the
+    raise — exactly what SQLite's journal guarantees for a real process
+    death — so everything above the storage layer observes a machine
+    that stopped mid-operation with only committed state surviving.
+
+    ``boundary`` names the crash point (``"statement"`` or ``"commit"``)
+    and ``ordinal`` its 1-based position in the plan's counting.
+    """
+
+    def __init__(self, boundary: str, ordinal: int):
+        super().__init__(
+            f"injected crash at {boundary} boundary #{ordinal}; "
+            f"open transaction discarded"
+        )
+        self.boundary = boundary
+        self.ordinal = ordinal
 
 
 class SubscriptionError(MDVError):

@@ -24,18 +24,29 @@ Non-network transport failures (the receiver rejected the message) are
 *poison*: they dead-letter immediately instead of retrying forever, and
 the fan-out to other destinations continues — a raising peer never
 again stalls the loop.
+
+With an :class:`OutboxStore` the outbox becomes a *transactional*
+outbox (docs/DURABILITY.md): entries are written to the
+``outbox_messages`` table as they are enqueued — inside the same
+database transaction as the state change that produced them — and
+marked delivered after a successful transport call.  A process crash
+between commit and delivery therefore loses nothing: a restarted outbox
+:meth:`Outbox.recover`\\ s its sequence watermarks and its undelivered
+tail from the store before the bus reattaches.
 """
 
 from __future__ import annotations
 
+import pickle
 import random
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import NetworkError
+from repro.errors import CrashError, NetworkError
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.storage.engine import Database
 
 if TYPE_CHECKING:
     from repro.rdf.model import Document
@@ -45,6 +56,7 @@ __all__ = [
     "OutboxEntry",
     "DeadLetter",
     "Outbox",
+    "OutboxStore",
     "DedupIndex",
     "ReplicaUpdate",
 ]
@@ -120,6 +132,78 @@ class ReplicaUpdate:
 Transport = Callable[[str, str, Any], Any]
 
 
+class OutboxStore:
+    """SQLite persistence behind an :class:`Outbox`.
+
+    Rows live in the ``outbox_messages`` table of the owning node's
+    store (:mod:`repro.storage.schema`), so :meth:`record` calls made
+    inside the provider's operation transaction commit or vanish
+    *atomically with* the state change whose notifications they carry.
+    Payloads are pickled: the store is written and read only by the
+    owning node, never by untrusted parties.
+    """
+
+    def __init__(self, db: Database):
+        self._db = db
+
+    def record(self, entry: OutboxEntry) -> None:
+        """Persist one enqueued entry (idempotent per ``(dest, seq)``)."""
+        with self._db.transaction():
+            self._db.execute(
+                "INSERT OR REPLACE INTO outbox_messages "
+                "(destination, seq, kind, payload, delivered) "
+                "VALUES (?, ?, ?, ?, 0)",
+                (
+                    entry.destination,
+                    entry.seq,
+                    entry.kind,
+                    pickle.dumps(entry.payload),
+                ),
+            )
+
+    def mark_delivered(self, destination: str, seq: int) -> None:
+        with self._db.transaction():
+            self._db.execute(
+                "UPDATE outbox_messages SET delivered = 1 "
+                "WHERE destination = ? AND seq = ?",
+                (destination, seq),
+            )
+
+    def watermarks(self) -> dict[str, int]:
+        """Highest persisted sequence number per destination."""
+        rows = self._db.query_all(
+            "SELECT destination, MAX(seq) AS high FROM outbox_messages "
+            "GROUP BY destination"
+        )
+        return {row["destination"]: int(row["high"]) for row in rows}
+
+    def undelivered(self) -> list[OutboxEntry]:
+        """Every persisted entry not yet marked delivered, in seq order."""
+        rows = self._db.query_all(
+            "SELECT destination, seq, kind, payload FROM outbox_messages "
+            "WHERE delivered = 0 ORDER BY destination, seq"
+        )
+        return [self._entry(row) for row in rows]
+
+    def entries_since(self, destination: str, after_seq: int) -> list[OutboxEntry]:
+        """Persisted entries of a destination with ``seq > after_seq``."""
+        rows = self._db.query_all(
+            "SELECT destination, seq, kind, payload FROM outbox_messages "
+            "WHERE destination = ? AND seq > ? ORDER BY seq",
+            (destination, after_seq),
+        )
+        return [self._entry(row) for row in rows]
+
+    @staticmethod
+    def _entry(row: Any) -> OutboxEntry:
+        return OutboxEntry(
+            destination=row["destination"],
+            kind=row["kind"],
+            payload=pickle.loads(row["payload"]),
+            seq=int(row["seq"]),
+        )
+
+
 class Outbox:
     """Per-destination reliable send queues for one source node.
 
@@ -139,10 +223,12 @@ class Outbox:
         policy: RetryPolicy | None = None,
         seed: int = 0,
         metrics: MetricsRegistry | None = None,
+        store: OutboxStore | None = None,
     ):
         self.source = source
         self.policy = policy or RetryPolicy()
         self._transport = transport
+        self._store = store
         self._own_clock_ms = 0.0
         self._clock = clock if clock is not None else self._read_own_clock
         self._sleep = sleep if sleep is not None else self._advance_own_clock
@@ -167,6 +253,8 @@ class Outbox:
         self._m_poison = self.metrics.counter("outbox.poison")
         self._m_redriven = self.metrics.counter("outbox.redriven")
         self._m_replayed = self.metrics.counter("outbox.replayed")
+        self._m_persisted = self.metrics.counter("outbox.persisted")
+        self._m_recovered = self.metrics.counter("outbox.recovered")
         self._m_latency = self.metrics.histogram("outbox.delivery_latency_ms")
         self._g_pending = self.metrics.gauge(
             "outbox.pending", {"source": source}
@@ -189,20 +277,38 @@ class Outbox:
     # Enqueue
     # ------------------------------------------------------------------
     def reserve_seq(self, destination: str) -> int:
-        """Claim the next monotonic sequence number for a destination."""
-        seq = self._next_seq.get(destination, 0) + 1
+        """Claim the next monotonic sequence number for a destination.
+
+        With a persistent store the first reservation per destination
+        resumes from the highest persisted sequence number, so a
+        restarted node continues the stream instead of reusing numbers
+        its receivers already applied.
+        """
+        current = self._next_seq.get(destination)
+        if current is None:
+            current = 0
+            if self._store is not None:
+                current = self._store.watermarks().get(destination, 0)
+        seq = current + 1
         self._next_seq[destination] = seq
         return seq
 
     def enqueue(
         self, destination: str, kind: str, payload: Any, seq: int | None = None
     ) -> OutboxEntry:
-        """Queue a message; ``seq`` defaults to a freshly reserved one."""
+        """Queue a message; ``seq`` defaults to a freshly reserved one.
+
+        With a persistent store the entry is recorded durably as part of
+        the caller's open transaction (transactional outbox).
+        """
         if seq is None:
             seq = self.reserve_seq(destination)
         entry = OutboxEntry(
             destination, kind, payload, seq, enqueued_ms=self._clock()
         )
+        if self._store is not None:
+            self._store.record(entry)
+            self._m_persisted.inc()
         self._queues.setdefault(destination, deque()).append(entry)
         self.enqueued += 1
         self._m_enqueued.inc()
@@ -244,6 +350,13 @@ class Outbox:
                 break
             try:
                 self._transport(destination, entry.kind, entry.payload)
+            except CrashError:
+                # An injected crash is a process death, not a receiver
+                # rejection — it must never be absorbed as poison.  The
+                # entry stays undelivered in the store; recovery will
+                # re-enqueue and redeliver it (receiver dedup absorbs
+                # the duplicate if the handler already ran).
+                raise
             except NetworkError as exc:
                 entry.attempts += 1
                 entry.last_error = str(exc)
@@ -267,6 +380,8 @@ class Outbox:
                 self._m_poison.inc()
                 continue
             queue.popleft()
+            if self._store is not None:
+                self._store.mark_delivered(destination, entry.seq)
             self._history.setdefault(destination, []).append(entry)
             self.delivered += 1
             delivered += 1
@@ -331,6 +446,37 @@ class Outbox:
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
+    def recover(self) -> int:
+        """Reload watermarks and the undelivered tail from the store.
+
+        Run once after a restart, *before* the bus reattaches: sequence
+        counters resume past every persisted number (no reuse), and
+        committed-but-undelivered entries re-enter their queues in seq
+        order, ready for the next flush.  Returns the number of entries
+        restored.
+        """
+        if self._store is None:
+            return 0
+        for destination, high in self._store.watermarks().items():
+            if high > self._next_seq.get(destination, 0):
+                self._next_seq[destination] = high
+        restored = 0
+        for entry in self._store.undelivered():
+            queue = self._queues.setdefault(entry.destination, deque())
+            if any(pending.seq == entry.seq for pending in queue):
+                continue
+            entry.enqueued_ms = self._clock()
+            queue.append(entry)
+            self.enqueued += 1
+            restored += 1
+        for queue in self._queues.values():
+            ordered = sorted(queue, key=lambda e: e.seq)
+            queue.clear()
+            queue.extend(ordered)
+        self._m_recovered.inc(restored)
+        self._sync_gauges()
+        return restored
+
     def redrive(self, destination: str | None = None) -> int:
         """Move dead letters back into their queues (in seq order) and
         unpark the affected destinations."""
@@ -366,13 +512,18 @@ class Outbox:
 
         Supports receiver resync after a restart: replayed entries are
         redelivered and deduplicated by the receiver's
-        :class:`DedupIndex`.
+        :class:`DedupIndex`.  With a persistent store the acknowledged
+        history survives the *sender's* restarts too, so replay works
+        across process boundaries, not just within one.
         """
-        entries = [
-            entry
-            for entry in self._history.get(destination, [])
-            if entry.seq > after_seq
-        ]
+        if self._store is not None:
+            entries = self._store.entries_since(destination, after_seq)
+        else:
+            entries = [
+                entry
+                for entry in self._history.get(destination, [])
+                if entry.seq > after_seq
+            ]
         queue = self._queues.setdefault(destination, deque())
         pending_seqs = {entry.seq for entry in queue}
         replayed = 0
@@ -440,31 +591,69 @@ class Outbox:
 
 
 class DedupIndex:
-    """Receiver-side ``(source, seq)`` exactly-once-application index."""
+    """Receiver-side ``(source, seq)`` exactly-once-application index.
 
-    def __init__(self) -> None:
+    With a backing :class:`~repro.storage.engine.Database` (its
+    ``dedup_entries`` table) the index is durable: recorded pairs are
+    persisted as they arrive and reloaded on construction, so a
+    restarted receiver keeps ignoring the duplicates it already
+    applied.  :meth:`prime` additionally seeds a per-source floor —
+    everything at or below it counts as seen — which is how an LMR
+    restored from a provider snapshot skips the stream prefix the
+    snapshot already reflects.
+    """
+
+    def __init__(self, db: Database | None = None) -> None:
+        self._db = db
         self._seen: dict[str, set[int]] = {}
+        #: Per-source floor: seqs <= floor are treated as already seen.
+        self._floor: dict[str, int] = {}
         #: Messages applied for the first time.
         self.applied = 0
         #: Messages ignored as duplicates.
         self.duplicates_ignored = 0
+        if db is not None:
+            for row in db.query_all("SELECT source, seq FROM dedup_entries"):
+                self._seen.setdefault(row["source"], set()).add(int(row["seq"]))
 
     def check_and_record(self, source: str, seq: int) -> bool:
         """``True`` when ``(source, seq)`` is fresh (and now recorded)."""
+        if seq <= self._floor.get(source, 0):
+            self.duplicates_ignored += 1
+            return False
         seen = self._seen.setdefault(source, set())
         if seq in seen:
             self.duplicates_ignored += 1
             return False
         seen.add(seq)
+        if self._db is not None:
+            with self._db.transaction():
+                self._db.execute(
+                    "INSERT OR IGNORE INTO dedup_entries (source, seq) "
+                    "VALUES (?, ?)",
+                    (source, seq),
+                )
         self.applied += 1
         return True
 
+    def prime(self, source: str, upto_seq: int) -> None:
+        """Mark every seq of ``source`` up to ``upto_seq`` as seen."""
+        if upto_seq > self._floor.get(source, 0):
+            self._floor[source] = upto_seq
+
     def highest(self, source: str) -> int:
         seen = self._seen.get(source)
-        return max(seen) if seen else 0
+        high = max(seen) if seen else 0
+        return max(high, self._floor.get(source, 0))
 
     def watermarks(self) -> dict[str, int]:
-        return {source: max(seqs) for source, seqs in self._seen.items() if seqs}
+        marks = {
+            source: max(seqs) for source, seqs in self._seen.items() if seqs
+        }
+        for source, floor in self._floor.items():
+            if floor > marks.get(source, 0):
+                marks[source] = floor
+        return marks
 
     def seen_count(self, source: str) -> int:
         return len(self._seen.get(source, ()))

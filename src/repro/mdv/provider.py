@@ -22,13 +22,15 @@ Public surface:
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
+from contextlib import contextmanager
 from typing import Any
 
 from repro.analysis import check_subsumption, lint_rule_text
 from repro.analysis.diagnostics import Diagnostic
 from repro.errors import (
     DocumentNotFoundError,
+    NetworkError,
     RuleAnalysisError,
     RuleError,
     SchemaValidationError,
@@ -36,7 +38,14 @@ from repro.errors import (
 )
 from repro.filter.engine import FilterEngine
 from repro.filter.results import PublishOutcome
-from repro.mdv.outbox import DedupIndex, Outbox, ReplicaUpdate, RetryPolicy
+from repro.mdv.outbox import (
+    DedupIndex,
+    Outbox,
+    OutboxStore,
+    ReplicaUpdate,
+    RetryPolicy,
+)
+from repro.mdv.recovery import RecoveryManager, RecoveryReport
 from repro.net.bus import NetworkBus
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.pubsub.notifications import NotificationBatch
@@ -89,6 +98,9 @@ class MetadataProvider:
         parallelism: int = 1,
         contains_index: str = "scan",
         dedupe: str = "off",
+        durability: str = "fast",
+        durable_delivery: bool = False,
+        recovery: str = "off",
     ):
         if consistency not in ("filter", "resource-list", "ttl"):
             raise ValueError(
@@ -98,6 +110,10 @@ class MetadataProvider:
         if analyze not in ANALYZE_POLICIES:
             raise ValueError(
                 f"analyze must be one of {ANALYZE_POLICIES}, got {analyze!r}"
+            )
+        if recovery not in ("off", "auto"):
+            raise ValueError(
+                f"recovery must be 'off' or 'auto', got {recovery!r}"
             )
         self.name = name
         self.schema = schema
@@ -113,8 +129,14 @@ class MetadataProvider:
         self._m_stale_replicas = self.metrics.counter(
             "mdp.stale_replicas_ignored", labels
         )
-        self.db = db or Database(metrics=self.metrics)
+        self.db = db or Database(metrics=self.metrics, durability=durability)
         create_all(self.db)
+        #: Crash-atomic operations: every state change plus the outbox
+        #: rows carrying its notifications commit in one transaction,
+        #: and delivery happens after commit (docs/DURABILITY.md).
+        self.durable_delivery = durable_delivery
+        self._in_op = False
+        self._pending_flush: set[str] = set()
         self.registry = RuleRegistry(self.db, dedupe=dedupe)
         self.engine = FilterEngine(
             self.db, self.registry, use_rule_groups, join_evaluation,
@@ -143,30 +165,62 @@ class MetadataProvider:
             Callable[[str, Document | None, tuple[int, str]], None] | None
         ) = None
         #: Per-document ``(counter, origin)`` versions; deletions keep a
-        #: tombstone version so anti-entropy can order them.
+        #: tombstone version so anti-entropy can order them.  Persisted
+        #: in the ``doc_versions`` table and reloaded on startup.
         self._doc_versions: dict[str, tuple[int, str]] = {}
-        #: Exactly-once application of replicated changes by (source, seq).
-        self.replica_dedup = DedupIndex()
+        #: Exactly-once application of replicated changes by (source,
+        #: seq); durable providers persist the index (``dedup_entries``).
+        self.replica_dedup = DedupIndex(self.db if durable_delivery else None)
         #: Replica updates ignored because a newer version was applied.
         self.stale_replicas_ignored = 0
-        #: Reliable delivery of notifications and replication over the
-        #: bus; ``None`` without a bus (direct calls cannot be lost).
+        #: Report of the startup recovery pass (``recovery="auto"``).
+        self.last_recovery: RecoveryReport | None = None
+        #: Reliable delivery of notifications and replication; present
+        #: with a bus, or without one when ``durable_delivery`` routes
+        #: direct subscribers through the transactional outbox too.
         self.outbox: Outbox | None = None
+        store = OutboxStore(self.db) if durable_delivery else None
         if bus is not None:
             bus.register(name, self._handle_message)
             self.outbox = Outbox(
                 name,
-                transport=self._bus_transport,
+                transport=self._transport,
                 clock=lambda: bus.simulated_ms,
                 sleep=bus.sleep,
                 policy=retry_policy,
                 metrics=self.metrics,
+                store=store,
             )
+        elif durable_delivery:
+            self.outbox = Outbox(
+                name,
+                transport=self._transport,
+                policy=retry_policy,
+                metrics=self.metrics,
+                store=store,
+            )
+        if recovery == "auto":
+            # Audit and repair the store before trusting anything in it
+            # — and before the outbox resumes the delivery streams.
+            self.last_recovery = RecoveryManager(
+                self.db, schema, self.metrics
+            ).recover()
+        if self.outbox is not None:
+            self.outbox.recover()
         self._load_persisted_documents()
+        self._load_persisted_versions()
 
-    def _bus_transport(self, destination: str, kind: str, payload: Any) -> Any:
-        assert self.bus is not None
-        return self.bus.send(self.name, destination, kind, payload)
+    def _transport(self, destination: str, kind: str, payload: Any) -> Any:
+        """Route one outbox delivery: direct handler first, then bus."""
+        handler = self._direct_subscribers.get(destination)
+        if handler is not None:
+            return handler(payload)
+        if self.bus is not None:
+            return self.bus.send(self.name, destination, kind, payload)
+        raise NetworkError(
+            f"no route from {self.name!r} to {destination!r}: "
+            f"subscriber not attached"
+        )
 
     def close(self) -> None:
         """Release the filter engine's worker shards (idempotent).
@@ -192,6 +246,48 @@ class MetadataProvider:
                 continue
             self._documents[uri] = parse_document(xml, uri, self.schema)
 
+    def _load_persisted_versions(self) -> None:
+        for row in self.db.query_all(
+            "SELECT document_uri, counter, origin FROM doc_versions"
+        ):
+            self._doc_versions[row["document_uri"]] = (
+                int(row["counter"]),
+                row["origin"],
+            )
+
+    @contextmanager
+    def _op(self) -> Iterator[None]:
+        """One crash-atomic provider operation (docs/DURABILITY.md).
+
+        With ``durable_delivery`` every write the operation performs —
+        filter tables, documents, subscriptions, versions, and the
+        outbox rows carrying its notifications — joins one transaction;
+        nested ``transaction()`` calls become savepoints.  Deliveries
+        requested during the operation are deferred and flushed *after*
+        the commit, so a crash at any statement or commit boundary
+        either leaves no trace of the operation or leaves it fully
+        committed with its notifications queued for redelivery.
+        Without ``durable_delivery`` this is a no-op wrapper.
+        """
+        if not self.durable_delivery or self._in_op:
+            yield
+            return
+        self._in_op = True
+        self._pending_flush = set()
+        try:
+            with self.db.transaction():
+                yield
+        except BaseException:
+            self._pending_flush = set()
+            raise
+        finally:
+            self._in_op = False
+        pending = sorted(self._pending_flush)
+        self._pending_flush = set()
+        if self.outbox is not None:
+            for destination in pending:
+                self.outbox.flush(destination)
+
     # ------------------------------------------------------------------
     # Document administration (paper, Section 2.2)
     # ------------------------------------------------------------------
@@ -208,17 +304,18 @@ class MetadataProvider:
             document = parse_document(document, document_uri, self.schema)
         self.schema.validate_document(document)
         self._check_uri_ownership(document)
-        old = self._documents.get(document.uri)
-        diff = diff_documents(old, document)
-        outcome = self._process_diff(diff)
-        self._store_document(document, diff.deleted)
-        self._republish_strong_parents(outcome, diff)
-        self._publish(outcome)
-        self._m_registrations.inc()
-        if not _replicated:
-            version = self._next_version(document.uri)
-            if self._replication_hook is not None:
-                self._replication_hook(document.uri, document, version)
+        with self._op():
+            old = self._documents.get(document.uri)
+            diff = diff_documents(old, document)
+            outcome = self._process_diff(diff)
+            self._store_document(document, diff.deleted)
+            self._republish_strong_parents(outcome, diff)
+            self._publish(outcome)
+            self._m_registrations.inc()
+            if not _replicated:
+                version = self._next_version(document.uri)
+                if self._replication_hook is not None:
+                    self._replication_hook(document.uri, document, version)
         return outcome
 
     def _process_diff(self, diff) -> PublishOutcome:
@@ -254,24 +351,25 @@ class MetadataProvider:
         """
         fresh: list[Document] = []
         merged = PublishOutcome()
-        for document in documents:
-            self.schema.validate_document(document)
-            self._check_uri_ownership(document)
-            if document.uri in self._documents:
-                outcome = self.register_document(document)
+        with self._op():
+            for document in documents:
+                self.schema.validate_document(document)
+                self._check_uri_ownership(document)
+                if document.uri in self._documents:
+                    outcome = self.register_document(document)
+                    _merge_outcomes(merged, outcome)
+                else:
+                    fresh.append(document)
+            if fresh:
+                resources = [resource for doc in fresh for resource in doc]
+                outcome = self.engine.process_insertions(resources)
+                for document in fresh:
+                    self._store_document(document, [])
+                    version = self._next_version(document.uri)
+                    if self._replication_hook is not None:
+                        self._replication_hook(document.uri, document, version)
                 _merge_outcomes(merged, outcome)
-            else:
-                fresh.append(document)
-        if fresh:
-            resources = [resource for doc in fresh for resource in doc]
-            outcome = self.engine.process_insertions(resources)
-            for document in fresh:
-                self._store_document(document, [])
-                version = self._next_version(document.uri)
-                if self._replication_hook is not None:
-                    self._replication_hook(document.uri, document, version)
-            _merge_outcomes(merged, outcome)
-            self._publish(outcome)
+                self._publish(outcome)
         return merged
 
     def delete_document(
@@ -281,16 +379,18 @@ class MetadataProvider:
         old = self._documents.get(document_uri)
         if old is None:
             raise DocumentNotFoundError(document_uri)
-        outcome = self._process_diff(deletion_diff(old))
-        del self._documents[document_uri]
-        self._document_table.delete(document_uri)
-        self._resource_table.delete_many(str(r.uri) for r in old)
-        self._publish(outcome)
-        self._m_deletions.inc()
-        if not _replicated:
-            version = self._next_version(document_uri)
-            if self._replication_hook is not None:
-                self._replication_hook(document_uri, None, version)
+        with self._op():
+            outcome = self._process_diff(deletion_diff(old))
+            del self._documents[document_uri]
+            with self.db.transaction():
+                self._document_table.delete(document_uri)
+                self._resource_table.delete_many(str(r.uri) for r in old)
+            self._publish(outcome)
+            self._m_deletions.inc()
+            if not _replicated:
+                version = self._next_version(document_uri)
+                if self._replication_hook is not None:
+                    self._replication_hook(document_uri, None, version)
         return outcome
 
     def _check_uri_ownership(self, document: Document) -> None:
@@ -393,23 +493,28 @@ class MetadataProvider:
         )
         named_producers = self.registry.named_producers()
         subscriptions: list[Subscription] = []
-        for index, normalized in enumerate(conjuncts):
-            decomposed = decompose_rule(normalized, self.schema, named_producers)
-            stored_text = (
-                rule_text if len(conjuncts) == 1 else f"{rule_text}#or{index}"
-            )
-            registration = self.registry.register_subscription(
-                subscriber, stored_text, decomposed
-            )
-            self.engine.initialize_rules(registration.created)
-            subscription = registration.subscription
-            subscriptions.append(subscription)
-            matches = self.engine.current_matches(subscription.end_rule)
-            if matches:
-                batch = self.publisher.initial_batch(
-                    subscriber, subscription.sub_id, stored_text, matches
+        with self._op():
+            for index, normalized in enumerate(conjuncts):
+                decomposed = decompose_rule(
+                    normalized, self.schema, named_producers
                 )
-                self._deliver(batch)
+                stored_text = (
+                    rule_text
+                    if len(conjuncts) == 1
+                    else f"{rule_text}#or{index}"
+                )
+                registration = self.registry.register_subscription(
+                    subscriber, stored_text, decomposed
+                )
+                self.engine.initialize_rules(registration.created)
+                subscription = registration.subscription
+                subscriptions.append(subscription)
+                matches = self.engine.current_matches(subscription.end_rule)
+                if matches:
+                    batch = self.publisher.initial_batch(
+                        subscriber, subscription.sub_id, stored_text, matches
+                    )
+                    self._deliver(batch)
         return subscriptions
 
     def analyze_rule(
@@ -579,20 +684,29 @@ class MetadataProvider:
         if not batch.notifications:
             return
         self._m_batches_sent.inc()
-        handler = self._direct_subscribers.get(batch.subscriber)
-        if handler is not None:
-            handler(batch)
-            return
-        if self.outbox is not None:
+        if self.outbox is not None and (
+            self.durable_delivery
+            or batch.subscriber not in self._direct_subscribers
+        ):
             # Reliable at-least-once delivery: stamp, queue, attempt.
             # Failures are retried by later flushes; they never abort
-            # the publish that produced the batch.
+            # the publish that produced the batch.  Inside a durable
+            # operation the entry is persisted with the transaction and
+            # the flush is deferred until after the commit.
             seq = self.outbox.reserve_seq(batch.subscriber)
             batch.source = self.name
             batch.seq = seq
             self.outbox.enqueue(batch.subscriber, "notifications", batch, seq)
-            self.outbox.flush(batch.subscriber)
-        elif self.bus is not None:  # pragma: no cover - bus implies outbox
+            if self._in_op:
+                self._pending_flush.add(batch.subscriber)
+            else:
+                self.outbox.flush(batch.subscriber)
+            return
+        handler = self._direct_subscribers.get(batch.subscriber)
+        if handler is not None:
+            handler(batch)
+            return
+        if self.bus is not None:  # pragma: no cover - bus implies outbox
             self.bus.send_one_way(
                 self.name, batch.subscriber, "notifications", batch
             )
@@ -611,6 +725,55 @@ class MetadataProvider:
         self.outbox.redrive(subscriber)
         self.outbox.replay_since(subscriber, after_seq)
         return self.outbox.flush(subscriber)
+
+    def deliver_pending(self) -> int:
+        """Flush every queued outbox entry (post-recovery redelivery).
+
+        A restarted durable provider recovers its committed-but-
+        undelivered batches into the outbox queues; call this once the
+        subscribers are reattached to push them out.  Receivers dedup
+        by ``(source, seq)``, so redelivering an already-applied batch
+        is harmless.  Returns the number of batches delivered.
+        """
+        if self.outbox is None:
+            return 0
+        return self.outbox.flush()
+
+    def outbox_watermark(self, destination: str) -> int:
+        """Highest notification seq ever reserved for ``destination``.
+
+        Read from the persistent store when there is one, so the value
+        reflects committed state — exactly what a snapshot of this
+        provider's database would carry.
+        """
+        if self.durable_delivery:
+            row = self.db.query_one(
+                "SELECT MAX(seq) AS high FROM outbox_messages "
+                "WHERE destination = ?",
+                (destination,),
+            )
+            if row is not None and row["high"] is not None:
+                return int(row["high"])
+            return 0
+        if self.outbox is None:
+            return 0
+        return self.outbox._next_seq.get(destination, 0)
+
+    # ------------------------------------------------------------------
+    # Snapshots (docs/DURABILITY.md)
+    # ------------------------------------------------------------------
+    def snapshot(self, path: str | None = None,
+                 durability: str | None = None) -> Database:
+        """A transactionally consistent copy of the provider's store.
+
+        Uses SQLite's online backup API via :meth:`Database.clone`;
+        the copy includes documents, rules, subscriptions, outbox and
+        version state, so a new provider constructed on it resumes
+        exactly where the snapshot was taken — and an LMR can catch up
+        from it via
+        :meth:`~repro.mdv.repository.LocalMetadataRepository.catch_up_from_snapshot`.
+        """
+        return self.db.clone(path, durability=durability)
 
     # ------------------------------------------------------------------
     # Backbone integration
@@ -634,7 +797,16 @@ class MetadataProvider:
         counter = (current[0] if current is not None else 0) + 1
         version = (counter, self.name)
         self._doc_versions[document_uri] = version
+        self._persist_version(document_uri, version)
         return version
+
+    def _persist_version(self, document_uri: str, version: tuple[int, str]) -> None:
+        with self.db.transaction():
+            self.db.execute(
+                "INSERT OR REPLACE INTO doc_versions "
+                "(document_uri, counter, origin) VALUES (?, ?, ?)",
+                (document_uri, version[0], version[1]),
+            )
 
     def document_version(self, document_uri: str) -> tuple[int, str] | None:
         return self._doc_versions.get(document_uri)
@@ -670,21 +842,23 @@ class MetadataProvider:
         at-least-once delivery yields exactly-once application.
         Returns ``"applied"``, ``"duplicate"`` or ``"stale"``.
         """
-        if source is not None and seq is not None:
-            if not self.replica_dedup.check_and_record(source, seq):
-                return "duplicate"
-        if version is not None:
-            local = self._doc_versions.get(document_uri)
-            if local is not None and local >= version:
-                self.stale_replicas_ignored += 1
-                self._m_stale_replicas.inc()
-                return "stale"
-            self._doc_versions[document_uri] = version
-        if document is None:
-            if document_uri in self._documents:
-                self.delete_document(document_uri, _replicated=True)
-            return "applied"
-        self.register_document(document.copy(), _replicated=True)
+        with self._op():
+            if source is not None and seq is not None:
+                if not self.replica_dedup.check_and_record(source, seq):
+                    return "duplicate"
+            if version is not None:
+                local = self._doc_versions.get(document_uri)
+                if local is not None and local >= version:
+                    self.stale_replicas_ignored += 1
+                    self._m_stale_replicas.inc()
+                    return "stale"
+                self._doc_versions[document_uri] = version
+                self._persist_version(document_uri, version)
+            if document is None:
+                if document_uri in self._documents:
+                    self.delete_document(document_uri, _replicated=True)
+                return "applied"
+            self.register_document(document.copy(), _replicated=True)
         return "applied"
 
     # ------------------------------------------------------------------

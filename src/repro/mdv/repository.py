@@ -40,16 +40,20 @@ from repro.mdv.outbox import DedupIndex
 from repro.mdv.provider import MetadataProvider
 from repro.net.bus import DEFAULT_LAN_LATENCY_MS, Message, NetworkBus
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.pubsub.closure import strong_closure
 from repro.pubsub.notifications import (
     DeleteNotification,
     MatchNotification,
     NotificationBatch,
+    ResourcePayload,
     UnmatchNotification,
 )
 from repro.query.evaluator import evaluate_query
 from repro.rdf.model import Document, Resource, URIRef
+from repro.rdf.parser import parse_document
 from repro.rdf.schema import Schema
 from repro.rules.parser import parse_query
+from repro.storage.engine import Database
 
 __all__ = ["CachedQueryResult", "LocalMetadataRepository"]
 
@@ -223,14 +227,20 @@ class LocalMetadataRepository:
         Sends the highest applied sequence number; the provider
         redrives dead letters and re-sends everything newer.  Replayed
         duplicates are absorbed by the ``(source, seq)`` dedup index.
-        The request itself is idempotent, so transient link faults are
+        Without a bus the provider is called directly — the path a
+        durable direct-connected deployment uses after a restart.  With
+        a bus the request is idempotent, so transient link faults are
         retried (with backoff on the simulated clock) up to
         ``max_attempts`` times before the last error propagates.
         """
+        watermark = self.dedup.highest(self.provider.name)
         if self.bus is None:
+            if self.provider.outbox is None:
+                return
+            self._m_resyncs.inc()
+            self.provider.resync_subscriber(self.name, watermark)
             return
         self._m_resyncs.inc()
-        watermark = self.dedup.highest(self.provider.name)
         for attempt in range(max_attempts):
             try:
                 self.bus.send(
@@ -244,6 +254,103 @@ class LocalMetadataRepository:
                 if attempt == max_attempts - 1:
                     raise
                 self.bus.sleep(2.0 * (attempt + 1))
+
+    # ------------------------------------------------------------------
+    # Crash recovery (docs/DURABILITY.md)
+    # ------------------------------------------------------------------
+    def reattach(self, provider: MetadataProvider) -> None:
+        """Rebind to a restarted provider object (same logical node).
+
+        The LMR survives the provider's crash; when a new provider
+        process comes up on the same store, the LMR re-registers its
+        batch handler and rebuilds its rule-text → subscription-id map
+        from the provider's (persisted) registry.  The dedup index is
+        kept: the restarted provider resumes its sequence stream from
+        the persisted watermark, so already-applied batches that get
+        redelivered are recognised and ignored.
+        """
+        self.provider = provider
+        if self.bus is None:
+            provider.connect_subscriber(self.name, self.apply_batch)
+        subscriptions: dict[str, list[int]] = {}
+        for subscription in provider.registry.subscriptions_of(self.name):
+            base_text = subscription.rule_text.split("#or")[0]
+            subscriptions.setdefault(base_text, []).append(
+                subscription.sub_id
+            )
+        self._subscriptions = subscriptions
+
+    def catch_up_from_snapshot(self, snapshot: Database) -> int:
+        """Rebuild the cache from a provider snapshot, then resync.
+
+        Restores a *blank* LMR (a replacement node, or one whose cache
+        was lost) from a provider :meth:`~MetadataProvider.snapshot`:
+        the cache is filled with every resource the snapshot's
+        ``materialized`` table records for this LMR's subscriptions,
+        the dedup index is primed with the snapshot's outbox watermark
+        — everything at or below it is already reflected in the cache —
+        and a :meth:`resync` replays the stream *after* the watermark
+        from the live provider.  Returns the number of cached matches.
+        """
+        row = snapshot.query_one(
+            "SELECT MAX(seq) AS high FROM outbox_messages "
+            "WHERE destination = ?",
+            (self.name,),
+        )
+        watermark = (
+            int(row["high"])
+            if row is not None and row["high"] is not None
+            else 0
+        )
+        documents: dict[str, Document | None] = {}
+
+        def lookup(uri: URIRef | str) -> Resource | None:
+            reference = URIRef(uri)
+            document_uri = reference.document_uri
+            if document_uri not in documents:
+                doc_row = snapshot.query_one(
+                    "SELECT xml FROM documents WHERE uri = ?",
+                    (document_uri,),
+                )
+                documents[document_uri] = (
+                    parse_document(doc_row["xml"], document_uri, self.schema)
+                    if doc_row is not None
+                    else None
+                )
+            document = documents[document_uri]
+            return document.get(reference) if document is not None else None
+
+        cached = 0
+        subscriptions: dict[str, list[int]] = {}
+        for sub in snapshot.query_all(
+            "SELECT sub_id, end_rule, rule_text FROM subscriptions "
+            "WHERE subscriber = ? ORDER BY sub_id",
+            (self.name,),
+        ):
+            base_text = sub["rule_text"].split("#or")[0]
+            subscriptions.setdefault(base_text, []).append(int(sub["sub_id"]))
+            for match in snapshot.query_all(
+                "SELECT uri_reference FROM materialized WHERE rule_id = ? "
+                "ORDER BY uri_reference",
+                (sub["end_rule"],),
+            ):
+                resource = lookup(match["uri_reference"])
+                if resource is None:
+                    continue
+                closure = strong_closure(resource, self.schema, lookup)
+                payload = ResourcePayload(
+                    resource=resource.copy(),
+                    strong_closure=[child.copy() for child in closure],
+                )
+                self.clock += 1
+                self.cache.apply_match(
+                    int(sub["sub_id"]), payload, now=self.clock
+                )
+                cached += 1
+        self._subscriptions = subscriptions
+        self.dedup.prime(self.provider.name, watermark)
+        self.resync()
+        return cached
 
     # ------------------------------------------------------------------
     # Query processing (local only)

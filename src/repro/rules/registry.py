@@ -172,7 +172,7 @@ class RuleRegistry:
             return self._insert_triggering(atom)
         return self._insert_join(atom, ids)
 
-    def _insert_triggering(self, atom: TriggeringAtom) -> int:
+    def _insert_triggering(self, atom: TriggeringAtom) -> int:  # mdv: allow(MDV065): runs inside caller's transaction
         self.mutation_version += 1
         cursor = self._db.execute(
             "INSERT INTO atomic_rules (kind, rule_text, class) "
@@ -209,7 +209,7 @@ class RuleRegistry:
                 )
         return rule_id
 
-    def _insert_join(self, atom: JoinAtom, ids: dict[str, int]) -> int:
+    def _insert_join(self, atom: JoinAtom, ids: dict[str, int]) -> int:  # mdv: allow(MDV065): runs inside caller's transaction
         left_id = ids.get(atom.left.key) or self._require(atom.left.key)
         right_id = ids.get(atom.right.key) or self._require(atom.right.key)
         group_id = self._ensure_group(atom)
@@ -299,13 +299,16 @@ class RuleRegistry:
             self._db.metrics.counter("analysis.dedupe_merged").inc()
         else:
             end_id, all_ids, created = self.ensure_atoms(decomposed)
-            if canon_hash is not None:
+        with self._db.transaction():
+            if canon_hash is not None and equivalent_end is None:
+                # Inside the subscription's transaction: a torn
+                # registration never leaves a canon entry without its
+                # subscription (crash-safety, docs/DURABILITY.md).
                 self._db.execute(
                     "INSERT OR IGNORE INTO rule_canon (canon_hash, rule_id) "
                     "VALUES (?, ?)",
                     (canon_hash, end_id),
                 )
-        with self._db.transaction():
             duplicate = self._db.query_one(
                 "SELECT sub_id FROM subscriptions WHERE subscriber = ? AND "
                 "rule_text = ?",
@@ -482,7 +485,7 @@ class RuleRegistry:
                 self._delete_atom(rule_id)
             removed.extend(dead)
 
-    def _delete_atom(self, rule_id: int) -> None:
+    def _delete_atom(self, rule_id: int) -> None:  # mdv: allow(MDV065): runs inside caller's transaction
         self.mutation_version += 1
         self._db.execute(
             "DELETE FROM rule_dependencies WHERE target_rule = ?", (rule_id,)
@@ -516,12 +519,12 @@ class RuleRegistry:
         registration = self.register_subscription(
             f"~named~{name}", rule_text, decomposed
         )
-        self._db.execute(
-            "INSERT INTO named_rules (name, rule_text, end_rule, class) "
-            "VALUES (?, ?, ?, ?)",
-            (name, rule_text, registration.end_rule, decomposed.rdf_class),
-        )
-        self._db.commit()
+        with self._db.transaction():
+            self._db.execute(
+                "INSERT INTO named_rules (name, rule_text, end_rule, class) "
+                "VALUES (?, ?, ?, ?)",
+                (name, rule_text, registration.end_rule, decomposed.rdf_class),
+            )
         return registration
 
     def named_rule(self, name: str) -> tuple[int, str] | None:

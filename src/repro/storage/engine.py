@@ -16,7 +16,15 @@ wants:
   keep call sites one-liners,
 - :meth:`clone` using the SQLite backup API, which the benchmark harness
   uses to restore a prepared rule base between measurements without
-  paying rule registration again,
+  paying rule registration again (and which provider snapshots reuse),
+- a ``durability`` knob selecting the pragma profile
+  (:func:`repro.storage.durability.pragmas_for`): ``"fast"`` for
+  in-memory measurement runs, ``"safe"`` (WAL + ``synchronous=NORMAL``)
+  for stores that must survive process death,
+- crash-point injection: an armed
+  :class:`~repro.storage.durability.CrashPlan` is consulted at every
+  statement and commit boundary and tears the open transaction away
+  with a :class:`~repro.errors.CrashError` when it fires,
 - statement/row accounting into a :class:`~repro.obs.MetricsRegistry`
   (``storage.statements``, ``storage.rows_read``,
   ``storage.rows_written``) so filter cost is attributable to actual
@@ -26,25 +34,16 @@ wants:
 from __future__ import annotations
 
 import sqlite3
+import threading
 from collections.abc import Iterable, Iterator, Sequence
 from contextlib import contextmanager
 from typing import Any
 
-from repro.errors import StorageError
+from repro.errors import CrashError, StorageError
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.storage.durability import CrashPlan, pragmas_for
 
 __all__ = ["Database"]
-
-#: Pragmas applied to every connection.  The benchmark workload is
-#: insert/join heavy and single-process; durability is irrelevant for an
-#: in-memory reproduction, so sync is off and the journal kept in memory.
-_PRAGMAS = (
-    "PRAGMA journal_mode = MEMORY",
-    "PRAGMA synchronous = OFF",
-    "PRAGMA temp_store = MEMORY",
-    "PRAGMA cache_size = -65536",  # 64 MiB page cache
-    "PRAGMA foreign_keys = ON",
-)
 
 
 class Database:
@@ -55,8 +54,12 @@ class Database:
         path: str = ":memory:",
         metrics: MetricsRegistry | None = None,
         check_same_thread: bool = True,
+        durability: str = "fast",
     ):
         self.path = path
+        #: Selected pragma profile ("fast" or "safe"); clones inherit it.
+        self.durability = durability
+        pragmas = pragmas_for(path, durability)  # validates the knob
         try:
             # sqlite3 connections are thread-affine; the check stays on
             # by default.  ``check_same_thread=False`` is for callers
@@ -69,9 +72,12 @@ class Database:
         except sqlite3.Error as exc:  # pragma: no cover - environment issue
             raise StorageError(f"cannot open database {path!r}: {exc}") from exc
         self._connection.row_factory = sqlite3.Row
-        for pragma in _PRAGMAS:
+        for pragma in pragmas:
             self._connection.execute(pragma)
         self._in_transaction = False
+        self._transaction_owner: int | None = None
+        self._savepoint_serial = 0
+        self._crash_plan: CrashPlan | None = None
         # Instrument handles are resolved once; every statement then
         # pays one attribute-add, keeping the hot path hot.
         self.metrics = metrics if metrics is not None else default_registry()
@@ -79,6 +85,8 @@ class Database:
         self._m_rows_read = self.metrics.counter("storage.rows_read")
         self._m_rows_written = self.metrics.counter("storage.rows_written")
         self._m_transactions = self.metrics.counter("storage.transactions")
+        self._m_crashes = self.metrics.counter("storage.crash.injected")
+        self._m_crash_armed = self.metrics.counter("storage.crash.armed")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -102,15 +110,64 @@ class Database:
             raise StorageError("database is closed")
         return self._connection
 
-    def clone(self) -> Database:
+    def clone(
+        self, path: str | None = None, durability: str | None = None
+    ) -> Database:
         """A full copy of this database (SQLite backup API).
 
-        Used by the benchmark harness: prepare an expensive rule base
-        once, then restore a pristine copy for every measurement point.
+        Used by the benchmark harness (prepare an expensive rule base
+        once, restore a pristine copy per measurement point) and by
+        provider snapshots.  ``path`` selects the destination —
+        ``:memory:`` by default, a file path for a durable snapshot; an
+        existing destination database file is overwritten.  Call it at a
+        quiescent point: cloning mid-transaction would snapshot
+        uncommitted state.
         """
-        duplicate = Database(":memory:", metrics=self.metrics)
+        if self._connection is None:
+            raise StorageError(
+                f"cannot clone a closed database (source {self.path!r})"
+            )
+        duplicate = Database(
+            path if path is not None else ":memory:",
+            metrics=self.metrics,
+            durability=durability if durability is not None else self.durability,
+        )
         self.connection.backup(duplicate.connection)
         return duplicate
+
+    # ------------------------------------------------------------------
+    # Crash injection (fault-injection harness; see docs/DURABILITY.md)
+    # ------------------------------------------------------------------
+    @property
+    def crash_plan(self) -> CrashPlan | None:
+        """The armed crash plan, if any."""
+        return self._crash_plan
+
+    def install_crash_plan(self, plan: CrashPlan) -> None:
+        """Arm ``plan``: every statement/commit boundary consults it."""
+        self._crash_plan = plan
+        self._m_crash_armed.inc()
+
+    def clear_crash_plan(self) -> None:
+        """Disarm crash injection (a simulated restart discards the plan)."""
+        self._crash_plan = None
+
+    def _crash(self, boundary: str, ordinal: int) -> None:
+        """Inject the crash: discard the open transaction and raise."""
+        self._m_crashes.inc()
+        if self._connection is not None:
+            self._connection.rollback()
+        raise CrashError(boundary, ordinal)
+
+    def _statement_boundary(self) -> None:
+        plan = self._crash_plan
+        if plan is not None and plan.on_statement():
+            self._crash("statement", plan.statements_seen)
+
+    def _commit_boundary(self) -> None:
+        plan = self._crash_plan
+        if plan is not None and plan.on_commit():
+            self._crash("commit", plan.commits_seen)
 
     # ------------------------------------------------------------------
     # Execution
@@ -119,6 +176,7 @@ class Database:
         self, sql: str, parameters: Sequence[Any] | dict[str, Any] = ()
     ) -> sqlite3.Cursor:
         """Execute one statement, translating engine errors."""
+        self._statement_boundary()
         try:
             cursor = self.connection.execute(sql, parameters)
         except sqlite3.Error as exc:
@@ -132,6 +190,7 @@ class Database:
         self, sql: str, parameter_rows: Iterable[Sequence[Any]]
     ) -> sqlite3.Cursor:
         """Execute one statement for many parameter rows."""
+        self._statement_boundary()
         try:
             cursor = self.connection.executemany(sql, parameter_rows)
         except sqlite3.Error as exc:
@@ -142,7 +201,18 @@ class Database:
         return cursor
 
     def executescript(self, script: str) -> None:
-        """Execute a multi-statement script (DDL)."""
+        """Execute a multi-statement script (DDL).
+
+        Refused inside a :meth:`transaction` block: ``executescript``
+        issues an implicit COMMIT first, which would silently persist
+        the block's partial work.
+        """
+        if self._in_transaction:
+            raise StorageError(
+                "executescript() inside a transaction() block would "
+                "implicitly commit its partial work; run DDL outside "
+                "explicit transactions"
+            )
         try:
             self.connection.executescript(script)
         except sqlite3.Error as exc:
@@ -152,26 +222,89 @@ class Database:
     def transaction(self) -> Iterator[Database]:
         """Run a block atomically.
 
-        Nested invocations join the outer transaction (SQLite has no real
-        nested transactions and the library does not need savepoints).
+        The top-level block opens one SQLite transaction, committed on
+        normal exit and rolled back on any exception.  Nested
+        invocations from the *same* thread join it through a SAVEPOINT:
+        their work commits with the outer block, but a raising nested
+        block is guaranteed to roll back its own writes (``ROLLBACK
+        TO``) instead of leaving half its work inside the outer
+        transaction.  Nested invocations from a *different* thread are
+        rejected with a diagnostic — two threads sharing one connection
+        would silently commit each other's partial work (SQLite has a
+        single transaction per connection).
         """
         if self._in_transaction:
-            yield self
+            if threading.get_ident() != self._transaction_owner:
+                raise StorageError(
+                    "nested transaction() from a different thread: the "
+                    "connection's single transaction belongs to thread "
+                    f"{self._transaction_owner}; serialize access or give "
+                    "each thread its own Database (docs/CONCURRENCY.md)"
+                )
+            self._savepoint_serial += 1
+            name = f"mdv_sp_{self._savepoint_serial}"
+            self.connection.execute(f"SAVEPOINT {name}")
+            try:
+                yield self
+            except BaseException:
+                # After an injected crash the whole transaction (and its
+                # savepoint stack) is already gone — nothing to unwind.
+                if self.connection.in_transaction:
+                    self.connection.execute(f"ROLLBACK TO {name}")
+                    self.connection.execute(f"RELEASE {name}")
+                raise
+            else:
+                if self.connection.in_transaction:
+                    self.connection.execute(f"RELEASE {name}")
             return
         self._m_transactions.inc()
         self._in_transaction = True
+        self._transaction_owner = threading.get_ident()
+        if not self.connection.in_transaction:
+            # An explicit BEGIN, so nested SAVEPOINTs always live inside
+            # a real transaction (releasing an outermost savepoint would
+            # otherwise commit).  When raw statements already opened an
+            # implicit transaction, join it — same commit scope as ever.
+            self.connection.execute("BEGIN")
         try:
             yield self
         except BaseException:
             self.connection.rollback()
             raise
         else:
+            self._commit_boundary()
             self.connection.commit()
         finally:
             self._in_transaction = False
+            self._transaction_owner = None
 
     def commit(self) -> None:
+        """Commit outside :meth:`transaction` blocks.
+
+        Inside a block it is rejected: committing mid-block would
+        persist partial work and break the block's atomicity (this is
+        also what lint MDV065 flags statically).
+        """
+        if self._in_transaction:
+            raise StorageError(
+                "commit() inside a transaction() block would persist "
+                "partial work; let the block commit on exit"
+            )
+        self._commit_boundary()
         self.connection.commit()
+
+    def rollback(self) -> None:
+        """Discard the open (implicit or explicit) transaction, if any.
+
+        Inside a :meth:`transaction` block it is rejected — raise out of
+        the block instead and let the block unwind atomically.
+        """
+        if self._in_transaction:
+            raise StorageError(
+                "rollback() inside a transaction() block; raise instead "
+                "and let the block roll back atomically"
+            )
+        self.connection.rollback()
 
     # ------------------------------------------------------------------
     # Query helpers

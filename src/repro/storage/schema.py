@@ -215,6 +215,38 @@ CREATE TABLE IF NOT EXISTS rule_canon (
     rule_id    INTEGER NOT NULL REFERENCES atomic_rules(rule_id)
 ) WITHOUT ROWID;
 CREATE INDEX IF NOT EXISTS idx_rc_rule ON rule_canon(rule_id);
+
+-- Durable-state tables (docs/DURABILITY.md).  ``doc_versions`` persists
+-- the provider's per-document (counter, origin) version vector entries,
+-- tombstones included, so a restarted provider keeps ordering
+-- anti-entropy correctly.  ``outbox_messages`` is the transactional
+-- outbox: notification batches are written here in the same transaction
+-- as the filter run that produced them, then delivered (and marked)
+-- after commit — a crash between commit and delivery re-sends them,
+-- never invents or loses them.  ``dedup_entries`` persists a receiver's
+-- (source, seq) exactly-once index.
+CREATE TABLE IF NOT EXISTS doc_versions (
+    document_uri TEXT PRIMARY KEY,
+    counter      INTEGER NOT NULL,
+    origin       TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS outbox_messages (
+    destination TEXT NOT NULL,
+    seq         INTEGER NOT NULL,
+    kind        TEXT NOT NULL,
+    payload     BLOB NOT NULL,
+    delivered   INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (destination, seq)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_om_undelivered
+    ON outbox_messages(destination, seq) WHERE delivered = 0;
+
+CREATE TABLE IF NOT EXISTS dedup_entries (
+    source TEXT NOT NULL,
+    seq    INTEGER NOT NULL,
+    PRIMARY KEY (source, seq)
+) WITHOUT ROWID;
 """
 
 #: The trigram index of :mod:`repro.text`: ``filter_rules_con_tri``

@@ -191,6 +191,94 @@ class TestExportsRule:
         assert _codes(lint_file(path)) == []
 
 
+class TestDurabilityRule:
+    SCOPED = "repro/mdv/mod.py"
+
+    def test_raw_commit_flagged_in_scope(self, tmp_path):
+        path = _write(
+            tmp_path,
+            self.SCOPED,
+            "__all__ = []\n\ndef f(db):\n    db.commit()\n",
+        )
+        assert _codes(lint_file(path)) == ["MDV065"]
+
+    def test_raw_commit_outside_scope_ignored(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/bench/mod.py",
+            "__all__ = []\n\ndef f(db):\n    db.commit()\n",
+        )
+        assert _codes(lint_file(path)) == []
+
+    def test_multi_table_mutation_outside_transaction_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            self.SCOPED,
+            "__all__ = []\n\n"
+            "def f(db):\n"
+            "    db.execute('DELETE FROM a WHERE x = ?', (1,))\n"
+            "    db.execute('INSERT INTO b VALUES (?)', (1,))\n",
+        )
+        assert _codes(lint_file(path)) == ["MDV065"]
+
+    def test_transaction_block_makes_it_clean(self, tmp_path):
+        path = _write(
+            tmp_path,
+            self.SCOPED,
+            "__all__ = []\n\n"
+            "def f(db):\n"
+            "    with db.transaction():\n"
+            "        db.execute('DELETE FROM a')\n"
+            "        db.execute('INSERT INTO b VALUES (1)')\n",
+        )
+        assert _codes(lint_file(path)) == []
+
+    def test_single_table_mutation_allowed(self, tmp_path):
+        path = _write(
+            tmp_path,
+            self.SCOPED,
+            "__all__ = []\n\n"
+            "def f(db):\n"
+            "    db.execute('UPDATE a SET x = 1')\n"
+            "    db.execute('DELETE FROM a WHERE x = 2')\n"
+            "    db.query_all('SELECT * FROM b')\n",
+        )
+        assert _codes(lint_file(path)) == []
+
+    def test_waiver_on_def_line_suppresses(self, tmp_path):
+        path = _write(
+            tmp_path,
+            self.SCOPED,
+            "__all__ = []\n\n"
+            "def f(db):  # mdv: allow(MDV065): caller holds the txn\n"
+            "    db.execute('DELETE FROM a')\n"
+            "    db.execute('INSERT INTO b VALUES (1)')\n",
+        )
+        assert _codes(lint_file(path)) == []
+
+    def test_dynamic_sql_counts_as_distinct_tables(self, tmp_path):
+        path = _write(
+            tmp_path,
+            self.SCOPED,
+            "__all__ = []\n\n"
+            "def f(db, t1, t2):\n"
+            "    db.execute(f'DELETE FROM {t1} WHERE x = 1')\n"
+            "    db.execute(f'DELETE FROM {t2} WHERE x = 2')\n",
+        )
+        assert _codes(lint_file(path)) == ["MDV065"]
+
+    def test_executemany_counts_as_mutation(self, tmp_path):
+        path = _write(
+            tmp_path,
+            self.SCOPED,
+            "__all__ = []\n\n"
+            "def f(db, rows):\n"
+            "    db.executemany('INSERT OR REPLACE INTO a VALUES (?)', rows)\n"
+            "    db.execute('DELETE FROM b')\n",
+        )
+        assert _codes(lint_file(path)) == ["MDV065"]
+
+
 class TestLintPaths:
     def test_directory_walk_counts_files(self, tmp_path):
         _write(tmp_path, "pkg/a.py", "__all__ = []\n")

@@ -171,4 +171,5 @@ class TestRegressionGate:
             "BENCH_analysis.json",
             "BENCH_fig11.json", "BENCH_fig12.json", "BENCH_fig13.json",
             "BENCH_fig14.json", "BENCH_fig15.json",
+            "BENCH_recovery.json",
         ]

@@ -74,6 +74,7 @@ def test_real_figures_registered():
         "fig14",
         "fig15",
         "analysis",
+        "recovery",
     }
 
 

@@ -1,0 +1,141 @@
+"""Tests for crash-point injection and durability profiles."""
+
+import os
+
+import pytest
+
+from repro.errors import CrashError
+from repro.obs import default_registry
+from repro.storage.durability import (
+    DURABILITY_PROFILES,
+    CrashPlan,
+    CrashPoint,
+    enumerate_crash_points,
+    pragmas_for,
+)
+from repro.storage.engine import Database
+
+
+class TestPragmaProfiles:
+    def test_fast_profile_trades_durability_for_speed(self):
+        pragmas = pragmas_for("/tmp/x.db", "fast")
+        assert "PRAGMA journal_mode = MEMORY" in pragmas
+        assert "PRAGMA synchronous = OFF" in pragmas
+
+    def test_safe_profile_on_disk_uses_wal(self):
+        pragmas = pragmas_for("/tmp/x.db", "safe")
+        assert "PRAGMA journal_mode = WAL" in pragmas
+        assert "PRAGMA synchronous = NORMAL" in pragmas
+
+    def test_safe_profile_in_memory_keeps_memory_journal(self):
+        pragmas = pragmas_for(":memory:", "safe")
+        assert "PRAGMA journal_mode = MEMORY" in pragmas
+        assert "PRAGMA synchronous = NORMAL" in pragmas
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            pragmas_for(":memory:", "medium-rare")
+
+    def test_database_applies_profile(self, tmp_path):
+        path = os.fspath(tmp_path / "safe.db")
+        db = Database(path, durability="safe")
+        assert db.durability == "safe"
+        assert db.scalar("PRAGMA journal_mode") == "wal"
+        db.close()
+
+    def test_profiles_tuple_is_exhaustive(self):
+        assert DURABILITY_PROFILES == ("fast", "safe")
+
+
+class TestCrashPlan:
+    def test_counts_without_targets(self):
+        plan = CrashPlan()
+        for _ in range(3):
+            assert plan.on_statement() is False
+        assert plan.on_commit() is False
+        assert plan.statements_seen == 3
+        assert plan.commits_seen == 1
+        assert plan.fired is False
+
+    def test_fires_once_at_statement_target(self):
+        plan = CrashPlan(crash_at_statement=2)
+        assert plan.on_statement() is False
+        assert plan.on_statement() is True
+        assert plan.fired is True
+        assert plan.on_statement() is False  # never fires twice
+
+    def test_fires_at_commit_target(self):
+        plan = CrashPlan(crash_at_commit=1)
+        assert plan.on_statement() is False
+        assert plan.on_commit() is True
+
+
+class TestCrashPoints:
+    def test_enumerate_covers_commits_and_strided_statements(self):
+        points = enumerate_crash_points(10, 2, statement_stride=5)
+        boundaries = {(p.boundary, p.ordinal) for p in points}
+        assert ("commit", 1) in boundaries
+        assert ("commit", 2) in boundaries
+        assert ("statement", 1) in boundaries
+        assert ("statement", 6) in boundaries
+        assert ("statement", 4) not in boundaries
+
+    def test_point_builds_matching_plan(self):
+        plan = CrashPoint("statement", 3).plan()
+        assert plan.crash_at_statement == 3
+        assert plan.crash_at_commit is None
+        plan = CrashPoint("commit", 2).plan()
+        assert plan.crash_at_commit == 2
+
+
+class TestCrashInjection:
+    def test_statement_crash_discards_open_transaction(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a)")
+        db.commit()
+        db.install_crash_plan(CrashPlan(crash_at_statement=2))
+        with pytest.raises(CrashError) as err:
+            with db.transaction():
+                db.execute("INSERT INTO t VALUES (1)")
+                db.execute("INSERT INTO t VALUES (2)")
+        assert err.value.boundary == "statement"
+        db.clear_crash_plan()
+        assert db.count("t") == 0
+        db.close()
+
+    def test_commit_crash_discards_the_committing_transaction(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a)")
+        db.commit()
+        db.install_crash_plan(CrashPlan(crash_at_commit=1))
+        with pytest.raises(CrashError):
+            with db.transaction():
+                db.execute("INSERT INTO t VALUES (1)")
+        db.clear_crash_plan()
+        assert db.count("t") == 0
+        # The connection stays usable: this models a restarted process
+        # reopening the same store.
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES (3)")
+        assert db.count("t") == 1
+        db.close()
+
+    def test_crash_counters(self):
+        db = Database()
+        registry = default_registry()
+        db.install_crash_plan(CrashPlan(crash_at_statement=1))
+        assert registry.counter("storage.crash.armed").value == 1
+        with pytest.raises(CrashError):
+            db.execute("SELECT 1")
+        assert registry.counter("storage.crash.injected").value == 1
+        db.clear_crash_plan()
+        db.close()
+
+    def test_cleared_plan_stops_firing(self):
+        db = Database()
+        db.install_crash_plan(CrashPlan(crash_at_statement=1))
+        assert db.crash_plan is not None
+        db.clear_crash_plan()
+        assert db.crash_plan is None
+        db.execute("SELECT 1")
+        db.close()

@@ -125,3 +125,119 @@ def test_context_manager_closes():
         db.execute("SELECT 1")
     with pytest.raises(StorageError):
         db.execute("SELECT 1")
+
+
+def test_clone_to_disk_and_back(tmp_path):
+    db = Database()
+    db.execute("CREATE TABLE t (a)")
+    db.execute("INSERT INTO t VALUES (1)")
+    db.commit()
+    path = str(tmp_path / "copy.db")
+    on_disk = db.clone(path, durability="safe")
+    assert on_disk.path == path
+    assert on_disk.durability == "safe"
+    assert on_disk.count("t") == 1
+    on_disk.close()
+    # The file persists: reopening it sees the data.
+    reopened = Database(path, durability="safe")
+    assert reopened.count("t") == 1
+    reopened.close()
+    db.close()
+
+
+def test_clone_of_closed_database_raises():
+    db = Database()
+    db.close()
+    with pytest.raises(StorageError) as err:
+        db.clone()
+    assert "closed" in str(err.value)
+
+
+def test_commit_inside_transaction_block_rejected():
+    db = Database()
+    db.execute("CREATE TABLE t (a)")
+    db.commit()
+    with pytest.raises(StorageError) as err:
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES (1)")
+            db.commit()
+    assert "transaction" in str(err.value)
+    # The block's rollback ran: the partial work is gone.
+    assert db.count("t") == 0
+    db.close()
+
+
+def test_rollback_inside_transaction_block_rejected():
+    db = Database()
+    with pytest.raises(StorageError):
+        with db.transaction():
+            db.rollback()
+    db.close()
+
+
+def test_nested_transaction_rolls_back_inner_only():
+    db = Database()
+    db.execute("CREATE TABLE t (a)")
+    db.commit()
+    with db.transaction():
+        db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.execute("INSERT INTO t VALUES (2)")
+                raise RuntimeError("inner boom")
+        db.execute("INSERT INTO t VALUES (3)")
+    # The savepoint unwound row 2; rows 1 and 3 committed.
+    rows = sorted(row["a"] for row in db.query_all("SELECT a FROM t"))
+    assert rows == [1, 3]
+    db.close()
+
+
+def test_deeply_nested_savepoints():
+    db = Database()
+    db.execute("CREATE TABLE t (a)")
+    db.commit()
+    with db.transaction():
+        db.execute("INSERT INTO t VALUES (1)")
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES (2)")
+            with pytest.raises(RuntimeError):
+                with db.transaction():
+                    db.execute("INSERT INTO t VALUES (3)")
+                    raise RuntimeError("boom")
+    rows = sorted(row["a"] for row in db.query_all("SELECT a FROM t"))
+    assert rows == [1, 2]
+    db.close()
+
+
+def test_cross_thread_nested_transaction_rejected():
+    import threading
+
+    db = Database(check_same_thread=False)
+    db.execute("CREATE TABLE t (a)")
+    db.commit()
+    failures = []
+
+    def nested_from_other_thread():
+        try:
+            with db.transaction():
+                pass
+        except StorageError as exc:
+            failures.append(str(exc))
+
+    with db.transaction():
+        db.execute("INSERT INTO t VALUES (1)")
+        worker = threading.Thread(target=nested_from_other_thread)
+        worker.start()
+        worker.join()
+    assert len(failures) == 1
+    assert "thread" in failures[0]
+    db.close()
+
+
+def test_executescript_inside_transaction_rejected():
+    db = Database()
+    with pytest.raises(StorageError) as err:
+        with db.transaction():
+            db.executescript("CREATE TABLE t (a);")
+    assert "executescript" in str(err.value)
+    db.close()
