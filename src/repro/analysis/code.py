@@ -28,6 +28,13 @@ previously enforced only by convention and code review:
   the statements would tear related state (docs/DURABILITY.md).  A line
   may carry ``# mdv: allow(MDV065)`` to waive a site that is provably
   crash-safe (e.g. single-row idempotent writes).
+- **MDV066** — counting-matcher lock discipline (:data:`LOCK_SCOPE`):
+  outside ``__init__``, every statement that mutates a ``self._idx_*``
+  attribute (assignment, ``del``, or a call to a mutating container
+  method) must sit lexically inside a ``with self._lock:`` block.  The
+  parallel fan-out's worker threads read the same index; an unlocked
+  mutation could expose a torn structure (docs/FILTER_ALGORITHM.md).
+  A line may carry ``# mdv: allow(MDV066)``.
 
 ``python -m repro.analysis code`` runs the pack over ``src/repro`` (CI
 wires it up with ``--format json``).  The checks are deliberately
@@ -50,6 +57,7 @@ __all__ = [
     "CONNECT_ALLOWLIST",
     "CONCURRENCY_ALLOWLIST",
     "DURABILITY_SCOPE",
+    "LOCK_SCOPE",
     "WAIVER_MARK",
 ]
 
@@ -57,13 +65,21 @@ __all__ = [
 CONNECT_ALLOWLIST = ("repro/storage/engine.py",)
 
 #: Files allowed to create threads/executors or unbind thread affinity.
-CONCURRENCY_ALLOWLIST = ("repro/filter/shards.py",)
+CONCURRENCY_ALLOWLIST = (
+    "repro/filter/shards.py",
+    "repro/filter/counting.py",
+)
+
+#: Files whose ``self._idx_*`` state gets the MDV066 lock-discipline
+#: check.
+LOCK_SCOPE = ("repro/filter/counting.py",)
 
 #: Functions (file suffix, qualified name) that must reference an ``obs``
 #: handle somewhere in their body.
 HOT_PATHS: tuple[tuple[str, str], ...] = (
     ("repro/storage/engine.py", "Database.execute"),
     ("repro/filter/engine.py", "FilterEngine.run"),
+    ("repro/filter/counting.py", "CountingMatcher.match_rows"),
     ("repro/text/index.py", "match_contains_indexed"),
 )
 
@@ -236,6 +252,8 @@ def lint_file(path: Path, relative_to: Path | None = None) -> AnalysisReport:
     _check_exports(report, tree, label)
     if durability_scoped:
         _check_multi_table_mutations(report, tree, source_lines, label)
+    if _suffix_match(path, LOCK_SCOPE):
+        _check_lock_scope(report, tree, source_lines, label)
     return report
 
 
@@ -403,6 +421,149 @@ def _check_multi_table_mutations(
             span=_span(source_lines, first),
             source=label,
         )
+
+
+#: Container-method calls that mutate their receiver (MDV066).
+_LOCK_MUTATORS = frozenset(
+    {
+        "add", "append", "clear", "discard", "extend", "insert", "pop",
+        "popitem", "remove", "setdefault", "update",
+    }
+)
+
+_IDX_PREFIX = "_idx_"
+
+
+def _roots_at_index(node: ast.expr) -> bool:
+    """Whether an attribute/subscript/call chain reaches ``self._idx_*``."""
+    current: ast.expr | None = node
+    while current is not None:
+        if isinstance(current, ast.Attribute):
+            if (
+                current.attr.startswith(_IDX_PREFIX)
+                and isinstance(current.value, ast.Name)
+                and current.value.id == "self"
+            ):
+                return True
+            current = current.value
+        elif isinstance(current, ast.Subscript):
+            current = current.value
+        elif isinstance(current, ast.Call):
+            current = current.func
+        else:
+            return False
+    return False
+
+
+class _LockScanner(ast.NodeVisitor):
+    """Collect ``self._idx_*`` mutations outside ``with self._lock:``."""
+
+    def __init__(self) -> None:
+        self.in_lock = 0
+        self.unprotected: list[ast.AST] = []
+        self._seen_lines: set[int] = set()
+
+    def _is_lock_item(self, expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Attribute)
+            and expr.attr == "_lock"
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        )
+
+    def visit_With(self, node: ast.With) -> None:
+        is_lock = any(
+            self._is_lock_item(item.context_expr) for item in node.items
+        )
+        if is_lock:
+            self.in_lock += 1
+        self.generic_visit(node)
+        if is_lock:
+            self.in_lock -= 1
+
+    def _record(self, node: ast.AST, targets: list[ast.expr]) -> None:
+        # One finding per source line: a statement like
+        # `self._idx_x.setdefault(k, {})[r] = v` is both an assignment
+        # and a mutating call, but it is one violation.
+        line = getattr(node, "lineno", 0)
+        if (
+            self.in_lock == 0
+            and line not in self._seen_lines
+            and any(_roots_at_index(target) for target in targets)
+        ):
+            self._seen_lines.add(line)
+            self.unprotected.append(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record(node, node.targets)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record(node, [node.target])
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(node, [node.target])
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        self._record(node, list(node.targets))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _LOCK_MUTATORS
+        ):
+            self._record(node, [node.func.value])
+        self.generic_visit(node)
+
+    # Nested scopes are analysed as their own functions.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def _check_lock_scope(
+    report: AnalysisReport,
+    tree: ast.Module,
+    source_lines: list[str],
+    label: str,
+) -> None:
+    """MDV066: index mutations must hold the matcher lock.
+
+    ``__init__`` is exempt — construction happens before the object is
+    visible to any other thread.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name == "__init__":
+            continue
+        scanner = _LockScanner()
+        for statement in node.body:
+            scanner.visit(statement)
+        for mutation in scanner.unprotected:
+            # Waivable on the mutation line or on the enclosing def
+            # line (the MDV065 convention for whole-function waivers).
+            if _waived(source_lines, mutation, "MDV066") or _waived(
+                source_lines, node, "MDV066"
+            ):
+                continue
+            report.add(
+                Severity.ERROR,
+                "MDV066",
+                f"{node.name} mutates counting-index state (self._idx_*) "
+                "outside a `with self._lock:` block; shard threads could "
+                "read a torn index",
+                span=_span(source_lines, mutation),
+                source=label,
+            )
 
 
 def _function_qualnames(

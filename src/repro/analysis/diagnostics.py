@@ -102,6 +102,8 @@ CODES: dict[str, str] = {
     "MDV064": "module lacks __all__ or exports an undefined name",
     "MDV065": "raw commit or multi-table mutation outside a "
     "transaction() block in the durability scope",
+    "MDV066": "counting-index mutation outside a `with self._lock:` "
+    "block in the lock scope",
 }
 
 

@@ -833,6 +833,7 @@ class IndexAdvice:
     contains_index: str
     join_evaluation: str
     parallelism: int
+    triggering: str = "sql"
     stats: dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, object]:
@@ -840,6 +841,7 @@ class IndexAdvice:
             "contains_index": self.contains_index,
             "join_evaluation": self.join_evaluation,
             "parallelism": self.parallelism,
+            "triggering": self.triggering,
             "stats": self.stats,
         }
 
@@ -850,6 +852,11 @@ TRIGRAM_RULE_THRESHOLD = 64
 PROBE_GROUP_THRESHOLD = 4
 PARALLEL_RULE_THRESHOLD = 10_000
 RECOMMENDED_SHARDS = 4
+#: Above this many triggering rules the in-memory counting matcher
+#: (``triggering="counting"``) beats the relational triggering join —
+#: the BENCH_matcher figure's crossover is far below this, the margin
+#: keeps the default (the paper's sql path) for small rule bases.
+COUNTING_RULE_THRESHOLD = 10_000
 
 
 def advise_indexes(db: Database) -> IndexAdvice:
@@ -919,7 +926,14 @@ def advise_indexes(db: Database) -> IndexAdvice:
         if triggering_rules >= PARALLEL_RULE_THRESHOLD
         else 1
     )
-    return IndexAdvice(contains_index, join_evaluation, parallelism, stats)
+    triggering = (
+        "counting"
+        if triggering_rules >= COUNTING_RULE_THRESHOLD
+        else "sql"
+    )
+    return IndexAdvice(
+        contains_index, join_evaluation, parallelism, triggering, stats
+    )
 
 
 # ----------------------------------------------------------------------
@@ -1128,6 +1142,7 @@ def audit_registry(
         ("contains_index", advice.contains_index),
         ("join_evaluation", advice.join_evaluation),
         ("parallelism", advice.parallelism),
+        ("triggering", advice.triggering),
     ):
         report.add(
             Severity.INFO,

@@ -29,6 +29,7 @@ runs in minutes; ``full`` mode uses the paper's sizes (10k/100k rules).
 from __future__ import annotations
 
 from repro.bench.analysis import figure_analysis
+from repro.bench.matcher import figure_matcher
 from repro.bench.recovery import figure_recovery
 from repro.bench.harness import FilterBench, SweepResult
 from repro.bench.reporting import FigureResult
@@ -326,6 +327,9 @@ FIGURES = {
     # Startup recovery (audit + repair) wall time vs. store size
     # (BENCH_recovery.json; see repro.bench.recovery).
     "recovery": figure_recovery,
+    # Triggering backends (sql scan / sql trigram / counting) vs.
+    # rule-base size (BENCH_matcher.json; see repro.bench.matcher).
+    "matcher": figure_matcher,
 }
 
 

@@ -116,6 +116,7 @@ class FilterBench:
         join_evaluation: str = "scan",
         parallelism: int = 1,
         contains_index: str = "scan",
+        triggering: str = "sql",
     ):
         self.spec = spec
         self.schema = schema or objectglobe_schema()
@@ -127,6 +128,9 @@ class FilterBench:
         #: ``contains`` matching strategy ("scan" = the paper's join,
         #: "trigram" = the repro.text inverted index).
         self.contains_index = contains_index
+        #: Triggering backend ("sql" = the paper's joins, "counting" =
+        #: the in-memory counting matcher).
+        self.triggering = triggering
         self._template: Database | None = None
         self._borrowed_template = False
         self.prepare_seconds = 0.0
@@ -175,20 +179,22 @@ class FilterBench:
             db, registry, self.use_rule_groups, self.join_evaluation,
             parallelism=self.parallelism,
             contains_index=self.contains_index,
+            triggering=self.triggering,
         )
 
     def variant(
         self,
         parallelism: int | None = None,
         contains_index: str | None = None,
+        triggering: str | None = None,
     ) -> FilterBench:
         """A bench sharing this one's prepared template, differing only
-        in ``parallelism`` and/or ``contains_index`` (``None`` keeps this
-        bench's value) — ablation comparisons measure both settings
-        against the *same* rule base.  Registration maintains the
-        trigram tables unconditionally, so one template serves either
-        read path.  Close the parent last; the variant borrows the
-        template and must not outlive it.
+        in ``parallelism``, ``contains_index`` and/or ``triggering``
+        (``None`` keeps this bench's value) — ablation comparisons
+        measure both settings against the *same* rule base.
+        Registration maintains the trigram tables unconditionally, so
+        one template serves either read path.  Close the parent last;
+        the variant borrows the template and must not outlive it.
         """
         self.prepare()
         twin = FilterBench(
@@ -200,6 +206,9 @@ class FilterBench:
             parallelism=self.parallelism if parallelism is None else parallelism,
             contains_index=(
                 self.contains_index if contains_index is None else contains_index
+            ),
+            triggering=(
+                self.triggering if triggering is None else triggering
             ),
         )
         twin._template = self._template
@@ -266,6 +275,8 @@ class FilterBench:
             extras.append(f"parallel={self.parallelism}")
         if self.contains_index != "scan":
             extras.append(f"contains={self.contains_index}")
+        if self.triggering != "sql":
+            extras.append(f"triggering={self.triggering}")
         label = (
             " ".join([self.spec.label(), *extras]) if extras else None
         )

@@ -138,6 +138,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{baseline_path.name}: {wall}")
         failures.extend(compare(baseline, current, args.tolerance))
 
+    # The reverse direction: a freshly produced figure with no committed
+    # baseline would otherwise silently skip the gate — a new figure
+    # must land together with its baseline.
+    baseline_names = {path.name for path in baselines}
+    for current_path in sorted(current_dir.glob("BENCH_*.json")):
+        if current_path.name not in baseline_names:
+            failures.append(
+                f"{current_path.name}: produced by the perf run but has "
+                f"no committed baseline in {baseline_dir}/ — commit one "
+                f"so the figure enters the gate"
+            )
+
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -6,6 +6,7 @@ orchestrating engine including the three-pass update/delete algorithm
 (§3.5).
 """
 
+from repro.filter.counting import TRIGGERING_MODES, CountingMatcher
 from repro.filter.decompose import document_atoms, resource_atoms, resources_atoms
 from repro.filter.engine import FilterEngine
 from repro.filter.joins import GroupSpec, initialize_join_rule, load_group
@@ -16,6 +17,8 @@ __all__ = [
     "FilterEngine",
     "FilterRunResult",
     "PublishOutcome",
+    "CountingMatcher",
+    "TRIGGERING_MODES",
     "GroupSpec",
     "document_atoms",
     "resource_atoms",

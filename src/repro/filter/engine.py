@@ -38,6 +38,11 @@ from repro.filter.joins import (
     initialize_join_rule,
     load_group,
 )
+from repro.filter.counting import (
+    TRIGGERING_MODES,
+    CountingMatcher,
+    PendingCountingMatch,
+)
 from repro.filter.matcher import initialize_triggering_rule, match_triggering_rules
 from repro.filter.results import FilterRunResult, PublishOutcome
 from repro.filter.shards import MAX_SHARDS, PendingMatch, ShardPool
@@ -51,6 +56,11 @@ from repro.storage.tables import (
 )
 
 __all__ = ["FilterEngine"]
+
+#: Either flavour of in-flight triggering match the engine can merge:
+#: the SQL shards' and the counting matcher's pending objects share the
+#: ``gather()`` / ``row_count`` contract.
+PendingHits = PendingMatch | PendingCountingMatch
 
 #: Hard cap on join iterations; the dependency graph bounds real runs far
 #: below this, the cap only turns a hypothetical logic bug into an error.
@@ -74,6 +84,7 @@ class FilterEngine:
         metrics: MetricsRegistry | None = None,
         parallelism: int = 1,
         contains_index: str = "scan",
+        triggering: str = "sql",
     ):
         if join_evaluation not in ("scan", "probe"):
             raise ValueError(
@@ -88,6 +99,11 @@ class FilterEngine:
             raise ValueError(
                 f"contains_index must be one of {CONTAINS_INDEX_MODES}, got "
                 f"{contains_index!r}"
+            )
+        if triggering not in TRIGGERING_MODES:
+            raise ValueError(
+                f"triggering must be one of {TRIGGERING_MODES}, got "
+                f"{triggering!r}"
             )
         self._db = db
         self._registry = registry
@@ -112,7 +128,15 @@ class FilterEngine:
         #: needle index of :mod:`repro.text` instead and verifies the
         #: candidates — same hits, sub-linear cost (docs/TEXT_INDEX.md).
         self.contains_index = contains_index
+        #: ``"sql"`` (the default) evaluates the triggering stage with
+        #: the paper's relational joins; ``"counting"`` probes the
+        #: in-memory predicate index of :mod:`repro.filter.counting` —
+        #: same hits, match cost independent of the rule base size
+        #: (docs/FILTER_ALGORITHM.md).  The join-rule closure, the
+        #: materialization and all results are unchanged either way.
+        self.triggering = triggering
         self._shards: ShardPool | None = None
+        self._counting: CountingMatcher | None = None
         #: Total filter runs executed (diagnostics).
         self.runs_executed = 0
         self.metrics = metrics if metrics is not None else default_registry()
@@ -133,7 +157,7 @@ class FilterEngine:
         input_uris: Iterable[str] | None = None,
         materialize: bool = True,
         collect: str = "all",
-        prematched: PendingMatch | None = None,
+        prematched: PendingHits | None = None,
     ) -> FilterRunResult:
         """Execute the filter once.
 
@@ -155,8 +179,8 @@ class FilterEngine:
         with self._db.transaction(), self.tracer.span("filter.run") as run_span:
             self._filter_input.clear()
             self._db.execute("DELETE FROM result_objects")
-            if self.parallelism > 1:
-                atoms_scanned = self._run_triggering_sharded(
+            if self.parallelism > 1 or self.triggering == "counting":
+                atoms_scanned = self._run_triggering_gathered(
                     result, input_atoms, input_uris, prematched
                 )
             else:
@@ -228,19 +252,21 @@ class FilterEngine:
         self._m_runs.inc()
         return result
 
-    def _run_triggering_sharded(
+    def _run_triggering_gathered(
         self,
         result: FilterRunResult,
         input_atoms: Iterable[AtomRow] | None,
         input_uris: Iterable[str] | None,
-        prematched: PendingMatch | None,
+        prematched: PendingHits | None,
     ) -> int:
-        """Parallel triggering: fan out, gather, merge into the main run.
+        """Gathered triggering (SQL shards or counting index): dispatch,
+        gather, merge into the main run.
 
-        The shards compute the same ``(resource, rule)`` hit set as the
-        serial joins (see :mod:`repro.filter.shards` for the argument);
-        merging inserts them at iteration 0 so the join closure proceeds
-        exactly as in the serial path.  Returns the atom count scanned.
+        Both evaluators compute the same ``(resource, rule)`` hit set as
+        the serial joins (see :mod:`repro.filter.shards` and
+        :mod:`repro.filter.counting` for the arguments); merging inserts
+        the hits at iteration 0 so the join closure proceeds exactly as
+        in the serial path.  Returns the atom count scanned.
         """
         started = time.perf_counter()
         pending = prematched
@@ -250,10 +276,13 @@ class FilterEngine:
                 rows.extend(input_atoms)
             if input_uris is not None:
                 rows.extend(self._input_rows_for(input_uris))
-            pending = self._dispatch_shards(rows)
-        with self.tracer.span(
-            "filter.triggering.parallel", shards=self.parallelism
-        ):
+            pending = self._dispatch_matching(rows)
+        span_name = (
+            "filter.triggering.counting"
+            if self.triggering == "counting"
+            else "filter.triggering.parallel"
+        )
+        with self.tracer.span(span_name, shards=self.parallelism):
             hits = pending.gather()
         with self.tracer.span("filter.shard.merge"):
             cursor = self._db.executemany(
@@ -294,31 +323,61 @@ class FilterEngine:
             )
         return self._shards
 
-    def _dispatch_shards(self, rows: Iterable[AtomRow]) -> PendingMatch:
+    def _counting_matcher(self) -> CountingMatcher:
+        if self._counting is None:
+            self._counting = CountingMatcher(
+                parallelism=self.parallelism, metrics=self.metrics
+            )
+        return self._counting
+
+    def _dispatch_matching(self, rows: Iterable[AtomRow]) -> PendingHits:
+        """Refresh the active triggering evaluator and fan a batch out."""
+        if self.triggering == "counting":
+            matcher = self._counting_matcher()
+            matcher.refresh(
+                self._db,
+                self._registry.mutation_version,
+                self._registry.mutation_log,
+            )
+            return matcher.dispatch(rows)
         pool = self._shard_pool()
         pool.refresh_rules(self._db, self._registry.mutation_version)
         return pool.dispatch(rows)
 
     def warm_shards(self) -> None:
-        """Build the shard pool and load rule replicas eagerly.
+        """Eagerly build the triggering evaluator's derived state.
 
-        A no-op when ``parallelism == 1``.  The benchmark harness calls
-        this before its timing loop so one-time shard construction and
-        rule replication are excluded from the measured region (they
-        amortize over a server's lifetime, not per batch).
+        With ``parallelism > 1`` this constructs the shard pool and
+        loads the rule replicas; with ``triggering="counting"`` it
+        (re)builds the in-memory predicate index.  A no-op for the
+        serial SQL path.  The benchmark harness calls this before its
+        timing loop so one-time construction and replication are
+        excluded from the measured region (they amortize over a server's
+        lifetime, not per batch); the provider calls it after crash
+        recovery so the index is rebuilt from the repaired store before
+        the first publish.
         """
-        if self.parallelism > 1:
+        if self.triggering == "counting":
+            self._counting_matcher().refresh(
+                self._db,
+                self._registry.mutation_version,
+                self._registry.mutation_log,
+            )
+        elif self.parallelism > 1:
             pool = self._shard_pool()
             pool.refresh_rules(self._db, self._registry.mutation_version)
 
     def close(self) -> None:
-        """Release the shard pool and its threads (idempotent).
+        """Release the shard pool / counting fan-out threads (idempotent).
 
         The main database belongs to the caller and stays open.
         """
         if self._shards is not None:
             self._shards.close()
             self._shards = None
+        if self._counting is not None:
+            self._counting.close()
+            self._counting = None
 
     def _collect(self, mode: str) -> set[tuple[int, URIRef]]:
         if mode == "none":
@@ -354,12 +413,12 @@ class FilterEngine:
         atoms = resources_atoms(resources)
         outcome = PublishOutcome()
         with self._db.transaction():
-            if self.parallelism > 1:
-                # Overlap: dispatch the shard match first, then ingest
-                # into filter_data while the shards evaluate.  The two
-                # touch disjoint databases; filter_data only has to be
-                # current before join iteration 1 reads it.
-                pending = self._dispatch_shards(atoms)
+            if self.parallelism > 1 or self.triggering == "counting":
+                # Overlap: dispatch the match first, then ingest into
+                # filter_data while the shards (or counting workers)
+                # evaluate.  The two touch disjoint state; filter_data
+                # only has to be current before join iteration 1 reads it.
+                pending = self._dispatch_matching(atoms)
                 self._filter_data.insert_atoms(atoms)
                 run = self.run(
                     prematched=pending, materialize=True, collect=collect

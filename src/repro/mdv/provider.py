@@ -97,6 +97,7 @@ class MetadataProvider:
         metrics: MetricsRegistry | None = None,
         parallelism: int = 1,
         contains_index: str = "scan",
+        triggering: str = "sql",
         dedupe: str = "off",
         durability: str = "fast",
         durable_delivery: bool = False,
@@ -141,11 +142,15 @@ class MetadataProvider:
         self.engine = FilterEngine(
             self.db, self.registry, use_rule_groups, join_evaluation,
             metrics=self.metrics, parallelism=parallelism,
-            contains_index=contains_index,
+            contains_index=contains_index, triggering=triggering,
         )
         #: Selected contains matching strategy, also applied to browse
         #: queries (the engine constructor validates the mode).
         self.contains_index = contains_index
+        #: Triggering-stage evaluator ("sql" = the paper's joins,
+        #: "counting" = the in-memory predicate index; the engine
+        #: constructor validates the mode).
+        self.triggering = triggering
         self.publisher = Publisher(schema, self.registry, self.resource)
         #: Update-consistency strategy (paper §3.5 and its alternatives);
         #: instantiated lazily to avoid a circular import.
@@ -205,6 +210,12 @@ class MetadataProvider:
             self.last_recovery = RecoveryManager(
                 self.db, schema, self.metrics
             ).recover()
+        if triggering == "counting":
+            # Build the in-memory predicate index eagerly — after any
+            # recovery repairs, so a provider reopened on a crashed
+            # store matches against the repaired rule base from the
+            # first publish on.
+            self.engine.warm_shards()
         if self.outbox is not None:
             self.outbox.recover()
         self._load_persisted_documents()

@@ -21,6 +21,8 @@ and materialized results.
 from __future__ import annotations
 
 import sqlite3
+from collections import deque
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -37,9 +39,11 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
 __all__ = [
     "RuleRegistry",
     "RegisteredSubscription",
+    "RuleMutation",
     "Subscription",
     "ANALYZE_POLICIES",
     "DEDUPE_MODES",
+    "MUTATION_LOG_LIMIT",
 ]
 
 #: Valid values for the ``analyze=`` registration policy: ``"off"``
@@ -56,6 +60,26 @@ ANALYZE_POLICIES = ("off", "warn", "reject")
 #: fan-out is restored per subscription at notification time, so the
 #: delivered streams are identical to the undeduped path.
 DEDUPE_MODES = ("off", "report", "merge")
+
+
+#: Length bound of :attr:`RuleRegistry.mutation_log`.  Far above any
+#: realistic burst between two filter runs; consumers finding a gap the
+#: log no longer covers fall back to a full index rebuild, so the bound
+#: only caps memory, never correctness.
+MUTATION_LOG_LIMIT = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class RuleMutation:
+    """One triggering-index change, in ``mutation_version`` order.
+
+    Deliberately *not* an add/drop opcode: consumers re-sync the touched
+    rule from the store, which is idempotent and immune to entries whose
+    enclosing transaction later rolled back.
+    """
+
+    version: int
+    rule_id: int
 
 
 @dataclass(frozen=True, slots=True)
@@ -120,6 +144,13 @@ class RuleRegistry:
         #: (:mod:`repro.filter.shards`) keys its rule-replica refresh on
         #: this counter, so unchanged rule bases replicate exactly once.
         self.mutation_version: int = 0
+        #: Bounded feed of the same changes, one :class:`RuleMutation`
+        #: per version bump: the counting matcher
+        #: (:mod:`repro.filter.counting`) applies it incrementally when
+        #: it covers the gap since its last refresh.
+        self.mutation_log: deque[RuleMutation] = deque(
+            maxlen=MUTATION_LOG_LIMIT
+        )
 
     # ------------------------------------------------------------------
     # Atom persistence (dependency-graph merge)
@@ -151,6 +182,54 @@ class RuleRegistry:
         all_ids = [ids[atom.key] for atom in decomposed.atoms]
         return end_id, all_ids, created
 
+    def bulk_register_triggering(
+        self,
+        subscriber: str,
+        rules: "Iterable[tuple[str, TriggeringAtom]]",
+    ) -> list[tuple[int, AtomNode]]:
+        """Register many single-atom subscriptions in one transaction.
+
+        The scale harness's fast path (the matcher benchmark and the
+        nightly million-rule lane): skips the per-rule
+        parse/normalize/decompose pipeline but funnels every atom
+        through the same :meth:`_insert_triggering` as the normal path,
+        so the mutation version/log, the trigram tables and the
+        dedup-by-key contract stay intact.  Returns the created atoms
+        (children-first, trivially: all triggering) for
+        :meth:`~repro.filter.engine.FilterEngine.initialize_rules`;
+        callers building a rule base over an *empty* metadata store may
+        skip initialization — there is nothing to materialize.
+        """
+        created: list[tuple[int, AtomNode]] = []
+        with self._db.transaction():
+            for rule_text, atom in rules:
+                existing = (
+                    self._lookup(atom.key) if self.deduplicate else None
+                )
+                if existing is not None:
+                    rule_id = existing
+                else:
+                    rule_id = self._insert_triggering(atom)
+                    self._node_cache[rule_id] = atom
+                    created.append((rule_id, atom))
+                cursor = self._db.execute(
+                    "INSERT INTO subscriptions (subscriber, rule_text, "
+                    "end_rule) VALUES (?, ?, ?)",
+                    (subscriber, rule_text, rule_id),
+                )
+                sub_id = int(cursor.lastrowid)
+                self._db.execute(
+                    "INSERT INTO subscription_rules (sub_id, rule_id) "
+                    "VALUES (?, ?)",
+                    (sub_id, rule_id),
+                )
+                self._db.execute(
+                    "UPDATE atomic_rules SET refcount = refcount + 1 "
+                    "WHERE rule_id = ?",
+                    (rule_id,),
+                )
+        return created
+
     def _lookup(self, key: str) -> int | None:
         return self._db.scalar(
             "SELECT rule_id FROM atomic_rules WHERE rule_text = ?", (key,)
@@ -180,6 +259,9 @@ class RuleRegistry:
             (self._stored_key(atom), atom.rdf_class),
         )
         rule_id = int(cursor.lastrowid)
+        self.mutation_log.append(
+            RuleMutation(self.mutation_version, rule_id)
+        )
         if atom.is_class_only:
             self._db.executemany(
                 "INSERT INTO filter_rules_class (rule_id, class) VALUES (?, ?)",
@@ -487,6 +569,9 @@ class RuleRegistry:
 
     def _delete_atom(self, rule_id: int) -> None:  # mdv: allow(MDV065): runs inside caller's transaction
         self.mutation_version += 1
+        self.mutation_log.append(
+            RuleMutation(self.mutation_version, rule_id)
+        )
         self._db.execute(
             "DELETE FROM rule_dependencies WHERE target_rule = ?", (rule_id,)
         )

@@ -172,6 +172,7 @@ def _new_provider(
     contains_index: str,
     parallelism: int,
     recovery: str = "off",
+    triggering: str = "sql",
 ) -> MetadataProvider:
     return MetadataProvider(
         schema,
@@ -181,6 +182,7 @@ def _new_provider(
         contains_index=contains_index,
         parallelism=parallelism,
         recovery=recovery,
+        triggering=triggering,
     )
 
 
@@ -211,6 +213,7 @@ def run_crash_scenario(
     contains_index: str = "scan",
     parallelism: int = 1,
     documents: int = 6,
+    triggering: str = "sql",
 ) -> CrashRunResult:
     """One workload run, optionally killed at ``crash_point``.
 
@@ -221,7 +224,9 @@ def run_crash_scenario(
     schema = objectglobe_schema()
     db = Database(metrics=None)
     result = CrashRunResult(crash=crash_point)
-    provider = _new_provider(db, schema, contains_index, parallelism)
+    provider = _new_provider(
+        db, schema, contains_index, parallelism, triggering=triggering
+    )
     lmr = LocalMetadataRepository("lmr", provider)
 
     def attach(to_provider: MetadataProvider) -> None:
@@ -249,7 +254,7 @@ def run_crash_scenario(
                     provider.close()
                     provider = _new_provider(
                         db, schema, contains_index, parallelism,
-                        recovery="auto",
+                        recovery="auto", triggering=triggering,
                     )
                     report = provider.last_recovery
                     assert report is not None
@@ -291,6 +296,7 @@ class CrashSweepReport:
     seed: int
     contains_index: str
     parallelism: int
+    triggering: str = "sql"
     statements: int = 0
     commits: int = 0
     points_tested: int = 0
@@ -305,7 +311,8 @@ class CrashSweepReport:
         status = "OK" if self.ok else f"{len(self.failures)} FAILURE(S)"
         return (
             f"seed={self.seed} contains_index={self.contains_index} "
-            f"parallelism={self.parallelism}: {self.points_tested} crash "
+            f"parallelism={self.parallelism} "
+            f"triggering={self.triggering}: {self.points_tested} crash "
             f"point(s) over {self.statements} statements / "
             f"{self.commits} commits — {status}"
         )
@@ -317,6 +324,7 @@ def run_crash_sweep(
     parallelism: int = 1,
     statement_stride: int = 5,
     documents: int = 6,
+    triggering: str = "sql",
 ) -> CrashSweepReport:
     """Kill the workload at every enumerated boundary and diff each run
     against the never-crashed baseline."""
@@ -326,8 +334,9 @@ def run_crash_sweep(
         contains_index=contains_index,
         parallelism=parallelism,
         documents=documents,
+        triggering=triggering,
     )
-    report = CrashSweepReport(seed, contains_index, parallelism)
+    report = CrashSweepReport(seed, contains_index, parallelism, triggering)
     report.statements = baseline.statements
     report.commits = baseline.commits
     if baseline.audit_findings:
@@ -344,6 +353,7 @@ def run_crash_sweep(
             contains_index=contains_index,
             parallelism=parallelism,
             documents=documents,
+            triggering=triggering,
         )
         report.points_tested += 1
         if result.crashed:
@@ -381,6 +391,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--parallelism", type=int, default=1)
     parser.add_argument(
+        "--triggering", choices=("sql", "counting"), default="sql"
+    )
+    parser.add_argument(
         "--stride", type=int, default=5,
         help="test every Nth statement boundary (commits: all)",
     )
@@ -392,6 +405,7 @@ def main(argv: list[str] | None = None) -> int:
         parallelism=args.parallelism,
         statement_stride=args.stride,
         documents=args.documents,
+        triggering=args.triggering,
     )
     print(report.summary())
     for failure in report.failures:

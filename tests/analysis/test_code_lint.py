@@ -279,6 +279,99 @@ class TestDurabilityRule:
         assert _codes(lint_file(path)) == ["MDV065"]
 
 
+class TestLockScopeRule:
+    SCOPED = "repro/filter/counting.py"
+    # The same suffix registers a hot path (MDV063); this stub satisfies
+    # it so the lock-scope rule is tested in isolation.
+    _STUB = (
+        "__all__ = []\n\n"
+        "class CountingMatcher:\n"
+        "    def match_rows(self):\n"
+        "        self._m_match_ms.observe(1.0)\n"
+    )
+
+    def test_unlocked_assign_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            self.SCOPED,
+            self._STUB
+            + "\n    def wipe(self):\n        self._idx_eq = {}\n",
+        )
+        assert _codes(lint_file(path)) == ["MDV066"]
+
+    def test_unlocked_mutating_call_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            self.SCOPED,
+            self._STUB
+            + "\n    def add(self, k, r):\n"
+            "        self._idx_eq.setdefault(k, {})[r] = None\n",
+        )
+        assert _codes(lint_file(path)) == ["MDV066"]
+
+    def test_unlocked_delete_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            self.SCOPED,
+            self._STUB
+            + "\n    def drop(self, k):\n        del self._idx_eq[k]\n",
+        )
+        assert _codes(lint_file(path)) == ["MDV066"]
+
+    def test_mutation_under_lock_clean(self, tmp_path):
+        path = _write(
+            tmp_path,
+            self.SCOPED,
+            self._STUB
+            + "\n    def add(self, k):\n"
+            "        with self._lock:\n"
+            "            self._idx_eq[k] = {}\n"
+            "            self._idx_entries.clear()\n",
+        )
+        assert _codes(lint_file(path)) == []
+
+    def test_init_exempt(self, tmp_path):
+        path = _write(
+            tmp_path,
+            self.SCOPED,
+            self._STUB
+            + "\n    def __init__(self):\n        self._idx_eq = {}\n",
+        )
+        assert _codes(lint_file(path)) == []
+
+    def test_reads_and_other_attributes_ignored(self, tmp_path):
+        path = _write(
+            tmp_path,
+            self.SCOPED,
+            self._STUB
+            + "\n    def peek(self, k):\n"
+            "        self.cache = {}\n"
+            "        return self._idx_eq.get(k)\n",
+        )
+        assert _codes(lint_file(path)) == []
+
+    def test_waiver_on_def_line_suppresses(self, tmp_path):
+        path = _write(
+            tmp_path,
+            self.SCOPED,
+            self._STUB
+            + "\n    def wipe(self):"
+            "  # mdv: allow(MDV066): single-threaded setup\n"
+            "        self._idx_eq = {}\n",
+        )
+        assert _codes(lint_file(path)) == []
+
+    def test_outside_scope_ignored(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/filter/other.py",
+            "__all__ = []\n\n"
+            "class X:\n"
+            "    def wipe(self):\n        self._idx_eq = {}\n",
+        )
+        assert _codes(lint_file(path)) == []
+
+
 class TestLintPaths:
     def test_directory_walk_counts_files(self, tmp_path):
         _write(tmp_path, "pkg/a.py", "__all__ = []\n")

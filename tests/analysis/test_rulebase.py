@@ -275,6 +275,7 @@ class TestAuditRegistry:
             "contains_index",
             "join_evaluation",
             "parallelism",
+            "triggering",
             "stats",
         }
 
@@ -307,6 +308,22 @@ class TestAdvisor:
         advice = audit_registry(db).advice
         assert advice.contains_index == "trigram"
         assert advice.parallelism == 1
+
+    def test_small_base_recommends_sql_triggering(
+        self, db, registry, engine, schema
+    ):
+        register_rule(engine, registry, schema, PAPER_RULE)
+        assert audit_registry(db).advice.triggering == "sql"
+
+    def test_large_base_recommends_counting(self, db, schema, monkeypatch):
+        from repro.analysis import rulebase
+        from repro.workload.registry import build_registry
+
+        # Building 10k real rules is slow; lower the threshold instead —
+        # the recommendation logic is a comparison, not the build.
+        monkeypatch.setattr(rulebase, "COUNTING_RULE_THRESHOLD", 100)
+        build_registry(db, 160, mix="fig13", schema=schema)
+        assert audit_registry(db).advice.triggering == "counting"
 
 
 @pytest.mark.parametrize("count,mix", [(10, "comp"), (12, "uniform")])

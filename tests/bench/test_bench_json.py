@@ -161,6 +161,27 @@ class TestRegressionGate:
             "--current-dir", str(tmp_path),
         ]) == 2
 
+    def test_main_fails_on_unbaselined_current_figure(self, tmp_path, capsys):
+        # A figure produced by the perf run without a committed baseline
+        # would silently skip the gate — it must fail with a pointer to
+        # committing one.
+        baseline_dir = tmp_path / "baselines"
+        current_dir = tmp_path / "current"
+        write_bench_json(make_figure(1.0), baseline_dir)
+        write_bench_json(make_figure(1.0), current_dir)
+        extra = FigureResult(
+            "Figure 99", "new figure",
+            series=make_figure(1.0).series,
+        )
+        write_bench_json(extra, current_dir)
+        assert regression_main([
+            "--baseline-dir", str(baseline_dir),
+            "--current-dir", str(current_dir),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "BENCH_fig99.json" in err
+        assert "no committed baseline" in err
+
     def test_checked_in_baselines_cover_the_ci_figures(self):
         from pathlib import Path
 
@@ -171,5 +192,6 @@ class TestRegressionGate:
             "BENCH_analysis.json",
             "BENCH_fig11.json", "BENCH_fig12.json", "BENCH_fig13.json",
             "BENCH_fig14.json", "BENCH_fig15.json",
+            "BENCH_matcher.json",
             "BENCH_recovery.json",
         ]

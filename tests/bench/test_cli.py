@@ -75,6 +75,7 @@ def test_real_figures_registered():
         "fig15",
         "analysis",
         "recovery",
+        "matcher",
     }
 
 

@@ -1,0 +1,149 @@
+"""Differential fuzzing: the counting matcher against the sql backend.
+
+``triggering="sql"`` with the paper's contains scan and ``parallelism=1``
+is the correctness oracle; the in-memory counting matcher
+(``triggering="counting"``) must produce a *byte-identical* digest of
+every publish outcome and of the final materialized match sets across
+the same seeded workloads the trigram differential uses — registrations,
+a mid-stream subscription (counting index refreshed off the mutation
+log), updates, deletions and an unsubscribe (index entries dropped).
+
+The workload mixes indexable and short ``contains`` needles, range
+conjuncts over ``memory``/``cpu`` (the sorted-bound arrays plus the
+``sqlite_cast_real`` replica) and trigram false-positive hosts, so the
+counting index's three predicate families and its verify step are all
+on the hook.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.filter.engine import FilterEngine
+from repro.rdf.diff import deletion_diff, diff_documents
+from repro.rdf.schema import objectglobe_schema
+from repro.rules.decompose import decompose_rule
+from repro.rules.normalize import normalize_rule
+from repro.rules.parser import parse_rule
+from repro.rules.registry import RuleRegistry
+from repro.storage.engine import Database
+from repro.storage.schema import create_all
+from tests.filter.test_text_differential import (
+    SEEDS,
+    _HOST_POOL,
+    _outcome_key,
+    _random_document,
+    _random_rules,
+)
+
+
+def run_scenario(
+    seed: int, triggering: str, contains_index: str, parallelism: int
+) -> bytes:
+    """One seeded publish/subscribe workload; returns a canonical digest."""
+    rng = random.Random(seed)
+    schema = objectglobe_schema()
+    db = Database()
+    create_all(db)
+    registry = RuleRegistry(db)
+    engine = FilterEngine(
+        db,
+        registry,
+        contains_index=contains_index,
+        parallelism=parallelism,
+        triggering=triggering,
+    )
+
+    conjunct_texts: dict[str, list[str]] = {}
+
+    def subscribe(index: int, text: str) -> list[int]:
+        ends = []
+        conjunct_texts[text] = []
+        for j, normalized in enumerate(normalize_rule(parse_rule(text), schema)):
+            sub_text = text if j == 0 else f"{text} [conjunct {j}]"
+            registration = registry.register_subscription(
+                f"lmr{index}", sub_text, decompose_rule(normalized, schema)
+            )
+            engine.initialize_rules(registration.created)
+            ends.append(registration.end_rule)
+            conjunct_texts[text].append(sub_text)
+        return ends
+
+    try:
+        rules = _random_rules(rng, 7)
+        late_rule = rules.pop()
+        ends = {text: subscribe(i, text) for i, text in enumerate(rules)}
+
+        documents = [_random_document(rng, i) for i in range(12)]
+        digests = []
+        for doc in documents[:8]:
+            digests.append(
+                _outcome_key(engine.process_diff(diff_documents(None, doc)))
+            )
+
+        # Mid-stream subscription: the counting index must pick the new
+        # rule up incrementally (mutation log) before the next publish.
+        ends[late_rule] = subscribe(99, late_rule)
+        for doc in documents[8:]:
+            digests.append(
+                _outcome_key(engine.process_diff(diff_documents(None, doc)))
+            )
+
+        for index in rng.sample(range(12), 4):
+            old = documents[index]
+            new = old.copy()
+            host = new.get(f"doc{index}.rdf#host")
+            host.set("serverHost", rng.choice(_HOST_POOL))
+            digests.append(
+                _outcome_key(engine.process_diff(diff_documents(old, new)))
+            )
+            documents[index] = new
+
+        # Unsubscribe (drops the rule's counting-index entries), then
+        # one more publish and a deletion.
+        for sub_text in conjunct_texts[rules[0]]:
+            registry.unsubscribe("lmr0", sub_text)
+        del ends[rules[0]]
+        extra = _random_document(rng, 12)
+        digests.append(
+            _outcome_key(engine.process_diff(diff_documents(None, extra)))
+        )
+        digests.append(
+            _outcome_key(engine.process_diff(deletion_diff(documents[3])))
+        )
+
+        final = {
+            text: sorted(
+                str(u)
+                for end in end_rules
+                for u in engine.current_matches(end)
+            )
+            for text, end_rules in ends.items()
+        }
+        return json.dumps(
+            {"digests": digests, "final": final}, sort_keys=True
+        ).encode()
+    finally:
+        engine.close()
+        db.close()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "contains_index,parallelism",
+    [
+        ("scan", 1),
+        ("scan", 4),
+        ("trigram", 1),
+        ("trigram", 4),
+    ],
+)
+def test_counting_matches_sql_oracle(seed, contains_index, parallelism):
+    baseline = run_scenario(
+        seed, triggering="sql", contains_index="scan", parallelism=1
+    )
+    variant = run_scenario(seed, "counting", contains_index, parallelism)
+    assert variant == baseline

@@ -305,3 +305,89 @@ class TestNamedRuleSharing:
         # atoms are gone.
         assert registry.atom_count() == atoms_after_named
         assert registry.named_rule("PassauHosts") is not None
+
+
+class TestBulkRegisterTriggering:
+    """The bench-scale bulk loader must be indistinguishable from the
+    normal registration path at the storage layer."""
+
+    def _mirror_tables(self, db):
+        """Every table the triggering path writes, as sorted row sets."""
+        tables = [
+            "atomic_rules", "filter_rules_class", "filter_rules_eq",
+            "filter_rules_con", "filter_rules_gt", "subscriptions",
+            "subscription_rules", "filter_rules_con_tri",
+        ]
+        return {
+            table: sorted(
+                tuple(row) for row in db.query_all(f"SELECT * FROM {table}")
+            )
+            for table in tables
+        }
+
+    def _atoms(self, registry, schema, texts):
+        for text in texts:
+            node = decomposed(text, schema)
+            yield text, node.end
+
+    RULES = [
+        "search CycleProvider c register c",
+        "search CycleProvider c register c where c.synthValue > 5",
+        "search CycleProvider c register c "
+        "where c.serverHost contains 'passau'",
+        "search CycleProvider c register c "
+        "where c.serverHost = 'a.uni-passau.de'",
+    ]
+
+    def test_equivalent_to_normal_path(self, db, schema):
+        registry = RuleRegistry(db)
+        created = registry.bulk_register_triggering(
+            "bulk", self._atoms(registry, schema, self.RULES)
+        )
+        assert len(created) == len(self.RULES)
+        bulk_rows = self._mirror_tables(db)
+        bulk_version = registry.mutation_version
+
+        from repro.storage.engine import Database
+        from repro.storage.schema import create_all
+
+        other = Database()
+        create_all(other)
+        normal = RuleRegistry(other)
+        for text in self.RULES:
+            normal.register_subscription("bulk", text, decomposed(text, schema))
+        assert self._mirror_tables(other) == bulk_rows
+        assert normal.mutation_version == bulk_version
+        other.close()
+
+    def test_mutation_log_covers_bulk_inserts(self, db, schema):
+        registry = RuleRegistry(db)
+        before = registry.mutation_version
+        created = registry.bulk_register_triggering(
+            "bulk", self._atoms(registry, schema, self.RULES)
+        )
+        assert registry.mutation_version == before + len(created)
+        versions = [m.version for m in registry.mutation_log]
+        assert versions == sorted(versions)
+        logged = {m.rule_id for m in registry.mutation_log}
+        assert {rule_id for rule_id, __ in created} <= logged
+
+    def test_dedupe_shares_rules(self, db, schema):
+        registry = RuleRegistry(db)
+        text = self.RULES[1]
+        created = registry.bulk_register_triggering(
+            "a", self._atoms(registry, schema, [text])
+        )
+        again = registry.bulk_register_triggering(
+            "b", self._atoms(registry, schema, [text])
+        )
+        assert len(created) == 1 and again == []
+        assert db.count("atomic_rules") == 1
+        assert db.count("subscriptions") == 2
+
+    def test_rejects_nothing_but_triggering(self, db, schema):
+        registry = RuleRegistry(db)
+        node = decomposed(PATH_MEMORY, schema)
+        from repro.rules.atoms import TriggeringAtom
+
+        assert not isinstance(node.end, TriggeringAtom)
