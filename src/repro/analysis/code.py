@@ -68,6 +68,7 @@ CONNECT_ALLOWLIST = ("repro/storage/engine.py",)
 CONCURRENCY_ALLOWLIST = (
     "repro/filter/shards.py",
     "repro/filter/counting.py",
+    "repro/net/socket.py",
 )
 
 #: Files whose ``self._idx_*`` state gets the MDV066 lock-discipline

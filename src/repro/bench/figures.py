@@ -31,6 +31,7 @@ from __future__ import annotations
 from repro.bench.analysis import figure_analysis
 from repro.bench.matcher import figure_matcher
 from repro.bench.recovery import figure_recovery
+from repro.bench.service import figure_service
 from repro.bench.harness import FilterBench, SweepResult
 from repro.bench.reporting import FigureResult
 from repro.workload.scenarios import WorkloadSpec
@@ -330,6 +331,10 @@ FIGURES = {
     # Triggering backends (sql scan / sql trigram / counting) vs.
     # rule-base size (BENCH_matcher.json; see repro.bench.matcher).
     "matcher": figure_matcher,
+    # The served daemon over real sockets: throughput and p50/p99
+    # latency vs. concurrent clients (BENCH_service.json; see
+    # repro.bench.service).
+    "service": figure_service,
 }
 
 

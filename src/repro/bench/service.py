@@ -1,0 +1,226 @@
+"""Service-tier benchmark — the ``service`` figure.
+
+Not a paper figure: this sweep measures the real process-level service
+tier end to end.  A ``python -m repro.mdv serve`` MDP daemon is booted
+as a subprocess; N concurrent clients (asyncio coroutines, one TCP
+connection each) stream ``register_document`` requests through the
+:mod:`repro.net.frames` protocol and every round-trip is timed into an
+:class:`~repro.obs.metrics.Histogram` — the figure reports throughput
+(messages/second) and p50/p99 request latency per concurrency level,
+writing ``BENCH_service.json`` for the CI perf-regression gate.
+
+The numbers bound the whole stack: frame encode/decode, the wire
+codec, the daemon's queue dispatch onto its state-owning main thread,
+the filter pass, and the response path.  Latency quantiles come from
+:meth:`Histogram.quantile`, so they are bucket-boundary approximations
+(the same resolution the observability tier reports everywhere else).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+import time
+from collections.abc import Sequence
+
+from repro.bench.harness import MeasurementPoint, SweepResult
+from repro.bench.reporting import FigureResult
+from repro.net.codec import to_wire
+from repro.net.frames import PROTOCOL_VERSION, FrameDecoder, encode_frame
+from repro.obs.metrics import Histogram
+from repro.workload.documents import benchmark_document
+from repro.workload.scenarios import WorkloadSpec
+from repro.workload.socket_chaos import launch_node
+
+__all__ = [
+    "figure_service",
+    "SERVICE_CLIENTS_QUICK",
+    "SERVICE_CLIENTS_FULL",
+    "SERVICE_REQUESTS_PER_CLIENT",
+]
+
+#: Concurrency levels (clients = connections) per mode.
+SERVICE_CLIENTS_QUICK = (1, 4)
+SERVICE_CLIENTS_FULL = (1, 4, 8)
+
+#: Requests each client sends per point.
+SERVICE_REQUESTS_PER_CLIENT = 30
+
+#: Latency buckets sized for a loopback daemon round-trip.
+_BUCKETS_MS = (
+    0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+    256.0, 512.0, 1024.0, 2048.0,
+)
+
+#: Every point must sustain at least this throughput (a deliberately
+#: conservative floor — CI machines vary; the perf gate tracks drift).
+_MIN_MSGS_PER_SEC = 25.0
+
+#: p99 round-trip ceiling at every concurrency level.
+_P99_CEILING_MS = 2048.0
+
+_READ_CHUNK = 64 * 1024
+
+
+async def _client_worker(
+    host: str,
+    port: int,
+    worker_id: int,
+    requests: int,
+    histogram: Histogram,
+) -> int:
+    """One connection streaming register_document requests; returns the
+    number of successful round-trips."""
+    reader, writer = await asyncio.open_connection(host, port)
+    decoder = FrameDecoder()
+    completed = 0
+    try:
+        for ordinal in range(requests):
+            document = benchmark_document(
+                worker_id * 100_000 + ordinal, memory=ordinal % 1024
+            )
+            frame = encode_frame({
+                "v": PROTOCOL_VERSION,
+                "type": "request",
+                "id": ordinal + 1,
+                "source": f"bench-{worker_id}",
+                "destination": "mdp-bench",
+                "kind": "register_document",
+                "payload": to_wire(document),
+            })
+            started = time.perf_counter()
+            writer.write(frame)
+            await writer.drain()
+            while True:
+                reply = decoder.next_frame()
+                if reply is not None:
+                    break
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    raise ConnectionError("daemon closed the connection")
+                decoder.feed(chunk)
+            histogram.observe((time.perf_counter() - started) * 1000.0)
+            if reply.get("type") != "response":
+                raise RuntimeError(f"daemon answered {reply!r}")
+            completed += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown
+            pass
+    return completed
+
+
+async def _run_point(
+    host: str, port: int, clients: int, requests: int, histogram: Histogram
+) -> int:
+    results = await asyncio.gather(*(
+        _client_worker(host, port, worker_id, requests, histogram)
+        for worker_id in range(clients)
+    ))
+    return sum(results)
+
+
+def _measure(port: int, clients: int) -> MeasurementPoint:
+    histogram = Histogram(_BUCKETS_MS)
+    expected = clients * SERVICE_REQUESTS_PER_CLIENT
+    started = time.perf_counter()
+    completed = asyncio.run(
+        _run_point("127.0.0.1", port, clients,
+                   SERVICE_REQUESTS_PER_CLIENT, histogram)
+    )
+    elapsed = time.perf_counter() - started
+    if completed != expected:
+        raise RuntimeError(
+            f"only {completed}/{expected} requests completed at "
+            f"{clients} clients"
+        )
+    msgs_per_sec = completed / elapsed if elapsed > 0 else 0.0
+    return MeasurementPoint(
+        spec=WorkloadSpec("OID", 1),
+        batch_size=clients,
+        repeats=1,
+        total_seconds=elapsed,
+        hits=completed,
+        iterations=completed,
+        repeat_seconds=(elapsed,),
+        counters=(
+            ("service.msgs_per_sec", msgs_per_sec),
+            ("service.p50_ms", histogram.quantile(0.5)),
+            ("service.p99_ms", histogram.quantile(0.99)),
+            ("service.mean_ms", histogram.mean),
+        ),
+    )
+
+
+def figure_service(
+    quick: bool = True, clients: Sequence[int] | None = None
+) -> FigureResult:
+    """Daemon throughput and latency quantiles vs. concurrent clients."""
+    if clients is not None:
+        levels = tuple(clients)
+    else:
+        levels = SERVICE_CLIENTS_QUICK if quick else SERVICE_CLIENTS_FULL
+    with tempfile.TemporaryDirectory() as scratch:
+        config_path = os.path.join(scratch, "mdp-bench.json")
+        with open(config_path, "w", encoding="utf-8") as handle:
+            json.dump({
+                "name": "mdp-bench",
+                "role": "mdp",
+                "port": 0,
+                "peers": {},
+            }, handle)
+        prepare_started = time.perf_counter()
+        node = launch_node(config_path)
+        prepare_seconds = time.perf_counter() - prepare_started
+        try:
+            points = [_measure(node.port, level) for level in levels]
+        finally:
+            node.terminate()
+    figure = FigureResult(
+        "Service",
+        "served MDP daemon over real sockets — throughput and request "
+        "latency (p50/p99) vs. concurrent clients",
+        series=[
+            SweepResult(
+                spec=WorkloadSpec("OID", 1),
+                points=points,
+                prepare_seconds=prepare_seconds,
+                label_override="mdv serve register_document round-trips",
+            )
+        ],
+    )
+    by_level = dict(zip(levels, points))
+    rates = {
+        level: dict(point.counters)["service.msgs_per_sec"]
+        for level, point in by_level.items()
+    }
+    p99s = {
+        level: dict(point.counters)["service.p99_ms"]
+        for level, point in by_level.items()
+    }
+    top = max(levels)
+    figure.claims = [
+        (
+            f"every concurrency level sustains at least "
+            f"{_MIN_MSGS_PER_SEC:.0f} msgs/sec "
+            f"(min {min(rates.values()):.0f})",
+            min(rates.values()) >= _MIN_MSGS_PER_SEC,
+        ),
+        (
+            f"p99 round-trip stays within {_P99_CEILING_MS:.0f}ms at "
+            f"{top} concurrent clients ({p99s[top]:.1f}ms)",
+            p99s[top] <= _P99_CEILING_MS,
+        ),
+        (
+            "every request was answered at every concurrency level",
+            all(
+                point.hits == point.batch_size * SERVICE_REQUESTS_PER_CLIENT
+                for point in points
+            ),
+        ),
+    ]
+    return figure

@@ -47,6 +47,10 @@ __all__ = [
     "NetworkError",
     "EndpointDownError",
     "DeliveryError",
+    "WireCodecError",
+    "FrameError",
+    "FrameTooLargeError",
+    "RemoteError",
 ]
 
 
@@ -218,3 +222,48 @@ class EndpointDownError(NetworkError):
 
 class DeliveryError(NetworkError):
     """A message was lost in transit (dropped or errored by a link)."""
+
+
+class WireCodecError(MDVError):
+    """A payload could not be converted to or from the wire encoding.
+
+    Deliberately *not* a :class:`NetworkError`: an unencodable payload
+    (or a corrupt wire form) will not become encodable by retrying, so
+    the reliable-delivery layer must treat it as poison, not as a
+    transient transport failure.
+    """
+
+
+class FrameError(MDVError):
+    """A length-prefixed frame was malformed (bad JSON, bad shape).
+
+    The offending frame's bytes are consumed before this is raised, so
+    a server can answer with an error frame and keep reading the same
+    connection.  Like :class:`WireCodecError` this is not retryable and
+    therefore not a :class:`NetworkError`.
+    """
+
+
+class FrameTooLargeError(FrameError):
+    """A frame header declared a length above the protocol maximum.
+
+    Unlike a garbled frame body, an oversized (or garbage) length
+    prefix cannot be skipped reliably — the connection has lost frame
+    sync and must be closed after the error response.
+    """
+
+
+class RemoteError(MDVError):
+    """A request was rejected by the remote endpoint.
+
+    Raised by the socket transport when the peer answered with an error
+    frame whose exception type could not be reconstructed locally (or
+    reconstructs to a retryable :class:`NetworkError`, which would lie:
+    the request *was* processed and rejected).  ``remote_type`` names
+    the exception class the remote side raised.
+    """
+
+    def __init__(self, remote_type: str, message: str):
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_message = message

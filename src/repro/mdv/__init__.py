@@ -9,7 +9,7 @@ from repro.mdv.backbone import Backbone
 from repro.mdv.batching import BatchingRegistrar, BatchStats
 from repro.mdv.cache import CacheEntry, CacheStore
 from repro.mdv.stats import ProviderStatistics, collect_statistics
-from repro.mdv.client import MDVClient
+from repro.mdv.client import MDVClient, ProviderHandle, ServiceClient
 from repro.mdv.consistency import (
     FilterStrategy,
     ResourceListStrategy,
@@ -45,6 +45,8 @@ __all__ = [
     "ProviderStatistics",
     "collect_statistics",
     "MDVClient",
+    "ProviderHandle",
+    "ServiceClient",
     "FilterStrategy",
     "ResourceListStrategy",
     "StrategyCost",

@@ -7,6 +7,11 @@ Commands:
 - ``explain "<rule text>"`` — show how a subscription rule is
   normalized and decomposed into atomic rules (uses the ObjectGlobe
   example schema unless ``--schema-class`` pairs are given).
+- ``serve --config PATH`` — run one MDV node (MDP or LMR) as a
+  long-lived process over real sockets (docs/SERVICE.md); prints an
+  ``MDV-SERVE READY`` line with the bound port, drains gracefully on
+  SIGTERM, and ``--metrics-dump PATH`` writes the final metrics
+  snapshot on exit.
 - ``--chaos-seed N`` — fault-tolerance smoke check: run the seeded
   chaos scenario twice (faulty and clean) and verify the faulty run
   converged to the clean one after recovery; exits 1 on divergence.
@@ -159,6 +164,21 @@ def main(argv: list[str] | None = None) -> int:
         "explain", help="explain a subscription rule"
     )
     explain_parser.add_argument("rule", help="the rule text (quote it)")
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve one MDV node over real sockets (SERVICE.md)"
+    )
+    serve_parser.add_argument(
+        "--config", required=True, metavar="PATH",
+        help="JSON service config (name, role, port, peers, knobs)",
+    )
+    serve_parser.add_argument(
+        "--metrics-dump", default=None, metavar="PATH",
+        help="write the final metrics snapshot here on graceful exit",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=None, metavar="N",
+        help="override the configured listen port (0 = OS-assigned)",
+    )
     for sub in (demo_parser, explain_parser):
         # Accepted before or after the subcommand; SUPPRESS keeps the
         # subparser from overwriting a pre-subcommand --metrics.
@@ -174,8 +194,16 @@ def main(argv: list[str] | None = None) -> int:
         status = run_demo()
     elif args.command == "explain":
         status = run_explain(args.rule)
+    elif args.command == "serve":
+        from repro.mdv.daemon import serve_from_args
+
+        status = serve_from_args(
+            args.config, metrics_dump=args.metrics_dump, port=args.port
+        )
     else:
-        parser.error("a command (demo|explain) or --chaos-seed is required")
+        parser.error(
+            "a command (demo|explain|serve) or --chaos-seed is required"
+        )
         return 2  # pragma: no cover - parser.error raises SystemExit
     if args.metrics:
         print(json.dumps(default_registry().snapshot(), indent=2))

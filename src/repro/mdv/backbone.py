@@ -29,7 +29,7 @@ from repro.errors import MDVError, NetworkError
 from repro.filter.results import PublishOutcome
 from repro.mdv.outbox import Outbox, ReplicaUpdate, RetryPolicy
 from repro.mdv.provider import MetadataProvider
-from repro.net.bus import NetworkBus
+from repro.net.transport import Transport
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.rdf.model import Document
 from repro.rdf.schema import Schema
@@ -43,7 +43,7 @@ class Backbone:
     def __init__(
         self,
         schema: Schema,
-        bus: NetworkBus | None = None,
+        bus: Transport | None = None,
         retry_policy: RetryPolicy | None = None,
         metrics: MetricsRegistry | None = None,
     ):

@@ -9,13 +9,94 @@ appropriate rules and update its set of subscription rules."
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.mdv.repository import LocalMetadataRepository
-from repro.net.bus import NetworkBus
+from repro.net.transport import Transport
 from repro.rdf.model import Document, Resource
+from repro.rdf.schema import Schema
 from repro.rules.ast import Constant
 from repro.rdf.model import Literal
 
-__all__ = ["MDVClient"]
+__all__ = ["MDVClient", "ProviderHandle", "ServiceClient"]
+
+
+class ProviderHandle:
+    """A remote provider's identity, for transport-attached tiers.
+
+    An LMR constructed over a transport only ever reads its provider's
+    ``name`` (and, when no schema is passed explicitly, ``schema``) —
+    every actual interaction crosses the transport.  In a
+    ``python -m repro.mdv serve`` deployment the provider object lives
+    in another OS process, so the LMR is handed this stub instead.
+    """
+
+    def __init__(self, name: str, schema: Schema | None = None):
+        self.name = name
+        self.schema = schema
+        #: Present so ``resync`` degrades gracefully if a handle is
+        #: ever used without a transport (nothing to replay locally).
+        self.outbox = None
+
+
+class ServiceClient:
+    """A thin socket client for one served MDV node.
+
+    Wraps a client-only :class:`~repro.net.socket.SocketTransport` and
+    speaks the provider/LMR wire API (docs/SERVICE.md) to a
+    ``python -m repro.mdv serve`` daemon.  Failures surface exactly as
+    on any transport: :class:`~repro.errors.NetworkError` subclasses
+    for unreachable/timed-out peers, reconstructed domain errors when
+    the daemon rejected the request.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        endpoint: str,
+        host: str,
+        port: int,
+        transport: Any = None,
+        request_timeout_s: float = 30.0,
+    ):
+        if transport is None:
+            from repro.net.socket import SocketTransport
+
+            transport = SocketTransport(request_timeout_s=request_timeout_s)
+            self._owns_transport = True
+        else:
+            self._owns_transport = False
+        self.name = name
+        self.endpoint = endpoint
+        self.transport = transport
+        transport.add_peer(endpoint, host, port)
+
+    def call(self, kind: str, payload: Any = None) -> Any:
+        """One request/response exchange with the served endpoint."""
+        return self.transport.send(self.name, self.endpoint, kind, payload)
+
+    def notify(self, kind: str, payload: Any = None) -> None:
+        """One fire-and-forget notify frame."""
+        self.transport.send_one_way(self.name, self.endpoint, kind, payload)
+
+    def ping(self) -> bool:
+        return self.call("ping") == "pong"
+
+    def register_document(self, document: Document) -> Any:
+        return self.call("register_document", document)
+
+    def browse(self, query_text: str) -> list[Resource]:
+        return self.call("browse", query_text)
+
+    def close(self) -> None:
+        if self._owns_transport:
+            self.transport.close()
+
+    def __enter__(self) -> ServiceClient:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 class MDVClient:
@@ -25,7 +106,7 @@ class MDVClient:
         self,
         name: str,
         repository: LocalMetadataRepository,
-        bus: NetworkBus | None = None,
+        bus: Transport | None = None,
     ):
         self.name = name
         self.repository = repository

@@ -209,8 +209,8 @@ class Outbox:
 
     ``clock`` and ``sleep`` tie retries to a simulated timeline (by
     default the outbox keeps its own); with a
-    :class:`~repro.net.bus.NetworkBus` pass ``clock=lambda:
-    bus.simulated_ms`` and ``sleep=bus.sleep`` so backoff windows and
+    any :class:`~repro.net.transport.Transport` pass ``clock=bus.now_ms``
+    and ``sleep=bus.sleep`` so backoff windows and
     network latency share one clock.  No wall time is ever consumed.
     """
 

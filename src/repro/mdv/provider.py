@@ -46,7 +46,7 @@ from repro.mdv.outbox import (
     RetryPolicy,
 )
 from repro.mdv.recovery import RecoveryManager, RecoveryReport
-from repro.net.bus import NetworkBus
+from repro.net.transport import Transport
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.pubsub.notifications import NotificationBatch
 from repro.pubsub.publisher import Publisher
@@ -88,7 +88,7 @@ class MetadataProvider:
         schema: Schema,
         name: str = "mdp",
         db: Database | None = None,
-        bus: NetworkBus | None = None,
+        bus: Transport | None = None,
         use_rule_groups: bool = True,
         consistency: str = "filter",
         join_evaluation: str = "probe",
@@ -190,7 +190,7 @@ class MetadataProvider:
             self.outbox = Outbox(
                 name,
                 transport=self._transport,
-                clock=lambda: bus.simulated_ms,
+                clock=bus.now_ms,
                 sleep=bus.sleep,
                 policy=retry_policy,
                 metrics=self.metrics,

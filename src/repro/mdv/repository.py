@@ -38,7 +38,8 @@ from repro.mdv.cache import CacheStore
 from repro.mdv.gc import GarbageCollector, GcReport
 from repro.mdv.outbox import DedupIndex
 from repro.mdv.provider import MetadataProvider
-from repro.net.bus import DEFAULT_LAN_LATENCY_MS, Message, NetworkBus
+from repro.net.bus import DEFAULT_LAN_LATENCY_MS, Message
+from repro.net.transport import Transport
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.pubsub.closure import strong_closure
 from repro.pubsub.notifications import (
@@ -86,7 +87,7 @@ class LocalMetadataRepository:
         name: str,
         provider: MetadataProvider,
         schema: Schema | None = None,
-        bus: NetworkBus | None = None,
+        bus: Transport | None = None,
         analyze: str = "off",
         metrics: MetricsRegistry | None = None,
     ):
@@ -518,8 +519,11 @@ class LocalMetadataRepository:
         return stats
 
     def configure_lan_latency(self) -> None:
-        """Mark the LMR↔client links as LAN-cheap on the bus, if any."""
-        if self.bus is not None:
-            self.bus.set_latency(
-                self.name, self.name, DEFAULT_LAN_LATENCY_MS
-            )
+        """Mark the LMR↔client links as LAN-cheap on the bus, if any.
+
+        Latency modelling is a simulated-bus concept; transports
+        without per-link latency (real sockets) are left alone.
+        """
+        set_latency = getattr(self.bus, "set_latency", None)
+        if callable(set_latency):
+            set_latency(self.name, self.name, DEFAULT_LAN_LATENCY_MS)

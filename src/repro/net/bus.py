@@ -29,7 +29,8 @@ from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any
 
-from repro.errors import DeliveryError, EndpointDownError, NetworkError
+from repro.errors import DeliveryError, EndpointDownError, NetworkError, WireCodecError
+from repro.net.codec import wire_size
 from repro.net.faults import FaultDecision, FaultPlan
 from repro.obs.metrics import MetricsRegistry, default_registry
 
@@ -50,10 +51,22 @@ class Message:
     payload: Any
 
     def approximate_size(self) -> int:
-        payload_size = getattr(self.payload, "approximate_size", None)
-        if callable(payload_size):
-            return int(payload_size())
-        return len(str(self.payload))
+        """The message's wire size in bytes.
+
+        Measured as the serialized JSON length of the payload
+        (:func:`repro.net.codec.wire_size`) — the same bytes the socket
+        transport puts on a real connection, so simulated and socket
+        ``net.bytes`` accounting agree.  Payloads outside the wire
+        codec (test doubles, in-process-only objects) fall back to
+        their ``approximate_size`` hook, then to ``len(str(...))``.
+        """
+        try:
+            return wire_size(self.payload)
+        except WireCodecError:
+            payload_size = getattr(self.payload, "approximate_size", None)
+            if callable(payload_size):
+                return int(payload_size())
+            return len(str(self.payload))
 
 
 @dataclass
@@ -133,6 +146,10 @@ class NetworkBus:
     # ------------------------------------------------------------------
     # Simulated time
     # ------------------------------------------------------------------
+    def now_ms(self) -> float:
+        """The simulated clock (the :class:`Transport` clock contract)."""
+        return self.simulated_ms
+
     def sleep(self, ms: float) -> None:
         """Advance the simulated clock without sending anything.
 

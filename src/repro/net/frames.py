@@ -1,0 +1,130 @@
+"""The length-prefixed JSON frame protocol spoken by ``repro.net.socket``.
+
+One frame = a 4-byte big-endian length prefix + that many bytes of
+UTF-8 JSON.  The JSON body is a flat object (docs/SERVICE.md):
+
+- ``v`` — protocol version (currently 1);
+- ``type`` — ``"request"`` | ``"response"`` | ``"notify"`` | ``"error"``;
+- ``id`` — the correlation id pairing a response (or error) with its
+  request; ``None`` on notifies and on connection-level errors;
+- ``source`` / ``destination`` / ``kind`` / ``payload`` — the
+  :class:`~repro.net.bus.Message` fields, the payload in
+  :mod:`repro.net.codec` wire form (requests and notifies);
+- ``payload`` — the wire-form result (responses);
+- ``error`` — ``{"type": ..., "message": ...}`` (error frames).
+
+Failure semantics are split by how much framing survives: a frame whose
+*body* is garbage raises :class:`~repro.errors.FrameError` with the
+frame's bytes already consumed, so a server can answer an error frame
+and keep the connection; a *length prefix* above :data:`MAX_FRAME_BYTES`
+raises :class:`~repro.errors.FrameTooLargeError` — frame sync is gone
+and the connection must be closed after the error response.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import FrameError, FrameTooLargeError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "FrameDecoder",
+    "decode_frames",
+    "encode_frame",
+]
+
+#: Maximum frame body size (16 MiB) — far above any legitimate batch,
+#: far below a garbage length prefix read off a desynchronized stream.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct(">I")
+
+
+def encode_frame(body: dict[str, object]) -> bytes:
+    """Serialize one frame body (already in wire form) to bytes."""
+    try:
+        encoded = json.dumps(
+            body, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"frame body is not JSON-serializable: {exc}") from exc
+    if len(encoded) > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(
+            f"frame of {len(encoded)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte maximum"
+        )
+    return _HEADER.pack(len(encoded)) + encoded
+
+
+class FrameDecoder:
+    """Incremental decoder for a stream of length-prefixed frames.
+
+    Feed arbitrary chunks with :meth:`feed`, then drain completed
+    frames with :meth:`next_frame` until it returns ``None``.  A frame
+    with a valid length but a malformed body is *consumed* before
+    :class:`~repro.errors.FrameError` is raised, so decoding can resume
+    with the next frame on the same stream.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet consumed as complete frames."""
+        return len(self._buffer)
+
+    def next_frame(self) -> dict[str, object] | None:
+        """The next complete frame, or ``None`` when more bytes are needed."""
+        if len(self._buffer) < _HEADER.size:
+            return None
+        (length,) = _HEADER.unpack_from(self._buffer)
+        if length > MAX_FRAME_BYTES:
+            raise FrameTooLargeError(
+                f"frame header declares {length} bytes, above the "
+                f"{MAX_FRAME_BYTES}-byte maximum"
+            )
+        if len(self._buffer) < _HEADER.size + length:
+            return None
+        body = bytes(self._buffer[_HEADER.size:_HEADER.size + length])
+        del self._buffer[:_HEADER.size + length]
+        try:
+            frame = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise FrameError(f"frame body is not valid JSON: {exc}") from exc
+        if not isinstance(frame, dict):
+            raise FrameError(
+                f"frame body must be a JSON object, got "
+                f"{type(frame).__name__}"
+            )
+        return frame
+
+
+def decode_frames(data: bytes) -> list[dict[str, object]]:
+    """Decode a complete byte string into its frames (test helper).
+
+    Raises :class:`~repro.errors.FrameError` on any malformed frame and
+    on trailing bytes that do not form a complete frame.
+    """
+    decoder = FrameDecoder()
+    decoder.feed(data)
+    frames: list[dict[str, object]] = []
+    while True:
+        frame = decoder.next_frame()
+        if frame is None:
+            break
+        frames.append(frame)
+    if decoder.pending_bytes:
+        raise FrameError(
+            f"{decoder.pending_bytes} trailing bytes do not form a "
+            f"complete frame"
+        )
+    return frames

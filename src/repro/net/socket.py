@@ -1,0 +1,769 @@
+"""A real socket transport: asyncio + length-prefixed JSON frames.
+
+The second :class:`~repro.net.transport.Transport` implementation (the
+first is the simulated :class:`~repro.net.bus.NetworkBus`): MDPs and
+LMRs running as separate OS processes exchange
+:mod:`repro.net.frames` over TCP, payloads in :mod:`repro.net.codec`
+wire form.  ``python -m repro.mdv serve`` builds one node per process
+on top of this class (docs/SERVICE.md).
+
+Threading model
+---------------
+One background thread runs the asyncio event loop: the listening
+server, every outbound connection, and all frame I/O.  Callers —
+provider/LMR code, the outbox — stay synchronous; ``send`` bridges
+into the loop with ``run_coroutine_threadsafe`` and blocks for the
+response.  Local endpoints are dispatched in one of two modes:
+
+- ``"inline"`` — the handler runs on the I/O thread as frames arrive.
+  Right for pure in-memory receivers (an LMR cache applying
+  notification batches) and the only mode that can answer while the
+  process's main thread is itself blocked in a ``send``.
+- ``"queue"`` — requests are parked on an internal queue and executed
+  by whichever thread drains :meth:`SocketTransport.next_request` /
+  :meth:`SocketTransport.execute` — the daemon's main thread.  Right
+  for handlers bound to thread-affine state (the provider's SQLite
+  connection must be used by the thread that created it).
+
+Failure semantics (docs/SERVICE.md): request/response exchanges carry
+correlation ids and a per-message timeout; connection establishment
+retries with capped exponential backoff; unreachable peers, lost
+connections and timeouts surface as
+:class:`~repro.errors.NetworkError` subclasses — the retryable branch
+the :class:`~repro.mdv.outbox.Outbox` already understands.  Error
+frames from a live peer reconstruct the remote exception type (never a
+``NetworkError`` — the peer *did* process the request) so poison
+semantics hold.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import queue
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import repro.errors as errors_module
+from repro.errors import (
+    EndpointDownError,
+    FrameError,
+    FrameTooLargeError,
+    MDVError,
+    NetworkError,
+    RemoteError,
+    WireCodecError,
+)
+from repro.net.bus import Message
+from repro.net.codec import from_wire, to_wire, wire_size
+from repro.net.frames import PROTOCOL_VERSION, FrameDecoder, encode_frame
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+__all__ = ["QueuedRequest", "SocketTransport"]
+
+_READ_CHUNK = 64 * 1024
+
+#: Grace added to the response timeout when blocking on the loop; the
+#: coroutine's own ``wait_for`` always fires first.
+_BRIDGE_GRACE_S = 30.0
+
+
+def _error_body(
+    frame_id: object, exc: BaseException, retryable: bool = False
+) -> dict:
+    body = {
+        "v": PROTOCOL_VERSION,
+        "type": "error",
+        "id": frame_id,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+    if retryable:
+        # Set ONLY by the dispatch layer itself (endpoint not yet
+        # registered): the request never reached a handler, so the
+        # sender may safely retry.
+        body["error"]["retryable"] = True
+    return body
+
+
+def _raise_remote(destination: str, error: object) -> None:
+    """Re-raise a peer's error frame as a local exception.
+
+    An error frame normally means the peer *processed and rejected*
+    the request: the remote type is reconstructed when it is a known,
+    non-network :class:`~repro.errors.MDVError` — mapping it onto the
+    retryable branch would make the outbox retry a rejected request —
+    and anything else raises :class:`RemoteError`.  The one exception
+    is a frame the peer's dispatch layer marked ``retryable`` (the
+    endpoint is not registered there yet): no handler ran, so it
+    surfaces as :class:`~repro.errors.EndpointDownError`.
+    """
+    name, message = "MDVError", str(error)
+    if isinstance(error, dict):
+        name = str(error.get("type", name))
+        message = str(error.get("message", ""))
+        if error.get("retryable"):
+            raise EndpointDownError(destination, message)
+    cls = getattr(errors_module, name, None)
+    if (
+        isinstance(cls, type)
+        and issubclass(cls, MDVError)
+        and not issubclass(cls, NetworkError)
+    ):
+        try:
+            exc = cls(message)
+        except TypeError:
+            exc = None
+        if exc is not None:
+            raise exc
+    raise RemoteError(name, message)
+
+
+@dataclass
+class _Endpoint:
+    handler: Callable[[Message], Any]
+    mode: str
+    #: Kinds always dispatched inline even on a queue-mode endpoint.
+    inline_kinds: frozenset[str] = frozenset()
+
+    def dispatches_inline(self, kind: str) -> bool:
+        return self.mode == "inline" or kind in self.inline_kinds
+
+
+@dataclass
+class QueuedRequest:
+    """One request parked for a queue-mode endpoint's owning thread."""
+
+    message: Message
+    frame_id: object
+    one_way: bool
+    _writer: Any = field(repr=False, default=None)
+
+
+class _Connection:
+    """One outbound request channel to a peer (loop-thread only)."""
+
+    def __init__(self, destination: str, reader, writer):
+        self.destination = destination
+        self.reader = reader
+        self.writer = writer
+        self.pending: dict[int, asyncio.Future] = {}
+        self.closed = False
+        self._next_id = 0
+        self.reader_task: asyncio.Task | None = None
+
+    def next_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+
+class SocketTransport:
+    """Asyncio TCP transport implementing the :class:`Transport` seam."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        peers: dict[str, tuple[str, int]] | None = None,
+        request_timeout_s: float = 30.0,
+        connect_attempts: int = 4,
+        connect_base_delay_s: float = 0.05,
+        connect_max_delay_s: float = 0.4,
+        dispatch: str = "inline",
+        metrics: MetricsRegistry | None = None,
+    ):
+        if dispatch not in ("inline", "queue"):
+            raise ValueError(
+                f"dispatch must be 'inline' or 'queue', got {dispatch!r}"
+            )
+        self.host = host
+        self._requested_port = port
+        self._bound_port: int | None = None
+        self._peers = dict(peers or {})
+        self.request_timeout_s = request_timeout_s
+        self.connect_attempts = max(1, connect_attempts)
+        self.connect_base_delay_s = connect_base_delay_s
+        self.connect_max_delay_s = connect_max_delay_s
+        self.default_dispatch = dispatch
+        self._endpoints: dict[str, _Endpoint] = {}
+        self._connections: dict[str, _Connection] = {}
+        self._queue: queue.Queue[QueuedRequest] = queue.Queue()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._startup_error: BaseException | None = None
+        self._closed = False
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_messages = self.metrics.counter("net.messages")
+        self._m_bytes = self.metrics.counter("net.bytes")
+        self._m_latency = self.metrics.histogram("net.latency_ms")
+        self._m_connections = self.metrics.counter("net.socket.connections")
+        self._m_requests = self.metrics.counter("net.socket.requests")
+        self._m_notifies = self.metrics.counter("net.socket.notifies")
+        self._m_errors = self.metrics.counter("net.socket.errors")
+        self._m_retries = self.metrics.counter("net.socket.retries")
+        self._m_timeouts = self.metrics.counter("net.socket.timeouts")
+        self._m_bytes_sent = self.metrics.counter("net.socket.bytes_sent")
+        self._m_bytes_received = self.metrics.counter(
+            "net.socket.bytes_received"
+        )
+        self._m_request_ms = self.metrics.histogram("net.socket.request_ms")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> SocketTransport:
+        """Bind the listener and start the I/O thread (idempotent)."""
+        if self._thread is not None:
+            return self
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        self._loop = asyncio.new_event_loop()
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run_loop,
+            args=(ready,),
+            name=f"mdv-socket-{self.host}:{self._requested_port}",
+            daemon=True,
+        )
+        self._thread.start()
+        ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            error = self._startup_error
+            self._thread.join(timeout=1.0)
+            self._thread = None
+            self._loop = None
+            raise error
+        return self
+
+    def _run_loop(self, ready: threading.Event) -> None:
+        loop = self._loop
+        assert loop is not None
+        asyncio.set_event_loop(loop)
+        try:
+            self._server = loop.run_until_complete(
+                asyncio.start_server(
+                    self._handle_connection, self.host, self._requested_port
+                )
+            )
+            sockets = self._server.sockets or ()
+            self._bound_port = sockets[0].getsockname()[1]
+        except BaseException as exc:  # noqa: BLE001 - surfaced in start()
+            self._startup_error = exc
+            ready.set()
+            loop.close()
+            return
+        ready.set()
+        loop.run_forever()
+        loop.run_until_complete(self._shutdown_async())
+        remaining = asyncio.all_tasks(loop)
+        for task in remaining:
+            task.cancel()
+        if remaining:
+            loop.run_until_complete(
+                asyncio.gather(*remaining, return_exceptions=True)
+            )
+        loop.close()
+
+    @property
+    def port(self) -> int:
+        """The bound listening port (after :meth:`start`)."""
+        if self._bound_port is None:
+            raise RuntimeError("transport not started")
+        return self._bound_port
+
+    def close(self) -> None:
+        """Stop the listener, drop connections, join the I/O thread."""
+        if self._closed or self._loop is None:
+            self._closed = True
+            return
+        self._closed = True
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    async def _shutdown_async(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        connections = list(self._connections.values())
+        for connection in connections:
+            self._drop_connection(connection, "transport closed")
+            with contextlib.suppress(Exception):
+                connection.writer.close()
+        for connection in connections:
+            if connection.reader_task is not None:
+                connection.reader_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError, Exception):
+                    await connection.reader_task
+        self._connections.clear()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        handler: Callable[[Message], Any],
+        dispatch: str | None = None,
+    ) -> None:
+        """Attach an endpoint; re-registration replaces the handler."""
+        mode = dispatch if dispatch is not None else self.default_dispatch
+        if mode not in ("inline", "queue"):
+            raise ValueError(
+                f"dispatch must be 'inline' or 'queue', got {mode!r}"
+            )
+        previous = self._endpoints.get(name)
+        inline_kinds = (
+            previous.inline_kinds if previous is not None else frozenset()
+        )
+        self._endpoints[name] = _Endpoint(handler, mode, inline_kinds)
+
+    def unregister(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    def set_inline_kinds(self, name: str, kinds: set[str]) -> None:
+        """Dispatch the given kinds inline on a queue-mode endpoint.
+
+        An LMR daemon queues its command handlers to the main thread
+        but must keep answering ``notifications`` on the I/O thread —
+        the provider delivers them *while* the main thread is blocked
+        inside its own request (e.g. the initial matches of a
+        ``subscribe``).
+        """
+        endpoint = self._endpoints[name]
+        endpoint.inline_kinds = frozenset(kinds)
+
+    def add_peer(self, name: str, host: str, port: int) -> None:
+        """Teach the transport where a named peer listens."""
+        self._peers[name] = (host, port)
+
+    def peers(self) -> dict[str, tuple[str, int]]:
+        return dict(self._peers)
+
+    # ------------------------------------------------------------------
+    # Clock (real time; the Transport contract)
+    # ------------------------------------------------------------------
+    def now_ms(self) -> float:
+        return time.perf_counter() * 1000.0
+
+    def sleep(self, ms: float) -> None:
+        if ms < 0:
+            raise ValueError(f"cannot sleep a negative duration: {ms!r}")
+        time.sleep(ms / 1000.0)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self, source: str, destination: str, kind: str, payload: Any
+    ) -> Any:
+        """Request/response exchange; blocks for the (decoded) result."""
+        return self._send(source, destination, kind, payload, one_way=False)
+
+    def send_one_way(
+        self, source: str, destination: str, kind: str, payload: Any
+    ) -> None:
+        """Fire-and-forget notify frame (connection errors still raise)."""
+        self._send(source, destination, kind, payload, one_way=True)
+
+    def _send(
+        self,
+        source: str,
+        destination: str,
+        kind: str,
+        payload: Any,
+        one_way: bool,
+    ) -> Any:
+        endpoint = self._endpoints.get(destination)
+        if endpoint is not None:
+            # Local short-circuit, mirroring the simulated bus: a
+            # locally registered endpoint is called directly.
+            self._charge(payload)
+            result = endpoint.handler(
+                Message(source, destination, kind, payload)
+            )
+            return None if one_way else result
+        if threading.current_thread() is self._thread:
+            raise RuntimeError(
+                "send() may not be called from the transport I/O thread; "
+                "register blocking handlers with dispatch='queue'"
+            )
+        self.start()
+        assert self._loop is not None
+        wire_payload = to_wire(payload)  # raises WireCodecError caller-side
+        self._charge(payload)
+        started = time.perf_counter()
+        future = asyncio.run_coroutine_threadsafe(
+            self._exchange(source, destination, kind, wire_payload, one_way),
+            self._loop,
+        )
+        try:
+            result = future.result(
+                timeout=self.request_timeout_s + _BRIDGE_GRACE_S
+            )
+        except TimeoutError:  # pragma: no cover - loop stalled
+            future.cancel()
+            raise EndpointDownError(destination, "transport loop stalled")
+        finally:
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            self._m_latency.observe(elapsed_ms)
+            if not one_way:
+                self._m_request_ms.observe(elapsed_ms)
+        return from_wire(result) if not one_way else None
+
+    def _charge(self, payload: Any) -> None:
+        self._m_messages.inc()
+        try:
+            self._m_bytes.inc(wire_size(payload))
+        except WireCodecError:  # pragma: no cover - encoded right after
+            pass
+
+    async def _exchange(
+        self,
+        source: str,
+        destination: str,
+        kind: str,
+        wire_payload: Any,
+        one_way: bool,
+    ) -> Any:
+        connection = await self._connect(destination)
+        body = {
+            "v": PROTOCOL_VERSION,
+            "type": "notify" if one_way else "request",
+            "id": None,
+            "source": source,
+            "destination": destination,
+            "kind": kind,
+            "payload": wire_payload,
+        }
+        if one_way:
+            await self._write(connection, body, destination)
+            return None
+        frame_id = connection.next_id()
+        body["id"] = frame_id
+        assert self._loop is not None
+        waiter: asyncio.Future = self._loop.create_future()
+        connection.pending[frame_id] = waiter
+        try:
+            await self._write(connection, body, destination)
+            try:
+                frame = await asyncio.wait_for(
+                    waiter, timeout=self.request_timeout_s
+                )
+            except asyncio.TimeoutError:
+                self._m_timeouts.inc()
+                raise EndpointDownError(
+                    destination,
+                    f"silent for {self.request_timeout_s:g}s on "
+                    f"{kind!r} (request timed out)",
+                ) from None
+        finally:
+            connection.pending.pop(frame_id, None)
+        frame_type = frame.get("type")
+        if frame_type == "response":
+            return frame.get("payload")
+        if frame_type == "error":
+            _raise_remote(destination, frame.get("error"))
+        raise FrameError(f"unexpected reply frame type {frame_type!r}")
+
+    async def _write(
+        self, connection: _Connection, body: dict, destination: str
+    ) -> None:
+        data = encode_frame(body)
+        try:
+            connection.writer.write(data)
+            await connection.writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._drop_connection(connection, str(exc))
+            raise EndpointDownError(
+                destination, f"connection lost: {exc}"
+            ) from exc
+        self._m_bytes_sent.inc(len(data))
+
+    async def _connect(self, destination: str) -> _Connection:
+        connection = self._connections.get(destination)
+        if connection is not None and not connection.closed:
+            return connection
+        address = self._peers.get(destination)
+        if address is None:
+            raise EndpointDownError(
+                destination, "not a local endpoint and has no known address"
+            )
+        delay = self.connect_base_delay_s
+        for attempt in range(1, self.connect_attempts + 1):
+            try:
+                reader, writer = await asyncio.open_connection(*address)
+                break
+            except OSError as exc:
+                if attempt == self.connect_attempts:
+                    raise EndpointDownError(
+                        destination,
+                        f"unreachable at {address[0]}:{address[1]} after "
+                        f"{attempt} attempts ({exc})",
+                    ) from exc
+                self._m_retries.inc()
+                await asyncio.sleep(delay)
+                delay = min(delay * 2.0, self.connect_max_delay_s)
+        connection = _Connection(destination, reader, writer)
+        connection.reader_task = asyncio.ensure_future(
+            self._read_replies(connection)
+        )
+        self._connections[destination] = connection
+        return connection
+
+    async def _read_replies(self, connection: _Connection) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await connection.reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                self._m_bytes_received.inc(len(data))
+                decoder.feed(data)
+                while True:
+                    frame = decoder.next_frame()
+                    if frame is None:
+                        break
+                    self._resolve_reply(connection, frame)
+        except (ConnectionError, OSError):
+            pass
+        except FrameError:
+            self._m_errors.inc()
+        finally:
+            self._drop_connection(connection, "connection closed by peer")
+
+    def _resolve_reply(self, connection: _Connection, frame: dict) -> None:
+        frame_id = frame.get("id")
+        waiter = (
+            connection.pending.get(frame_id)
+            if isinstance(frame_id, int)
+            else None
+        )
+        if waiter is None or waiter.done():
+            # An unsolicited frame (or a reply whose waiter timed out):
+            # connection-level error frames land here too.
+            if frame.get("type") == "error":
+                self._m_errors.inc()
+            return
+        waiter.set_result(frame)
+
+    def _drop_connection(self, connection: _Connection, reason: str) -> None:
+        if connection.closed:
+            return
+        connection.closed = True
+        if self._connections.get(connection.destination) is connection:
+            del self._connections[connection.destination]
+        with contextlib.suppress(Exception):
+            connection.writer.close()
+        for waiter in connection.pending.values():
+            if not waiter.done():
+                waiter.set_exception(
+                    EndpointDownError(connection.destination, reason)
+                )
+        connection.pending.clear()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        self._m_connections.inc()
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                self._m_bytes_received.inc(len(data))
+                decoder.feed(data)
+                resync_lost = await self._drain_frames(decoder, writer)
+                if resync_lost:
+                    return
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _drain_frames(self, decoder: FrameDecoder, writer) -> bool:
+        """Dispatch buffered frames; ``True`` = close the connection."""
+        while True:
+            try:
+                frame = decoder.next_frame()
+            except FrameTooLargeError as exc:
+                # Frame sync is gone: answer, then hang up.
+                self._m_errors.inc()
+                with contextlib.suppress(ConnectionError, OSError):
+                    await self._write_raw(writer, _error_body(None, exc))
+                return True
+            except FrameError as exc:
+                # The bad frame's bytes are consumed; keep the
+                # connection and answer subsequent frames normally.
+                self._m_errors.inc()
+                with contextlib.suppress(ConnectionError, OSError):
+                    await self._write_raw(writer, _error_body(None, exc))
+                continue
+            if frame is None:
+                return False
+            await self._serve_frame(frame, writer)
+
+    async def _write_raw(self, writer, body: dict) -> None:
+        data = encode_frame(body)
+        writer.write(data)
+        self._m_bytes_sent.inc(len(data))
+        await writer.drain()
+
+    async def _serve_frame(self, frame: dict, writer) -> None:
+        frame_type = frame.get("type")
+        frame_id = frame.get("id")
+        one_way = frame_type == "notify"
+        if frame_type not in ("request", "notify"):
+            self._m_errors.inc()
+            with contextlib.suppress(ConnectionError, OSError):
+                await self._write_raw(
+                    writer,
+                    _error_body(
+                        frame_id,
+                        FrameError(
+                            f"unexpected frame type {frame_type!r} on a "
+                            f"server connection"
+                        ),
+                    ),
+                )
+            return
+        (self._m_notifies if one_way else self._m_requests).inc()
+        destination = frame.get("destination")
+        endpoint = (
+            self._endpoints.get(destination)
+            if isinstance(destination, str)
+            else None
+        )
+        if endpoint is None:
+            await self._reply_error(
+                writer,
+                frame_id,
+                EndpointDownError(
+                    str(destination), "not registered on this transport"
+                ),
+                one_way,
+                retryable=True,
+            )
+            return
+        try:
+            message = Message(
+                str(frame.get("source", "")),
+                destination,
+                str(frame.get("kind", "")),
+                from_wire(frame.get("payload")),
+            )
+        except WireCodecError as exc:
+            await self._reply_error(writer, frame_id, exc, one_way)
+            return
+        if endpoint.dispatches_inline(message.kind):
+            await self._run_inline(endpoint, message, frame_id, one_way, writer)
+        else:
+            self._queue.put(QueuedRequest(message, frame_id, one_way, writer))
+
+    async def _run_inline(
+        self, endpoint: _Endpoint, message: Message, frame_id: object,
+        one_way: bool, writer,
+    ) -> None:
+        try:
+            result = endpoint.handler(message)
+        except Exception as exc:  # noqa: BLE001 - relayed to the caller
+            await self._reply_error(writer, frame_id, exc, one_way)
+            return
+        if one_way:
+            return
+        await self._reply_result(writer, frame_id, result)
+
+    async def _reply_result(self, writer, frame_id: object, result: Any) -> None:
+        try:
+            body = {
+                "v": PROTOCOL_VERSION,
+                "type": "response",
+                "id": frame_id,
+                "payload": to_wire(result),
+            }
+        except WireCodecError as exc:
+            await self._reply_error(writer, frame_id, exc, one_way=False)
+            return
+        with contextlib.suppress(ConnectionError, OSError):
+            await self._write_raw(writer, body)
+
+    async def _reply_error(
+        self, writer, frame_id: object, exc: BaseException, one_way: bool,
+        retryable: bool = False,
+    ) -> None:
+        self._m_errors.inc()
+        if one_way:
+            return
+        with contextlib.suppress(ConnectionError, OSError):
+            await self._write_raw(
+                writer, _error_body(frame_id, exc, retryable)
+            )
+
+    # ------------------------------------------------------------------
+    # Queue-mode dispatch (the daemon's main-thread loop)
+    # ------------------------------------------------------------------
+    def next_request(self, timeout: float | None = None) -> QueuedRequest | None:
+        """Pop the next queued request, or ``None`` on timeout."""
+        try:
+            if timeout is None:
+                return self._queue.get_nowait()
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def pending_requests(self) -> int:
+        return self._queue.qsize()
+
+    def execute(self, request: QueuedRequest) -> None:
+        """Run a queued request's handler and send the reply.
+
+        Called by the thread that owns the endpoint's state — handler
+        exceptions become error frames, never daemon crashes.
+        """
+        endpoint = self._endpoints.get(request.message.destination)
+        if endpoint is None:
+            self._reply_from_thread(
+                self._reply_error(
+                    request._writer,
+                    request.frame_id,
+                    EndpointDownError(
+                        request.message.destination,
+                        "endpoint was unregistered",
+                    ),
+                    request.one_way,
+                    retryable=True,
+                )
+            )
+            return
+        try:
+            result = endpoint.handler(request.message)
+        except Exception as exc:  # noqa: BLE001 - relayed to the caller
+            self._reply_from_thread(
+                self._reply_error(
+                    request._writer, request.frame_id, exc, request.one_way
+                )
+            )
+            return
+        if request.one_way:
+            return
+        self._reply_from_thread(
+            self._reply_result(request._writer, request.frame_id, result)
+        )
+
+    def _reply_from_thread(self, coroutine) -> None:
+        assert self._loop is not None
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        with contextlib.suppress(Exception):
+            future.result(timeout=10.0)

@@ -1,0 +1,76 @@
+"""The transport seam between the MDV tiers and the network.
+
+Everything above the network — :class:`~repro.mdv.provider.
+MetadataProvider`, :class:`~repro.mdv.repository.LocalMetadataRepository`,
+:class:`~repro.mdv.backbone.Backbone`, the
+:class:`~repro.mdv.outbox.Outbox` retry layer — talks to a
+:class:`Transport`, never to a concrete implementation.  Two
+implementations exist:
+
+- :class:`~repro.net.bus.NetworkBus` — the deterministic in-process
+  simulator (synchronous delivery, simulated clock, fault injection).
+  It remains the default test transport.
+- :class:`~repro.net.socket.SocketTransport` — real asyncio sockets
+  speaking the length-prefixed JSON frame protocol of
+  :mod:`repro.net.frames`, for MDPs and LMRs running as separate OS
+  processes (``python -m repro.mdv serve``).
+
+The contract is deliberately small: named endpoints, synchronous
+request/response (``send``), fire-and-forget (``send_one_way``), and a
+clock (``now_ms``/``sleep``) that the retry/backoff layers use — the
+simulated bus advances a virtual clock, the socket transport consumes
+real time.  Failures surface as :class:`~repro.errors.NetworkError`
+subclasses on both, so the reliability layers behave identically over
+either.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+if TYPE_CHECKING:
+    from repro.net.bus import Message
+
+__all__ = ["Transport"]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Named-endpoint messaging with a clock — the network seam."""
+
+    def register(
+        self, name: str, handler: Callable[["Message"], Any]
+    ) -> None:
+        """Attach an endpoint; re-registration replaces the handler."""
+        ...  # pragma: no cover - protocol stub
+
+    def unregister(self, name: str) -> None:
+        """Detach an endpoint (no-op when absent)."""
+        ...  # pragma: no cover - protocol stub
+
+    def send(
+        self, source: str, destination: str, kind: str, payload: Any
+    ) -> Any:
+        """Deliver a request and return the destination's response.
+
+        Raises a :class:`~repro.errors.NetworkError` subclass when the
+        destination is unreachable or the exchange is lost — the
+        retryable branch.  Non-network errors mean the destination
+        processed and rejected the request.
+        """
+        ...  # pragma: no cover - protocol stub
+
+    def send_one_way(
+        self, source: str, destination: str, kind: str, payload: Any
+    ) -> None:
+        """Fire-and-forget delivery (no response, no result)."""
+        ...  # pragma: no cover - protocol stub
+
+    def now_ms(self) -> float:
+        """The transport's clock, in milliseconds (simulated or real)."""
+        ...  # pragma: no cover - protocol stub
+
+    def sleep(self, ms: float) -> None:
+        """Wait out a backoff window on the transport's clock."""
+        ...  # pragma: no cover - protocol stub

@@ -194,4 +194,5 @@ class TestRegressionGate:
             "BENCH_fig14.json", "BENCH_fig15.json",
             "BENCH_matcher.json",
             "BENCH_recovery.json",
+            "BENCH_service.json",
         ]

@@ -76,6 +76,7 @@ def test_real_figures_registered():
         "analysis",
         "recovery",
         "matcher",
+        "service",
     }
 
 

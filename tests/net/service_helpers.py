@@ -1,0 +1,83 @@
+"""Shared plumbing for socket-transport tests.
+
+:class:`ProviderNode` runs one MetadataProvider on its own thread, the
+way the serve daemon runs it on a process's main thread: the thread
+*builds* the provider (SQLite connections are thread-affine) and then
+drains the transport's request queue, so every handler runs on the
+state-owning thread while the transport's asyncio loop only does I/O.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.mdv.provider import MetadataProvider
+from repro.net.socket import SocketTransport
+from repro.obs.metrics import MetricsRegistry
+from repro.rdf.schema import objectglobe_schema
+
+
+class ProviderNode:
+    """An in-process stand-in for one served MDP node."""
+
+    def __init__(
+        self,
+        name: str = "mdp-1",
+        metrics: MetricsRegistry | None = None,
+        **provider_kwargs,
+    ):
+        self.name = name
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.transport = SocketTransport(
+            dispatch="queue", metrics=self.metrics
+        )
+        self.transport.start()
+        self.provider: MetadataProvider | None = None
+        self._provider_kwargs = provider_kwargs
+        self._stop = threading.Event()
+        self._built = threading.Event()
+        self._build_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name=f"provider-node-{name}", daemon=True
+        )
+        self._thread.start()
+        self._built.wait(timeout=30)
+        if self._build_error is not None:
+            raise self._build_error
+
+    @property
+    def port(self) -> int:
+        return self.transport.port
+
+    def _run(self) -> None:
+        try:
+            self.provider = MetadataProvider(
+                objectglobe_schema(),
+                name=self.name,
+                bus=self.transport,
+                metrics=self.metrics,
+                **self._provider_kwargs,
+            )
+        except BaseException as exc:  # noqa: BLE001 - surfaced in __init__
+            self._build_error = exc
+            self._built.set()
+            return
+        self._built.set()
+        while not self._stop.is_set():
+            request = self.transport.next_request(timeout=0.1)
+            if request is not None:
+                self.transport.execute(request)
+        while True:
+            request = self.transport.next_request()
+            if request is None:
+                break
+            self.transport.execute(request)
+        self.provider.close()
+
+    def add_peer(self, name: str, port: int) -> None:
+        self.transport.add_peer(name, "127.0.0.1", port)
+
+    def close(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=30)
+        self.transport.close()

@@ -78,7 +78,8 @@ def test_link_stats_accumulate():
     bus.send("a", "b", "x", "12345")
     stats = bus.links[("a", "b")]
     assert stats.messages == 2
-    assert stats.bytes == 10
+    # JSON wire size: '"12345"' is 7 bytes per message.
+    assert stats.bytes == 14
 
 
 def test_payload_size_hook():

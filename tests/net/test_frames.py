@@ -1,0 +1,151 @@
+"""Property and failure-mode tests for the frame protocol."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FrameError, FrameTooLargeError
+from repro.net.frames import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    decode_frames,
+    encode_frame,
+)
+from tests.conftest import prop_settings
+
+# JSON-representable values (no NaN: canonical JSON, and NaN != NaN).
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False, width=32)
+    | st.text(max_size=40),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=12,
+)
+frame_bodies = st.dictionaries(st.text(max_size=16), json_values, max_size=6)
+
+
+@prop_settings(max_examples=100)
+@given(frame_bodies)
+def test_roundtrip_single_frame(body):
+    decoder = FrameDecoder()
+    decoder.feed(encode_frame(body))
+    assert decoder.next_frame() == body
+    assert decoder.next_frame() is None
+    assert decoder.pending_bytes == 0
+
+
+@prop_settings(max_examples=50)
+@given(st.lists(frame_bodies, min_size=1, max_size=5), st.randoms())
+def test_roundtrip_stream_under_arbitrary_chunking(bodies, rng):
+    stream = b"".join(encode_frame(body) for body in bodies)
+    decoder = FrameDecoder()
+    decoded = []
+    position = 0
+    while position < len(stream):
+        step = rng.randint(1, 7)
+        decoder.feed(stream[position:position + step])
+        position += step
+        while True:
+            frame = decoder.next_frame()
+            if frame is None:
+                break
+            decoded.append(frame)
+    assert decoded == bodies
+    assert decoder.pending_bytes == 0
+
+
+@prop_settings(max_examples=50)
+@given(st.text(max_size=200))
+def test_unicode_payloads_roundtrip(text):
+    body = {"payload": text}
+    assert decode_frames(encode_frame(body)) == [body]
+
+
+def test_empty_payload_roundtrips():
+    assert decode_frames(encode_frame({})) == [{}]
+
+
+def test_correlation_ids_roundtrip():
+    bodies = [{"id": n, "type": "request"} for n in (0, 1, 2**31, 2**53)]
+    stream = b"".join(encode_frame(body) for body in bodies)
+    assert decode_frames(stream) == bodies
+
+
+def test_oversized_encode_is_rejected():
+    with pytest.raises(FrameTooLargeError):
+        encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+def test_non_serializable_body_is_rejected():
+    with pytest.raises(FrameError):
+        encode_frame({"x": object()})
+
+
+def test_truncated_length_prefix_waits_for_more():
+    decoder = FrameDecoder()
+    decoder.feed(b"\x00\x00")
+    assert decoder.next_frame() is None
+    assert decoder.pending_bytes == 2
+
+
+def test_truncated_body_waits_for_more():
+    frame = encode_frame({"kind": "ping"})
+    decoder = FrameDecoder()
+    decoder.feed(frame[:-3])
+    assert decoder.next_frame() is None
+    decoder.feed(frame[-3:])
+    assert decoder.next_frame() == {"kind": "ping"}
+
+
+def test_garbage_json_body_raises_and_consumes():
+    garbage = b"{]not json!"
+    decoder = FrameDecoder()
+    decoder.feed(struct.pack(">I", len(garbage)) + garbage)
+    decoder.feed(encode_frame({"after": 1}))
+    with pytest.raises(FrameError):
+        decoder.next_frame()
+    # The bad frame's bytes were consumed: the stream recovers.
+    assert decoder.next_frame() == {"after": 1}
+
+
+def test_non_object_body_raises_and_consumes():
+    body = json.dumps([1, 2, 3]).encode()
+    decoder = FrameDecoder()
+    decoder.feed(struct.pack(">I", len(body)) + body)
+    with pytest.raises(FrameError):
+        decoder.next_frame()
+    assert decoder.pending_bytes == 0
+
+
+def test_invalid_utf8_body_raises():
+    body = b"\xff\xfe{}"
+    decoder = FrameDecoder()
+    decoder.feed(struct.pack(">I", len(body)) + body)
+    with pytest.raises(FrameError):
+        decoder.next_frame()
+
+
+def test_oversized_declared_length_is_not_consumed():
+    decoder = FrameDecoder()
+    decoder.feed(struct.pack(">I", MAX_FRAME_BYTES + 1) + b"abc")
+    with pytest.raises(FrameTooLargeError):
+        decoder.next_frame()
+    # Frame sync is lost: the buffer is intentionally left in place so
+    # the caller closes the connection instead of resynchronizing.
+    assert decoder.pending_bytes == 7
+    with pytest.raises(FrameTooLargeError):
+        decoder.next_frame()
+
+
+def test_decode_frames_rejects_trailing_bytes():
+    stream = encode_frame({"a": 1}) + b"\x00\x00\x00"
+    with pytest.raises(FrameError):
+        decode_frames(stream)

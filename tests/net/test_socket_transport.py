@@ -1,0 +1,295 @@
+"""In-process tests for the asyncio socket transport."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    EndpointDownError,
+    NetworkError,
+    RemoteError,
+    SubscriptionError,
+    WireCodecError,
+)
+from repro.net.bus import Message
+from repro.net.socket import SocketTransport
+from repro.net.transport import Transport
+from repro.obs.metrics import MetricsRegistry
+from repro.rdf.model import URIRef
+
+
+@pytest.fixture()
+def server():
+    transport = SocketTransport(metrics=MetricsRegistry()).start()
+    yield transport
+    transport.close()
+
+
+@pytest.fixture()
+def client(server):
+    transport = SocketTransport(
+        metrics=MetricsRegistry(),
+        request_timeout_s=10.0,
+        connect_attempts=2,
+        connect_base_delay_s=0.01,
+    ).start()
+    yield transport
+    transport.close()
+
+
+def _peer(client, server, name):
+    client.add_peer(name, "127.0.0.1", server.port)
+
+
+def test_satisfies_transport_protocol(server):
+    assert isinstance(server, Transport)
+
+
+def test_request_response_roundtrip(server, client):
+    server.register("echo", lambda m: (m.kind, m.payload))
+    _peer(client, server, "echo")
+    result = client.send("cli", "echo", "ping", {"v": (1, "mdp"), "u": URIRef("a#r")})
+    assert result == ("ping", {"v": (1, "mdp"), "u": URIRef("a#r")})
+    assert isinstance(result[1]["u"], URIRef)
+
+
+def test_one_way_notify_delivers(server, client):
+    received = []
+    done = threading.Event()
+
+    def handler(message: Message):
+        received.append((message.source, message.kind, message.payload))
+        done.set()
+
+    server.register("sink", handler)
+    _peer(client, server, "sink")
+    assert client.send_one_way("cli", "sink", "note", [1, 2]) is None
+    assert done.wait(timeout=10)
+    assert received == [("cli", "note", [1, 2])]
+
+
+def test_remote_domain_error_is_reconstructed(server, client):
+    def handler(message):
+        raise SubscriptionError("already subscribed")
+
+    server.register("mdp", handler)
+    _peer(client, server, "mdp")
+    with pytest.raises(SubscriptionError, match="already subscribed"):
+        client.send("cli", "mdp", "subscribe", None)
+
+
+def test_remote_unknown_error_becomes_remote_error(server, client):
+    def handler(message):
+        raise ValueError("unknown message kind 'x'")
+
+    server.register("mdp", handler)
+    _peer(client, server, "mdp")
+    with pytest.raises(RemoteError) as excinfo:
+        client.send("cli", "mdp", "x", None)
+    assert excinfo.value.remote_type == "ValueError"
+    assert not isinstance(excinfo.value, NetworkError)
+
+
+def test_remote_network_error_is_never_retryable(server, client):
+    # A handler that itself failed with a NetworkError still *received*
+    # the request — reconstructing the retryable type would make the
+    # outbox re-send a processed request.
+    def handler(message):
+        raise NetworkError("downstream link failed")
+
+    server.register("mdp", handler)
+    _peer(client, server, "mdp")
+    with pytest.raises(RemoteError):
+        client.send("cli", "mdp", "x", None)
+
+
+def test_unregistered_endpoint_is_retryable(server, client):
+    # The server is up but the endpoint isn't registered (a daemon
+    # still booting): no handler ran, so the sender may retry.
+    _peer(client, server, "ghost")
+    with pytest.raises(EndpointDownError):
+        client.send("cli", "ghost", "ping", None)
+
+
+def test_unreachable_peer_raises_endpoint_down(client):
+    client.add_peer("nowhere", "127.0.0.1", 9)  # discard port: refused
+    with pytest.raises(EndpointDownError):
+        client.send("cli", "nowhere", "ping", None)
+    assert client.metrics.counter("net.socket.retries").value >= 1
+
+
+def test_unknown_destination_without_address(client):
+    with pytest.raises(EndpointDownError):
+        client.send("cli", "never-heard-of-it", "ping", None)
+
+
+def test_request_timeout(server):
+    block = threading.Event()
+
+    def handler(message):
+        block.wait(timeout=30)
+        return None
+
+    server.register("slow", handler)
+    client = SocketTransport(
+        metrics=MetricsRegistry(), request_timeout_s=0.3
+    ).start()
+    try:
+        client.add_peer("slow", "127.0.0.1", server.port)
+        with pytest.raises(EndpointDownError, match="timed out"):
+            client.send("cli", "slow", "ping", None)
+        assert client.metrics.counter("net.socket.timeouts").value == 1
+    finally:
+        block.set()
+        client.close()
+
+
+def test_reconnect_after_server_restart(client):
+    first = SocketTransport(metrics=MetricsRegistry()).start()
+    first.register("echo", lambda m: m.payload)
+    client.add_peer("echo", "127.0.0.1", first.port)
+    assert client.send("cli", "echo", "k", 1) == 1
+    port = first.port
+    first.close()
+    with pytest.raises(NetworkError):
+        client.send("cli", "echo", "k", 2)
+    second = SocketTransport(
+        metrics=MetricsRegistry(), port=port
+    ).start()
+    try:
+        second.register("echo", lambda m: m.payload * 10)
+        assert client.send("cli", "echo", "k", 3) == 30
+    finally:
+        second.close()
+
+
+def test_local_endpoint_short_circuit():
+    transport = SocketTransport(metrics=MetricsRegistry())
+    transport.register("local", lambda m: m.payload + 1)
+    # No start() needed: local endpoints never touch the network.
+    assert transport.send("cli", "local", "k", 41) == 42
+    assert transport.metrics.counter("net.messages").value == 1
+    transport.close()
+
+
+def test_unencodable_payload_raises_caller_side(server, client):
+    server.register("echo", lambda m: m.payload)
+    _peer(client, server, "echo")
+
+    class Opaque:
+        pass
+
+    with pytest.raises(WireCodecError):
+        client.send("cli", "echo", "k", Opaque())
+    # Nothing was charged for the failed encode.
+    assert client.metrics.counter("net.messages").value == 0
+
+
+def test_unencodable_result_is_an_error_frame(server, client):
+    class Opaque:
+        pass
+
+    server.register("bad", lambda m: Opaque())
+    _peer(client, server, "bad")
+    with pytest.raises(WireCodecError):
+        client.send("cli", "bad", "k", None)
+
+
+def test_queue_dispatch_runs_on_owner_thread(server, client):
+    queue_server = SocketTransport(
+        metrics=MetricsRegistry(), dispatch="queue"
+    ).start()
+    try:
+        seen_threads = []
+        queue_server.register(
+            "node", lambda m: seen_threads.append(threading.current_thread())
+            or m.payload
+        )
+        client.add_peer("node", "127.0.0.1", queue_server.port)
+        done = threading.Event()
+        results = []
+
+        def call():
+            results.append(client.send("cli", "node", "k", 5))
+            done.set()
+
+        caller = threading.Thread(target=call, daemon=True)
+        caller.start()
+        # The request is parked until the owning thread drains it.
+        request = None
+        for _ in range(100):
+            request = queue_server.next_request(timeout=0.1)
+            if request is not None:
+                break
+        assert request is not None
+        queue_server.execute(request)
+        assert done.wait(timeout=10)
+        caller.join(timeout=10)
+        assert results == [5]
+        assert seen_threads == [threading.current_thread()]
+    finally:
+        queue_server.close()
+
+
+def test_inline_kinds_override_queue_dispatch(client):
+    queue_server = SocketTransport(
+        metrics=MetricsRegistry(), dispatch="queue"
+    ).start()
+    try:
+        queue_server.register("node", lambda m: m.kind)
+        queue_server.set_inline_kinds("node", {"notifications"})
+        client.add_peer("node", "127.0.0.1", queue_server.port)
+        # Inline kind: answered without anyone draining the queue.
+        assert client.send("cli", "node", "notifications", None) == (
+            "notifications"
+        )
+        assert queue_server.pending_requests() == 0
+    finally:
+        queue_server.close()
+
+
+def test_counters_charge_sender_side(server, client):
+    server.register("echo", lambda m: m.payload)
+    _peer(client, server, "echo")
+    client.send("cli", "echo", "k", "12345")
+    assert client.metrics.counter("net.messages").value == 1
+    assert client.metrics.counter("net.bytes").value == 7  # '"12345"'
+    # The receiving transport never touches the shared counters …
+    assert server.metrics.counter("net.messages").value == 0
+    assert server.metrics.counter("net.bytes").value == 0
+    # … but does account raw socket traffic and requests.
+    assert server.metrics.counter("net.socket.requests").value == 1
+    assert server.metrics.counter("net.socket.bytes_received").value > 0
+
+
+def test_port_zero_binds_an_os_assigned_port(server):
+    assert server.port > 0
+
+
+def test_send_from_io_thread_is_rejected(server, client):
+    # An inline handler calling send() would deadlock the loop; the
+    # transport refuses instead.
+    errors = []
+
+    def handler(message):
+        try:
+            client.send("inner", "anywhere", "k", None)
+        except RuntimeError as exc:
+            errors.append(str(exc))
+            raise
+        return None
+
+    client.register("loopback", handler)
+    server.register("fwd", lambda m: None)
+    # Local short-circuit calls the handler on *this* thread, which is
+    # allowed; to hit the I/O thread we go over the wire.
+    probe = SocketTransport(metrics=MetricsRegistry()).start()
+    try:
+        probe.add_peer("loopback", "127.0.0.1", client.port)
+        with pytest.raises(RemoteError):
+            probe.send("cli", "loopback", "k", None)
+        assert errors and "I/O thread" in errors[0]
+    finally:
+        probe.close()

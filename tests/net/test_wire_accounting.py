@@ -1,0 +1,84 @@
+"""Traffic-accounting parity between the sim bus and the socket transport.
+
+``Message.approximate_size`` is defined as the payload's JSON wire size,
+so the simulated bus's ``net.bytes`` must equal what the socket
+transport charges for the same payloads — the sim's traffic figures are
+only meaningful if they predict real wire bytes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.bus import Message, NetworkBus
+from repro.net.codec import wire_size
+from repro.net.socket import SocketTransport
+from repro.obs.metrics import MetricsRegistry
+from repro.rdf.model import URIRef
+from tests.conftest import figure1_document
+
+PAYLOADS = [
+    None,
+    "pong",
+    {"watermark": 7, "subscriber": "lmr-a"},
+    [(3, "mdp-1"), URIRef("doc.rdf#host")],
+    {1, 2, 3},
+]
+
+
+def _charge_over_bus(payloads) -> tuple[int, int]:
+    bus = NetworkBus(metrics=MetricsRegistry())
+    bus.register("sink", lambda message: None)
+    for payload in payloads:
+        bus.send("cli", "sink", "k", payload)
+    return (
+        bus.metrics.counter("net.messages").value,
+        bus.metrics.counter("net.bytes").value,
+    )
+
+
+def _charge_over_socket(payloads) -> tuple[int, int]:
+    server = SocketTransport(metrics=MetricsRegistry()).start()
+    client = SocketTransport(metrics=MetricsRegistry()).start()
+    try:
+        server.register("sink", lambda message: None)
+        client.add_peer("sink", "127.0.0.1", server.port)
+        for payload in payloads:
+            client.send("cli", "sink", "k", payload)
+        return (
+            client.metrics.counter("net.messages").value,
+            client.metrics.counter("net.bytes").value,
+        )
+    finally:
+        client.close()
+        server.close()
+
+
+def test_net_bytes_parity_simple_payloads():
+    assert _charge_over_bus(PAYLOADS) == _charge_over_socket(PAYLOADS)
+
+
+def test_net_bytes_parity_document_payload():
+    payloads = [figure1_document()]
+    assert _charge_over_bus(payloads) == _charge_over_socket(payloads)
+
+
+def test_message_approximate_size_is_wire_size():
+    document = figure1_document()
+    for payload in [*PAYLOADS, document]:
+        message = Message(
+            source="a", destination="b", kind="k", payload=payload
+        )
+        assert message.approximate_size() == wire_size(payload)
+
+
+@pytest.mark.parametrize("payload,expected", [
+    ("12345", 7),      # '"12345"'
+    (None, 4),         # 'null'
+    ({"a": 1}, 7),     # '{"a":1}' (canonical compact separators)
+])
+def test_wire_size_regression_values(payload, expected):
+    message = Message(
+        source="a", destination="b", kind="k", payload=payload
+    )
+    assert message.approximate_size() == expected
