@@ -1,6 +1,6 @@
 """Static analysis for subscription rules and persisted filter state.
 
-Five analyzers over the rule pipeline and its source tree, all
+Six analyzers over the rule pipeline and its source tree, all
 reporting structured :class:`~repro.analysis.diagnostics.Diagnostic`
 findings instead of raising on the first problem:
 
@@ -14,9 +14,11 @@ findings instead of raising on the first problem:
   forms, equivalence classes, scalable subsumption and the index
   advisor (``MDV05x``);
 - :mod:`repro.analysis.code` — AST lint pack over the package source
-  for concurrency/determinism hygiene (``MDV06x``).
+  for concurrency/determinism hygiene (``MDV06x``);
+- :mod:`repro.analysis.semantics` — post-hoc auditor for the semantic
+  vocabulary store (``MDV07x``).
 
-``python -m repro.analysis`` exposes all five from the command line;
+``python -m repro.analysis`` exposes all six from the command line;
 the registration paths (:meth:`RuleRegistry.register_subscription`,
 ``MetadataProvider.subscribe``) accept an ``analyze`` policy that turns
 findings into warnings or registration rejections, and the registry's
@@ -47,6 +49,7 @@ from repro.analysis.rulebase import (
     find_covering_edges,
     load_registry_atoms,
 )
+from repro.analysis.semantics import audit_vocabulary
 from repro.analysis.subsume import check_subsumption
 
 __all__ = [
@@ -61,6 +64,7 @@ __all__ = [
     "advise_indexes",
     "audit_database",
     "audit_registry",
+    "audit_vocabulary",
     "canonical_hash",
     "canonicalize",
     "check_subsumption",

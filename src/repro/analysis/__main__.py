@@ -10,8 +10,9 @@ Commands:
 - ``audit --db PATH [--analysis-json PATH]`` — audit a live MDP
   database: storage/graph invariants (``MDV03x``) plus the
   whole-registry rule-base audit (``MDV05x`` — equivalence classes,
-  shadowed and dead rules, index-advisor recommendations).
-  ``--analysis-json`` dumps the full ``ANALYSIS.json`` payload.
+  shadowed and dead rules, index-advisor recommendations) plus the
+  semantic vocabulary audit (``MDV07x``).  ``--analysis-json`` dumps
+  the full ``ANALYSIS.json`` payload.
 - ``code [PATH ...] [--root DIR]`` — run the source-code lint pack
   (``MDV06x``) over Python files; defaults to the installed ``repro``
   package tree.
@@ -41,6 +42,7 @@ from repro.analysis.diagnostics import CODES, EXIT_ERRORS, AnalysisReport
 from repro.analysis.invariants import audit_database
 from repro.analysis.lint import lint_rule_text
 from repro.analysis.rulebase import audit_registry
+from repro.analysis.semantics import audit_vocabulary
 from repro.analysis.subsume import check_subsumption
 
 __all__ = ["main"]
@@ -170,9 +172,11 @@ def run_audit(
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERRORS
+    schema = _provider_schema(db)
     report = audit_database(db)
-    rulebase = audit_registry(db, _provider_schema(db))
+    rulebase = audit_registry(db, schema)
     report.extend(rulebase.report)
+    report.extend(audit_vocabulary(db, schema))
     if analysis_json is not None:
         Path(analysis_json).write_text(
             json.dumps(rulebase.to_dict(), indent=2, sort_keys=True) + "\n"

@@ -15,7 +15,9 @@ Code blocks:
 - ``MDV05x`` — whole-registry rule-base findings (equivalence classes,
   shadowing/covering, dead rules, index-advisor recommendations);
 - ``MDV06x`` — source-code lint pack (connection affinity, wall-clock
-  discipline, instrumentation and export hygiene).
+  discipline, instrumentation and export hygiene);
+- ``MDV07x`` — semantic-tier findings (unknown concepts, cyclic
+  taxonomy edges, invalid mapping functions, expansion fan-out).
 """
 
 from __future__ import annotations
@@ -104,6 +106,17 @@ CODES: dict[str, str] = {
     "transaction() block in the durability scope",
     "MDV066": "counting-index mutation outside a `with self._lock:` "
     "block in the lock scope",
+    # -- semantic matching tier (MDV07x) -------------------------------
+    "MDV070": "semantic construct references an unknown concept "
+    "(property, class or value never seen by the schema or registry)",
+    "MDV071": "taxonomy edge would create a cycle (or a self-edge)",
+    "MDV072": "mapping function is not invertible (zero scale or "
+    "duplicate enum source values)",
+    "MDV073": "mapping function is type-mismatched for its properties",
+    "MDV074": "mapped atom is unsatisfiable (no publishable source "
+    "value can reach the subscribed constant)",
+    "MDV075": "semantic expansion pushes the rule base past the "
+    "counting-matcher threshold (advisor recommendation)",
 }
 
 

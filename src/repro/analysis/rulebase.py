@@ -424,18 +424,24 @@ def load_registry_atoms(db: Database) -> dict[int, AtomNode]:
     children-first (``AUTOINCREMENT`` ids), so one pass in ``rule_id``
     order can build every tree bottom-up.
     """
+    # ``semantic = 0`` everywhere: the audit reasons over the
+    # subscribers' original predicates; semantic expansion rows are
+    # derived state (repro.semantics) and would corrupt reconstruction.
     extensions: dict[int, list[str]] = {}
     predicates: dict[int, tuple[str, str, str, bool]] = {}
     for operator, table in COMPARISON_TABLES.items():
         for row in db.query_all(
-            f"SELECT rule_id, class, property, value, numeric FROM {table}"
+            f"SELECT rule_id, class, property, value, numeric FROM {table} "
+            f"WHERE semantic = 0"
         ):
             rule_id = int(row["rule_id"])
             extensions.setdefault(rule_id, []).append(row["class"])
             predicates[rule_id] = (
                 row["property"], operator, row["value"], bool(row["numeric"])
             )
-    for row in db.query_all("SELECT rule_id, class FROM filter_rules_class"):
+    for row in db.query_all(
+        "SELECT rule_id, class FROM filter_rules_class WHERE semantic = 0"
+    ):
         extensions.setdefault(int(row["rule_id"]), []).append(row["class"])
 
     groups: dict[int, tuple[str, str, str | None, str | None, str, str, bool, bool]] = {}
@@ -881,6 +887,15 @@ def advise_indexes(db: Database) -> IndexAdvice:
         or 0
     )
     filter_rows = db.count("filter_data")
+    # Semantic expansion (repro.semantics) multiplies index rows per
+    # rule; the *expanded* row count is what the triggering stage
+    # actually scans, so recommendations key on it, not on the rule
+    # count.
+    semantic_rows = 0
+    expanded_rows = 0
+    for table in ("filter_rules_class", *COMPARISON_TABLES.values()):
+        semantic_rows += db.count(table, "semantic = 1")
+        expanded_rows += db.count(table)
     path_rows = db.query_all(
         "SELECT class, property, COUNT(*) AS rows_total, "
         "COUNT(DISTINCT value) AS distinct_values FROM filter_data "
@@ -911,6 +926,8 @@ def advise_indexes(db: Database) -> IndexAdvice:
         "filter_data_rows": filter_rows,
         "trigram_length": TRIGRAM_LENGTH,
         "subscriptions": db.count("subscriptions"),
+        "semantic_rows": semantic_rows,
+        "expanded_triggering_rows": expanded_rows,
         "paths": paths,
     }
     contains_index = (
@@ -926,9 +943,14 @@ def advise_indexes(db: Database) -> IndexAdvice:
         if triggering_rules >= PARALLEL_RULE_THRESHOLD
         else 1
     )
+    # Semantic fan-out can push a modest rule base past the counting
+    # crossover even when the rule *count* stays small; only the
+    # semantically expanded row count may widen the trigger, never the
+    # plain multi-class fan-out of an unexpanded base.
     triggering = (
         "counting"
         if triggering_rules >= COUNTING_RULE_THRESHOLD
+        or (semantic_rows > 0 and expanded_rows >= COUNTING_RULE_THRESHOLD)
         else "sql"
     )
     return IndexAdvice(
@@ -1151,6 +1173,26 @@ def audit_registry(
             source="index advisor",
         )
 
+    # MDV075 — semantic fan-out pushed the *expanded* trigger index past
+    # the counting crossover even though the rule count alone would not.
+    semantic_rows = _stat_int(advice.stats, "semantic_rows")
+    expanded_rows = _stat_int(advice.stats, "expanded_triggering_rows")
+    triggering_rules = _stat_int(advice.stats, "triggering_rules")
+    if (
+        semantic_rows > 0
+        and expanded_rows >= COUNTING_RULE_THRESHOLD
+        and triggering_rules < COUNTING_RULE_THRESHOLD
+    ):
+        report.add(
+            Severity.WARNING,
+            "MDV075",
+            f"semantic expansion widened {triggering_rules} triggering "
+            f"rules to {expanded_rows} index rows ({semantic_rows} "
+            "semantic) — past the counting-matcher crossover",
+            hint='construct the engine with triggering="counting"',
+            source="index advisor",
+        )
+
     elapsed = perf_counter() - started
     metrics.counter("analysis.audits").inc()
     metrics.counter("analysis.rules_audited").inc(len(canonical))
@@ -1186,6 +1228,11 @@ def audit_registry(
         atoms=len(nodes),
         elapsed_seconds=elapsed,
     )
+
+
+def _stat_int(stats: dict[str, object], key: str) -> int:
+    value = stats.get(key, 0)
+    return value if isinstance(value, int) else 0
 
 
 def _source_label(subs: list[tuple[str, str]]) -> str | None:

@@ -31,6 +31,7 @@ from __future__ import annotations
 from repro.bench.analysis import figure_analysis
 from repro.bench.matcher import figure_matcher
 from repro.bench.recovery import figure_recovery
+from repro.bench.semantics import figure_semantics
 from repro.bench.service import figure_service
 from repro.bench.harness import FilterBench, SweepResult
 from repro.bench.reporting import FigureResult
@@ -335,6 +336,10 @@ FIGURES = {
     # latency vs. concurrent clients (BENCH_service.json; see
     # repro.bench.service).
     "service": figure_service,
+    # Semantic tier hot-path cost: publish ms/document per semantics=
+    # degree over a vocabulary-divergent COMP base
+    # (BENCH_semantics.json; see repro.bench.semantics).
+    "semantics": figure_semantics,
 }
 
 

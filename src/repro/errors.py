@@ -37,6 +37,7 @@ __all__ = [
     "NormalizationError",
     "DecompositionError",
     "RuleAnalysisError",
+    "SemanticError",
     "StorageError",
     "CrashError",
     "SubscriptionError",
@@ -137,6 +138,19 @@ class RuleAnalysisError(RuleError):
     def __init__(self, message: str, diagnostics: list | None = None):
         super().__init__(message)
         self.diagnostics = list(diagnostics or [])
+
+
+class SemanticError(RuleError):
+    """A semantic-tier construct was rejected (repro.semantics).
+
+    ``code`` names the MDV07x diagnostic that triggered the rejection
+    (cyclic taxonomy edge, non-invertible mapping, ...), so callers can
+    map the failure onto the analysis catalogue.
+    """
+
+    def __init__(self, message: str, code: str):
+        super().__init__(message)
+        self.code = code
 
 
 class StorageError(MDVError):

@@ -78,8 +78,9 @@ CREATE INDEX IF NOT EXISTS idx_fi_class_prop
     ON filter_input(class, property);
 
 CREATE TABLE IF NOT EXISTS filter_rules_class (
-    rule_id INTEGER NOT NULL,
-    class   TEXT NOT NULL,
+    rule_id  INTEGER NOT NULL,
+    class    TEXT NOT NULL,
+    semantic INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (rule_id, class)
 ) WITHOUT ROWID;
 CREATE INDEX IF NOT EXISTS idx_frc_class ON filter_rules_class(class);
@@ -92,7 +93,8 @@ CREATE TABLE IF NOT EXISTS {table} (
     property TEXT NOT NULL,
     value    TEXT NOT NULL,
     numeric  INTEGER NOT NULL DEFAULT 0,
-    PRIMARY KEY (rule_id, class)
+    semantic INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (rule_id, class, property, value)
 ) WITHOUT ROWID;
 CREATE INDEX IF NOT EXISTS idx_{table}
     ON {table}(class, property, value);
@@ -108,7 +110,7 @@ CREATE TABLE IF NOT EXISTS filter_rules_con_tri (
     property      TEXT NOT NULL,
     value         TEXT NOT NULL,
     trigram_count INTEGER NOT NULL,
-    PRIMARY KEY (rule_id, class)
+    PRIMARY KEY (rule_id, class, property)
 ) WITHOUT ROWID;
 CREATE INDEX IF NOT EXISTS idx_frct_class_prop
     ON filter_rules_con_tri(class, property);

@@ -37,6 +37,7 @@ from repro.errors import (
     SubscriptionError,
 )
 from repro.filter.engine import FilterEngine
+from repro.filter.matcher import initialize_triggering_rule
 from repro.filter.results import PublishOutcome
 from repro.mdv.outbox import (
     DedupIndex,
@@ -102,6 +103,7 @@ class MetadataProvider:
         durability: str = "fast",
         durable_delivery: bool = False,
         recovery: str = "off",
+        semantics: str = "off",
     ):
         if consistency not in ("filter", "resource-list", "ttl"):
             raise ValueError(
@@ -138,7 +140,14 @@ class MetadataProvider:
         self.durable_delivery = durable_delivery
         self._in_op = False
         self._pending_flush: set[str] = set()
-        self.registry = RuleRegistry(self.db, dedupe=dedupe)
+        self.registry = RuleRegistry(self.db, dedupe=dedupe, semantics=semantics)
+        #: Active S-ToPSS degree (``repro.semantics``, docs/SEMANTICS.md);
+        #: the registry constructor validates the mode.
+        self.semantics = semantics
+        if semantics in ("taxonomy", "mappings"):
+            # The RDF-Schema class hierarchy doubles as the seed concept
+            # taxonomy; user edges arrive via register_taxonomy_edge().
+            self.registry.seed_schema_taxonomy(schema)
         self.engine = FilterEngine(
             self.db, self.registry, use_rule_groups, join_evaluation,
             metrics=self.metrics, parallelism=parallelism,
@@ -527,6 +536,72 @@ class MetadataProvider:
                     )
                     self._deliver(batch)
         return subscriptions
+
+    # -- semantic vocabulary (repro.semantics, docs/SEMANTICS.md) -------
+
+    def register_synonyms(self, kind: str, terms: list[str]) -> int:
+        """Register a synonym set (``kind`` is ``property`` or ``value``)."""
+        with self._op():
+            set_id = self.registry.register_synonyms(kind, terms)
+            self._reinitialize_semantics()
+        return set_id
+
+    def register_taxonomy_edge(self, narrower: str, broader: str) -> None:
+        """Add a broader/narrower concept edge to the taxonomy."""
+        with self._op():
+            affected = self.registry.register_taxonomy_edge(narrower, broader)
+            self._reinitialize_semantics(affected)
+
+    def register_affine_mapping(
+        self,
+        source_property: str,
+        target_property: str,
+        scale: float,
+        offset: float = 0.0,
+    ) -> int:
+        """Register ``target = scale * source + offset``."""
+        with self._op():
+            map_id = self.registry.register_affine_mapping(
+                source_property, target_property, scale, offset
+            )
+            self._reinitialize_semantics()
+        return map_id
+
+    def register_enum_mapping(
+        self,
+        source_property: str,
+        target_property: str,
+        pairs: list[tuple[str, str]],
+    ) -> int:
+        """Register a finite value rename mapping."""
+        with self._op():
+            map_id = self.registry.register_enum_mapping(
+                source_property, target_property, pairs
+            )
+            self._reinitialize_semantics()
+        return map_id
+
+    def _reinitialize_semantics(
+        self, affected: list[int] | None = None
+    ) -> None:
+        """Rematerialize triggering rules after a vocabulary change.
+
+        Vocabulary registered after subscriptions widens already-stored
+        rules, so their materialized result sets must be recomputed
+        against the existing metadata — future publications resync via
+        the registry's mutation log, but stored state does not.
+        """
+        if self.registry.semantics == "off":
+            return
+        rule_ids = affected
+        if rule_ids is None:
+            rows = self.db.query_all(
+                "SELECT rule_id FROM atomic_rules "
+                "WHERE kind = 'triggering' ORDER BY rule_id"
+            )
+            rule_ids = [int(row["rule_id"]) for row in rows]
+        for rule_id in rule_ids:
+            initialize_triggering_rule(self.db, rule_id)
 
     def analyze_rule(
         self, rule_text: str, subscriber: str | None = None

@@ -293,7 +293,10 @@ class RecoveryManager:
         )
         expected_tri: set[tuple[int, str, str, str, int]] = set()
         expected_postings: set[tuple[str, int]] = set()
-        by_rule: dict[int, tuple[list[str], str, str]] = {}
+        # Keyed by (rule_id, property): semantic property-synonym
+        # expansion gives one rule con rows under several properties,
+        # each needing its own index entry set.
+        by_rule: dict[tuple[int, str], tuple[list[str], str]] = {}
         for row in con_rows:
             rule_id = int(row["rule_id"])
             needle = row["value"]
@@ -304,8 +307,8 @@ class RecoveryManager:
                 (rule_id, row["class"], row["property"], needle, len(grams))
             )
             expected_postings.update((gram, rule_id) for gram in grams)
-            classes, prop, _ = by_rule.setdefault(
-                rule_id, ([], row["property"], needle)
+            classes, _ = by_rule.setdefault(
+                (rule_id, row["property"]), ([], needle)
             )
             classes.append(row["class"])
         actual_tri = {
@@ -328,11 +331,11 @@ class RecoveryManager:
             return 0
         self._db.execute("DELETE FROM filter_rules_con_tri")
         self._db.execute("DELETE FROM text_postings")
-        for rule_id, (classes, prop, needle) in sorted(by_rule.items()):
+        for (rule_id, prop), (classes, needle) in sorted(by_rule.items()):
             index_contains_rule(
                 self._db, rule_id, classes, prop, needle, self.metrics
             )
-        return len(by_rule)
+        return len({rule_id for rule_id, __ in by_rule})
 
     def _rebuild_filter_data(self) -> int:  # mdv: allow(MDV065): runs inside caller's transaction
         """Rebuild ``filter_data``/``resources`` from the documents' XML.

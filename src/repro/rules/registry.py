@@ -29,12 +29,15 @@ from typing import TYPE_CHECKING
 from repro.errors import RuleAnalysisError, SubscriptionError
 from repro.rules.atoms import AtomNode, JoinAtom, TriggeringAtom
 from repro.rules.decompose import DecomposedRule
+from repro.semantics.rewrite import SemanticRewriter
+from repro.semantics.store import SEMANTICS_MODES, SemanticStore
 from repro.storage.engine import Database
 from repro.storage.schema import COMPARISON_TABLES, filter_rules_table
 from repro.text.index import drop_contains_rule, index_contains_rule
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.analysis.diagnostics import Diagnostic
+    from repro.rdf.schema import Schema
 
 __all__ = [
     "RuleRegistry",
@@ -44,6 +47,7 @@ __all__ = [
     "ANALYZE_POLICIES",
     "DEDUPE_MODES",
     "MUTATION_LOG_LIMIT",
+    "SEMANTICS_MODES",
 ]
 
 #: Valid values for the ``analyze=`` registration policy: ``"off"``
@@ -118,7 +122,11 @@ class RuleRegistry:
     """Catalogue of atomic rules, dependencies, groups and subscriptions."""
 
     def __init__(
-        self, db: Database, deduplicate: bool = True, dedupe: str = "off"
+        self,
+        db: Database,
+        deduplicate: bool = True,
+        dedupe: str = "off",
+        semantics: str = "off",
     ):
         self._db = db
         #: Merge equal atomic rules across subscriptions (the paper's
@@ -136,6 +144,23 @@ class RuleRegistry:
             )
         #: Semantic deduplication by canonical form (see DEDUPE_MODES).
         self.dedupe = dedupe
+        if semantics not in SEMANTICS_MODES:
+            raise ValueError(
+                f"unknown semantics mode {semantics!r}; expected one of "
+                f"{SEMANTICS_MODES}"
+            )
+        #: Active S-ToPSS degree (see :data:`SEMANTICS_MODES`).  With
+        #: ``"off"`` no semantic rows are ever written and the registry
+        #: is byte-identical to the purely syntactic design.
+        self.semantics = semantics
+        #: Vocabulary accessors (always available — the vocabulary is a
+        #: property of the store; the knob gates only the *rewriting*).
+        self.semantic_store = SemanticStore(db)
+        self._rewriter: SemanticRewriter | None = (
+            SemanticRewriter(self.semantic_store, semantics, db.metrics)
+            if semantics != "off"
+            else None
+        )
         self._salt_counter = 0
         #: Cache of reconstructed atom nodes, keyed by rule id.
         self._node_cache: dict[int, AtomNode] = {}
@@ -289,7 +314,78 @@ class RuleRegistry:
                     str(atom.prop),
                     str(atom.value),
                 )
+        self._insert_semantic_rows(rule_id, atom)
         return rule_id
+
+    def _insert_semantic_rows(self, rule_id: int, atom: TriggeringAtom) -> None:  # mdv: allow(MDV065): runs inside caller's transaction
+        """Add the active degree's expansion rows for one base atom.
+
+        Every row carries ``semantic = 1`` so reconstruction
+        (:meth:`_load_triggering`) and the rule-base audit can recover
+        the subscriber's original predicate; both triggering paths give
+        multiple index rows of one rule OR semantics, so no matcher
+        change is needed.  ``INSERT OR IGNORE`` everywhere: expansions
+        of synonym/taxonomy-overlapping vocabularies collide on the
+        primary key and the first row wins.
+        """
+        rewriter = self._rewriter
+        if rewriter is None:
+            return
+        expansion = rewriter.expand(atom)
+        if expansion.is_empty:
+            return
+        metrics = self._db.metrics
+        metrics.counter("semantics.rules_in").inc()
+        inserted = 0
+        if atom.is_class_only:
+            for cls in expansion.extra_classes:
+                cursor = self._db.execute(
+                    "INSERT OR IGNORE INTO filter_rules_class "
+                    "(rule_id, class, semantic) VALUES (?, ?, 1)",
+                    (rule_id, cls),
+                )
+                inserted += max(cursor.rowcount, 0)
+        else:
+            base_table = filter_rules_table(str(atom.operator))
+            all_classes = (*atom.extension_classes, *expansion.extra_classes)
+            for cls in expansion.extra_classes:
+                cursor = self._db.execute(
+                    f"INSERT OR IGNORE INTO {base_table} "
+                    f"(rule_id, class, property, value, numeric, semantic) "
+                    f"VALUES (?, ?, ?, ?, ?, 1)",
+                    (rule_id, cls, atom.prop, atom.value, int(atom.numeric)),
+                )
+                inserted += max(cursor.rowcount, 0)
+            if atom.operator == "contains" and expansion.extra_classes:
+                index_contains_rule(
+                    self._db,
+                    rule_id,
+                    expansion.extra_classes,
+                    str(atom.prop),
+                    str(atom.value),
+                )
+            for variant in expansion.variants:
+                table = filter_rules_table(variant.operator)
+                for cls in all_classes:
+                    cursor = self._db.execute(
+                        f"INSERT OR IGNORE INTO {table} "
+                        f"(rule_id, class, property, value, numeric, "
+                        f"semantic) VALUES (?, ?, ?, ?, ?, 1)",
+                        (
+                            rule_id, cls, variant.prop, variant.value,
+                            int(variant.numeric),
+                        ),
+                    )
+                    inserted += max(cursor.rowcount, 0)
+                if variant.operator == "contains":
+                    index_contains_rule(
+                        self._db,
+                        rule_id,
+                        all_classes,
+                        variant.prop,
+                        variant.value,
+                    )
+        metrics.counter("semantics.atoms_out").inc(inserted)
 
     def _insert_join(self, atom: JoinAtom, ids: dict[str, int]) -> int:  # mdv: allow(MDV065): runs inside caller's transaction
         left_id = ids.get(atom.left.key) or self._require(atom.left.key)
@@ -593,6 +689,123 @@ class RuleRegistry:
         self._node_cache.pop(rule_id, None)
 
     # ------------------------------------------------------------------
+    # Semantic vocabulary (repro.semantics, docs/SEMANTICS.md)
+    # ------------------------------------------------------------------
+    def register_synonyms(self, kind: str, terms: list[str]) -> int:
+        """Register a synonym set and re-expand the affected rule base."""
+        with self._db.transaction():
+            set_id = self.semantic_store.register_synonyms(kind, terms)
+            self._reexpand_all()
+        return set_id
+
+    def register_taxonomy_edge(self, narrower: str, broader: str) -> list[int]:
+        """Add a taxonomy edge; returns the re-expanded rule ids."""
+        with self._db.transaction():
+            added = self.semantic_store.register_taxonomy_edge(
+                narrower, broader
+            )
+            affected = self._reexpand_all() if added else []
+        self._db.metrics.gauge("semantics.taxonomy.closure_size").set(
+            self.semantic_store.closure_size()
+        )
+        return affected
+
+    def seed_schema_taxonomy(self, schema: "Schema") -> int:
+        """Import the RDF-Schema class hierarchy into the taxonomy."""
+        with self._db.transaction():
+            added = self.semantic_store.seed_schema_taxonomy(schema)
+            if added:
+                self._reexpand_all()
+        self._db.metrics.gauge("semantics.taxonomy.closure_size").set(
+            self.semantic_store.closure_size()
+        )
+        return added
+
+    def register_affine_mapping(
+        self,
+        source_property: str,
+        target_property: str,
+        scale: float,
+        offset: float = 0.0,
+    ) -> int:
+        """Register an affine mapping and re-expand the rule base."""
+        with self._db.transaction():
+            map_id = self.semantic_store.register_affine_mapping(
+                source_property, target_property, scale, offset
+            )
+            self._reexpand_all()
+        return map_id
+
+    def register_enum_mapping(
+        self,
+        source_property: str,
+        target_property: str,
+        pairs: list[tuple[str, str]],
+    ) -> int:
+        """Register an enum mapping and re-expand the rule base."""
+        with self._db.transaction():
+            map_id = self.semantic_store.register_enum_mapping(
+                source_property, target_property, pairs
+            )
+            self._reexpand_all()
+        return map_id
+
+    def _reexpand_all(self) -> list[int]:
+        """Re-derive every triggering rule's semantic rows.
+
+        Vocabulary changes after registration (the marketplace's
+        late-arriving taxonomy edge) invalidate previously derived
+        expansions.  Each touched rule gets a mutation-log entry, so the
+        counting matcher and the shard replicas resync incrementally —
+        exactly the protocol ordinary registration uses.  Vocabulary
+        registered *before* the rules (the recommended order; see
+        docs/SEMANTICS.md) makes this a no-op loop over zero rules.
+        """
+        if self._rewriter is None:
+            return []
+        rows = self._db.query_all(
+            "SELECT rule_id, class FROM atomic_rules "
+            "WHERE kind = 'triggering' ORDER BY rule_id"
+        )
+        affected: list[int] = []
+        for row in rows:
+            rule_id = int(row["rule_id"])
+            atom = self._load_triggering(rule_id, str(row["class"]))
+            self._resync_semantic_rows(rule_id, atom)
+            affected.append(rule_id)
+        return affected
+
+    def _resync_semantic_rows(self, rule_id: int, atom: TriggeringAtom) -> None:  # mdv: allow(MDV065): runs inside caller's transaction
+        """Drop and re-derive one rule's semantic rows (idempotent)."""
+        self.mutation_version += 1
+        self.mutation_log.append(
+            RuleMutation(self.mutation_version, rule_id)
+        )
+        self._db.execute(
+            "DELETE FROM filter_rules_class WHERE rule_id = ? "
+            "AND semantic = 1",
+            (rule_id,),
+        )
+        for table in COMPARISON_TABLES.values():
+            self._db.execute(
+                f"DELETE FROM {table} WHERE rule_id = ? AND semantic = 1",
+                (rule_id,),
+            )
+        if atom.operator == "contains":
+            # The trigram tables carry no semantic flag; rebuild the
+            # rule's whole text-index entry from the base atom, then let
+            # the expansion re-add its rows.
+            drop_contains_rule(self._db, rule_id)
+            index_contains_rule(
+                self._db,
+                rule_id,
+                atom.extension_classes,
+                str(atom.prop),
+                str(atom.value),
+            )
+        self._insert_semantic_rows(rule_id, atom)
+
+    # ------------------------------------------------------------------
     # Named rules (rule-as-extension support)
     # ------------------------------------------------------------------
     def register_named_rule(
@@ -712,9 +925,11 @@ class RuleRegistry:
         return node
 
     def _load_triggering(self, rule_id: int, rdf_class: str) -> TriggeringAtom:
+        # ``semantic = 0`` everywhere: reconstruction recovers the
+        # subscriber's *original* atom; expansion rows are derived state.
         class_rows = self._db.query_all(
             "SELECT class FROM filter_rules_class WHERE rule_id = ? "
-            "ORDER BY class",
+            "AND semantic = 0 ORDER BY class",
             (rule_id,),
         )
         if class_rows:
@@ -725,7 +940,7 @@ class RuleRegistry:
         for operator, table in COMPARISON_TABLES.items():
             rows = self._db.query_all(
                 f"SELECT class, property, value, numeric FROM {table} "
-                f"WHERE rule_id = ? ORDER BY class",
+                f"WHERE rule_id = ? AND semantic = 0 ORDER BY class",
                 (rule_id,),
             )
             if rows:

@@ -1,0 +1,39 @@
+"""The semantic matching tier: synonyms, taxonomies, mapping functions.
+
+Implements the three S-ToPSS degrees of semantic pub/sub matching on
+top of the paper's purely syntactic filter, as cumulative tiers behind
+the ``semantics=off|synonyms|taxonomy|mappings`` knob on
+:class:`repro.rules.registry.RuleRegistry` and
+:class:`repro.mdv.provider.MetadataProvider`:
+
+- ``synonyms`` — interchangeable property names and values;
+- ``taxonomy`` — concept hierarchies with precomputed transitive
+  closure, seeded from the RDF-Schema class hierarchy;
+- ``mappings`` — declarative value conversions (affine/enum).
+
+All degrees are *registration-time rewrites* into the existing
+syntactic triggering tables — the publish hot path is untouched.  See
+docs/SEMANTICS.md for the cost model and a worked marketplace example.
+"""
+
+from __future__ import annotations
+
+from repro.semantics.oracle import SemanticOracle
+from repro.semantics.rewrite import SemanticExpansion, SemanticRewriter, VariantRow
+from repro.semantics.store import (
+    SEMANTICS_MODES,
+    MappingFunction,
+    SemanticStore,
+    format_numeric,
+)
+
+__all__ = [
+    "SEMANTICS_MODES",
+    "MappingFunction",
+    "SemanticExpansion",
+    "SemanticOracle",
+    "SemanticRewriter",
+    "SemanticStore",
+    "VariantRow",
+    "format_numeric",
+]

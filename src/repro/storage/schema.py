@@ -39,6 +39,11 @@ Table inventory (paper name → ours):
   can share one triggering entry (repro.analysis.rulebase).
 - ``documents`` / ``resources``: registered documents and the
   resource → document mapping used when publishing content.
+- ``semantic_*``: the vocabulary store of the semantic matching tier
+  (repro.semantics) — synonym sets, the taxonomy edge list with its
+  precomputed transitive closure, and declarative mapping functions.
+  Rows these produce in the triggering tables carry ``semantic = 1`` so
+  atom reconstruction can recover the subscriber's original predicate.
 """
 
 from __future__ import annotations
@@ -49,6 +54,7 @@ from repro.text.ngrams import TRIGRAM_LENGTH
 __all__ = [
     "create_all",
     "COMPARISON_TABLES",
+    "SEMANTIC_TABLES",
     "TRIGGER_TABLES",
     "TEXT_TABLES",
     "filter_rules_table",
@@ -75,6 +81,15 @@ TRIGGER_TABLES = ("filter_rules_class", *COMPARISON_TABLES.values())
 #: The trigram index over ``contains``-rule needles (repro.text),
 #: replicated into triggering shards alongside :data:`TRIGGER_TABLES`.
 TEXT_TABLES = ("filter_rules_con_tri", "text_postings")
+
+#: The vocabulary tables of the semantic matching tier (repro.semantics).
+SEMANTIC_TABLES = (
+    "semantic_synonyms",
+    "semantic_taxonomy_edges",
+    "semantic_taxonomy_closure",
+    "semantic_mappings",
+    "semantic_mapping_values",
+)
 
 
 def filter_rules_table(operator: str) -> str:
@@ -169,8 +184,9 @@ CREATE TABLE IF NOT EXISTS named_rules (
 );
 
 CREATE TABLE IF NOT EXISTS filter_rules_class (
-    rule_id INTEGER NOT NULL REFERENCES atomic_rules(rule_id),
-    class   TEXT NOT NULL,
+    rule_id  INTEGER NOT NULL REFERENCES atomic_rules(rule_id),
+    class    TEXT NOT NULL,
+    semantic INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (rule_id, class)
 ) WITHOUT ROWID;
 CREATE INDEX IF NOT EXISTS idx_frc_class ON filter_rules_class(class);
@@ -247,6 +263,58 @@ CREATE TABLE IF NOT EXISTS dedup_entries (
     seq    INTEGER NOT NULL,
     PRIMARY KEY (source, seq)
 ) WITHOUT ROWID;
+
+-- Semantic-tier vocabulary (repro.semantics, docs/SEMANTICS.md).
+-- ``semantic_synonyms`` holds synonym sets: every term of a set shares
+-- one ``set_id``; ``kind`` separates property-name synonyms from value
+-- synonyms.  ``semantic_taxonomy_edges`` is the user-visible
+-- broader/narrower edge list; ``semantic_taxonomy_closure`` its
+-- precomputed transitive closure (maintained incrementally on edge
+-- insert, never recomputed from scratch on the hot path).
+-- ``semantic_mappings`` declares property-to-property mapping
+-- functions: affine numeric conversions (value_dst = scale * value_src
+-- + offset) or enumerated renames with pairs in
+-- ``semantic_mapping_values``.
+CREATE TABLE IF NOT EXISTS semantic_synonyms (
+    set_id INTEGER NOT NULL,
+    kind   TEXT NOT NULL CHECK (kind IN ('property', 'value')),
+    term   TEXT NOT NULL,
+    PRIMARY KEY (kind, term)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_ss_set ON semantic_synonyms(set_id, kind);
+
+CREATE TABLE IF NOT EXISTS semantic_taxonomy_edges (
+    narrower TEXT NOT NULL,
+    broader  TEXT NOT NULL,
+    PRIMARY KEY (narrower, broader)
+) WITHOUT ROWID;
+
+CREATE TABLE IF NOT EXISTS semantic_taxonomy_closure (
+    ancestor   TEXT NOT NULL,
+    descendant TEXT NOT NULL,
+    PRIMARY KEY (ancestor, descendant)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_stc_descendant
+    ON semantic_taxonomy_closure(descendant);
+
+CREATE TABLE IF NOT EXISTS semantic_mappings (
+    map_id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    source_property TEXT NOT NULL,
+    target_property TEXT NOT NULL,
+    kind            TEXT NOT NULL CHECK (kind IN ('affine', 'enum')),
+    scale           REAL NOT NULL DEFAULT 1.0,
+    offset          REAL NOT NULL DEFAULT 0.0,
+    UNIQUE (source_property, target_property)
+);
+CREATE INDEX IF NOT EXISTS idx_sm_target ON semantic_mappings(target_property);
+
+CREATE TABLE IF NOT EXISTS semantic_mapping_values (
+    map_id       INTEGER NOT NULL REFERENCES semantic_mappings(map_id)
+                 ON DELETE CASCADE,
+    source_value TEXT NOT NULL,
+    target_value TEXT NOT NULL,
+    PRIMARY KEY (map_id, target_value, source_value)
+) WITHOUT ROWID;
 """
 
 #: The trigram index of :mod:`repro.text`: ``filter_rules_con_tri``
@@ -261,7 +329,7 @@ CREATE TABLE IF NOT EXISTS filter_rules_con_tri (
     property      TEXT NOT NULL,
     value         TEXT NOT NULL,
     trigram_count INTEGER NOT NULL,
-    PRIMARY KEY (rule_id, class)
+    PRIMARY KEY (rule_id, class, property)
 ) WITHOUT ROWID;
 CREATE INDEX IF NOT EXISTS idx_frct_class_prop
     ON filter_rules_con_tri(class, property);
@@ -290,7 +358,8 @@ CREATE TABLE IF NOT EXISTS {table} (
     property TEXT NOT NULL,
     value    TEXT NOT NULL,
     numeric  INTEGER NOT NULL DEFAULT 0,
-    PRIMARY KEY (rule_id, class)
+    semantic INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (rule_id, class, property, value)
 ) WITHOUT ROWID;
 CREATE INDEX IF NOT EXISTS idx_{table}
     ON {table}(class, property, value);

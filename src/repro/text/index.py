@@ -91,14 +91,17 @@ def index_contains_rule(
         registry.counter("text.fallback_rules").inc()
         return False
     grams = sorted(trigrams(needle))
+    # OR IGNORE: semantic property-synonym expansion indexes the same
+    # needle under several properties of one rule — the postings rows
+    # (and, on re-expansion, the per-class rows) collide harmlessly.
     db.executemany(
-        "INSERT INTO filter_rules_con_tri "
+        "INSERT OR IGNORE INTO filter_rules_con_tri "
         "(rule_id, class, property, value, trigram_count) "
         "VALUES (?, ?, ?, ?, ?)",
         ((rule_id, cls, prop, needle, len(grams)) for cls in classes),
     )
     db.executemany(
-        "INSERT INTO text_postings (trigram, rule_id) VALUES (?, ?)",
+        "INSERT OR IGNORE INTO text_postings (trigram, rule_id) VALUES (?, ?)",
         ((gram, rule_id) for gram in grams),
     )
     return True

@@ -34,7 +34,8 @@ import sys
 import time
 
 from repro.filter.engine import FilterEngine
-from repro.rdf.schema import Schema, objectglobe_schema
+from repro.rdf.schema import PropertyDef, PropertyKind, Schema, objectglobe_schema
+from repro.semantics.store import SEMANTICS_MODES
 from repro.rules.decompose import decompose_rule
 from repro.rules.normalize import normalize_rule
 from repro.rules.parser import parse_rule
@@ -55,6 +56,7 @@ __all__ = [
     "equivalent_comp_rule",
     "mix_rule_texts",
     "main",
+    "semantic_schema",
 ]
 
 #: Rule-type blends: ``(rule type, weight)`` pairs; weights sum to 1.
@@ -91,6 +93,22 @@ def equivalent_comp_rule(index: int) -> str:
         f"search CycleProvider c register c "
         f"where c.synthValue > {index}.0 and c.synthValue > -1"
     )
+
+
+def semantic_schema() -> Schema:
+    """The ObjectGlobe schema plus the divergent spellings.
+
+    ``synthMeasure`` is an alternative spelling of ``synthValue`` (the
+    property-synonym workload) and ``synthMilli`` its thousandths
+    (the affine-mapping workload).  Normalization validates every rule
+    path against the schema, so divergent *rules* need the alias
+    declared even though only the vocabulary relates the two.
+    """
+    schema = objectglobe_schema()
+    provider = schema.class_def("CycleProvider")
+    provider.add(PropertyDef("synthMeasure", PropertyKind.INTEGER))
+    provider.add(PropertyDef("synthMilli", PropertyKind.INTEGER))
+    return schema
 
 
 def mix_rule_texts(
@@ -147,6 +165,7 @@ def build_registry(
     schema: Schema | None = None,
     dedupe: str = "off",
     subscribers: int = 1,
+    semantics: str = "off",
 ) -> RuleRegistry:
     """Mass-register a ``mix`` rule base of ``count`` rules into ``db``.
 
@@ -154,16 +173,46 @@ def build_registry(
     filter-engine rule initialization), inside one transaction.
     ``subscribers`` spreads the subscriptions over that many distinct
     subscriber names round-robin.
+
+    With ``semantics`` enabled the COMP slice of the mix becomes
+    vocabulary-divergent: every third COMP rule is spelled over the
+    ``synthMeasure`` alias, the ``{synthValue, synthMeasure}`` synonym
+    set unifies the spellings (doubling those rules' triggering rows)
+    and — at the ``mappings`` degree — an affine ``synthMilli``
+    mapping adds a third row per comparison.  The resulting registries
+    exercise the index advisor's fan-out heuristic (``MDV075``) at
+    realistic scale.
     """
-    schema = schema or objectglobe_schema()
+    if semantics not in SEMANTICS_MODES:
+        raise ValueError(
+            f"semantics must be one of {SEMANTICS_MODES}, got {semantics!r}"
+        )
+    if schema is None:
+        schema = semantic_schema() if semantics != "off" else (
+            objectglobe_schema()
+        )
     create_all(db)
     registry = RuleRegistry(
-        db, deduplicate=True, dedupe=dedupe
+        db, deduplicate=True, dedupe=dedupe, semantics=semantics
     )
+    if semantics != "off":
+        # Vocabulary first: expansion happens at registration, which is
+        # far cheaper than re-expanding the whole base afterwards.
+        registry.register_synonyms(
+            "property", ["synthValue", "synthMeasure"]
+        )
+        if SEMANTICS_MODES.index(semantics) >= 3:
+            registry.register_affine_mapping(
+                "synthMilli", "synthValue", scale=0.001
+            )
     engine = FilterEngine(db, registry, True, "scan")
     texts = mix_rule_texts(count, mix, equivalent_fraction)
     with db.transaction():
         for index, text in enumerate(texts):
+            if semantics != "off" and index % 3 == 1:
+                # The divergent spelling: same thresholds, the alias
+                # property — only the synonym set relates the two.
+                text = text.replace("c.synthValue", "c.synthMeasure")
             normalized = normalize_rule(parse_rule(text), schema)[0]
             decomposed = decompose_rule(normalized, schema)
             registration = registry.register_subscription(
@@ -203,6 +252,12 @@ def main(argv: list[str] | None = None) -> int:
         "--subscribers", type=int, default=1,
         help="spread subscriptions over this many subscriber names",
     )
+    parser.add_argument(
+        "--semantics", choices=SEMANTICS_MODES, default="off",
+        help="semantic degree: makes the COMP slice vocabulary-"
+        "divergent and expands it through the synonym/mapping "
+        "vocabulary (default: off)",
+    )
     args = parser.parse_args(argv)
     if args.count <= 0:
         print("error: --count must be positive", file=sys.stderr)
@@ -217,6 +272,7 @@ def main(argv: list[str] | None = None) -> int:
             equivalent_fraction=args.equivalent_fraction,
             dedupe=args.dedupe,
             subscribers=args.subscribers,
+            semantics=args.semantics,
         )
     finally:
         db.close()

@@ -194,5 +194,6 @@ class TestRegressionGate:
             "BENCH_fig14.json", "BENCH_fig15.json",
             "BENCH_matcher.json",
             "BENCH_recovery.json",
+            "BENCH_semantics.json",
             "BENCH_service.json",
         ]

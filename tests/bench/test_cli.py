@@ -77,6 +77,7 @@ def test_real_figures_registered():
         "recovery",
         "matcher",
         "service",
+        "semantics",
     }
 
 

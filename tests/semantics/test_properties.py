@@ -1,0 +1,178 @@
+"""Property tests for the semantic rewriter and the taxonomy closure.
+
+Three families:
+
+- **Synonym rewriting is closed and evaluator-equivalent.**  Under the
+  ``synonyms`` degree the variant set of an equality atom is the cross
+  product of its property- and value-synonym classes; expanding any
+  variant must land in exactly the same closed set (idempotence), and a
+  single-statement resource matches the expanded set iff the naive
+  per-resource oracle says the original atom matches semantically.
+- **The incremental closure equals the naive oracle.**  Random DAG edge
+  lists, inserted in random order, must leave
+  ``semantic_taxonomy_closure`` equal to plain reachability computed
+  from scratch — for every node, in both directions.
+- **Cycles never enter the store.**  Closing any random chain into a
+  loop (or registering a self-edge) raises ``MDV071`` and leaves the
+  closure untouched.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.rules.atoms import TriggeringAtom
+from repro.semantics import SemanticOracle, SemanticRewriter, SemanticStore
+from repro.storage.engine import Database
+from repro.storage.schema import create_all
+from tests.conftest import prop_settings
+
+_PROPS = ["p0", "p1", "p2", "p3"]
+_VALUES = ["v0", "v1", "v2", "v3"]
+
+# A partition into synonym groups: each group is a sorted list of >= 2
+# distinct terms; groups are pairwise disjoint by construction.
+def _partition(pool):
+    return st.lists(
+        st.lists(st.sampled_from(pool), min_size=2, max_size=3, unique=True),
+        max_size=2,
+    ).map(_disjoint)
+
+
+def _disjoint(groups):
+    taken: set[str] = set()
+    kept = []
+    for group in groups:
+        if not taken & set(group):
+            kept.append(sorted(group))
+            taken.update(group)
+    return kept
+
+
+def _fresh_store() -> tuple[Database, SemanticStore]:
+    db = Database()
+    create_all(db)
+    return db, SemanticStore(db)
+
+
+@given(
+    prop_groups=_partition(_PROPS),
+    value_groups=_partition(_VALUES),
+    prop=st.sampled_from(_PROPS),
+    value=st.sampled_from(_VALUES),
+    published_prop=st.sampled_from(_PROPS),
+    published_value=st.sampled_from(_VALUES),
+)
+@prop_settings(max_examples=120)
+def test_synonym_rewriting_closed_and_evaluator_equivalent(
+    prop_groups, value_groups, prop, value, published_prop, published_value
+):
+    db, store = _fresh_store()
+    try:
+        for group in prop_groups:
+            store.register_synonyms("property", group)
+        for group in value_groups:
+            store.register_synonyms("value", group)
+        rewriter = SemanticRewriter(store, "synonyms")
+        oracle = SemanticOracle(store, "synonyms")
+
+        def closed_set(atom):
+            expansion = rewriter.expand(atom)
+            assert expansion.extra_classes == ()  # degree 1: no classes
+            base = (str(atom.operator), str(atom.prop), str(atom.value))
+            return {base} | {
+                (v.operator, v.prop, v.value) for v in expansion.variants
+            }
+
+        atom = TriggeringAtom("C", ("C",), prop, "=", value, False)
+        expanded = closed_set(atom)
+
+        # Idempotence/closure: expanding any variant yields the same set.
+        for operator, variant_prop, variant_value in sorted(expanded):
+            variant_atom = TriggeringAtom(
+                "C", ("C",), variant_prop, operator, variant_value, False
+            )
+            assert closed_set(variant_atom) == expanded
+
+        # Evaluator equivalence on a one-statement resource.
+        syntactic = ("=", published_prop, published_value) in expanded
+        semantic = oracle.matches_resource(
+            atom, "C", [(published_prop, published_value)]
+        )
+        assert syntactic == semantic
+    finally:
+        db.close()
+
+
+# DAG edges by construction: an edge may only point from a lower index
+# to a strictly higher one (narrower n{i} -> broader n{j}, i < j).
+_dag_edges = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6)).filter(
+        lambda e: e[0] < e[1]
+    ),
+    max_size=12,
+    unique=True,
+)
+
+
+@given(edges=_dag_edges, order_seed=st.randoms(use_true_random=False))
+@prop_settings(max_examples=100)
+def test_incremental_closure_equals_naive_reachability(edges, order_seed):
+    db, store = _fresh_store()
+    try:
+        shuffled = list(edges)
+        order_seed.shuffle(shuffled)
+        for i, j in shuffled:
+            store.register_taxonomy_edge(f"n{i}", f"n{j}")
+
+        parents: dict[str, set[str]] = {}
+        for i, j in edges:
+            parents.setdefault(f"n{i}", set()).add(f"n{j}")
+
+        def reachable(node: str) -> set[str]:
+            seen: set[str] = set()
+            frontier = [node]
+            while frontier:
+                for parent in parents.get(frontier.pop(), ()):
+                    if parent not in seen:
+                        seen.add(parent)
+                        frontier.append(parent)
+            return seen
+
+        for index in range(7):
+            node = f"n{index}"
+            assert set(store.ancestors(node)) == reachable(node)
+            assert set(store.descendants(node)) == {
+                f"n{i}"
+                for i in range(7)
+                if node in reachable(f"n{i}")
+            }
+    finally:
+        db.close()
+
+
+@given(
+    chain=st.lists(
+        st.sampled_from([f"c{i}" for i in range(5)]),
+        min_size=1,
+        max_size=5,
+        unique=True,
+    )
+)
+@prop_settings(max_examples=60)
+def test_cycles_and_self_edges_rejected(chain):
+    db, store = _fresh_store()
+    try:
+        for narrower, broader in zip(chain, chain[1:]):
+            store.register_taxonomy_edge(narrower, broader)
+        before = store.closure_size()
+        with pytest.raises(SemanticError) as excinfo:
+            # Closing the chain into a loop; a 1-chain is a self-edge.
+            store.register_taxonomy_edge(chain[-1], chain[0])
+        assert excinfo.value.code == "MDV071"
+        assert store.closure_size() == before
+    finally:
+        db.close()
